@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 10 — fraction of demand misses covered by IPCP at L1, L2, and
+ * LLC per memory-intensive trace (coverage = baseline misses removed /
+ * baseline misses at that level).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include <algorithm>
+
+#include "common/stats.hh"
+
+int
+main()
+{
+    using namespace bouquet;
+    using namespace bouquet::bench;
+
+    const ExperimentConfig cfg = defaultConfig();
+    printBanner(std::cout, "fig10",
+                "Demand misses covered by IPCP at L1/L2/LLC (Fig. 10)");
+
+    const Combo ipcp = namedCombo("ipcp");
+    const Combo baseline = namedCombo("none");
+    TablePrinter table({"trace", "L1 cov", "L2 cov", "LLC cov"});
+    MeanAccumulator m1, m2, m3;
+
+    // Coverage at a level: the fraction of the *baseline's* demand
+    // misses that no longer miss with IPCP — blocks prefetched into
+    // the level by any part of the IPCP hierarchy count (this is what
+    // Fig. 10 plots; per-level pfUseful would miss the lines the L1's
+    // prefetches installed in L2/LLC on the fill path).
+    auto coverage = [](const CacheStats &with, const CacheStats &base) {
+        if (base.demandMisses() == 0)
+            return 0.0;
+        const double covered =
+            static_cast<double>(base.demandMisses()) -
+            static_cast<double>(with.demandMisses());
+        return std::max(0.0, covered) /
+               static_cast<double>(base.demandMisses());
+    };
+
+    for (const TraceSpec &t : memIntensiveTraces()) {
+        const Outcome o = run(t, ipcp.label, ipcp.attach, cfg);
+        const Outcome b = run(t, baseline.label, baseline.attach, cfg);
+        const double c1 = coverage(o.l1d, b.l1d);
+        const double c2 = coverage(o.l2, b.l2);
+        const double c3 = coverage(o.llc, b.llc);
+        m1.add(c1);
+        m2.add(c2);
+        m3.add(c3);
+        table.addRow({t.name, TablePrinter::num(c1 * 100, 1) + "%",
+                      TablePrinter::num(c2 * 100, 1) + "%",
+                      TablePrinter::num(c3 * 100, 1) + "%"});
+    }
+    table.addRow({"MEAN",
+                  TablePrinter::num(m1.arithmeticMean() * 100, 1) + "%",
+                  TablePrinter::num(m2.arithmeticMean() * 100, 1) + "%",
+                  TablePrinter::num(m3.arithmeticMean() * 100, 1) + "%"});
+    table.print(std::cout);
+    std::cout << "\nPaper: IPCP covers 60% / 79.5% / 83% of demand misses\n"
+                 "at L1 / L2 / LLC on average; near-zero on mcf/omnetpp\n"
+                 "and cactuBSSN.\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 14 — speedups on (a) CloudSuite and (b) CNN/RNN workloads for
+ * Bingo, T-SKID, SPP+Perceptron+DSPatch, MLOP, and IPCP.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace bouquet;
+    using namespace bouquet::bench;
+
+    const ExperimentConfig cfg = defaultConfig();
+    printBanner(std::cout, "fig14",
+                "CloudSuite and CNN/RNN speedups (Fig. 14)");
+
+    std::vector<Combo> combos{
+        namedCombo("bingo"), namedCombo("tskid"),
+        namedCombo("spp-ppf-dspatch"), namedCombo("mlop"),
+        namedCombo("ipcp"),
+    };
+
+    std::cout << "\n-- (a) CloudSuite --\n";
+    speedupTable(std::cout, cloudSuiteTraces(), combos, cfg);
+    std::cout << "Paper: spatial prefetchers gain little on server\n"
+                 "workloads; all combos land in a similar low band.\n";
+
+    std::cout << "\n-- (b) CNNs / RNN --\n";
+    speedupTable(std::cout, neuralNetTraces(), combos, cfg);
+    std::cout << "Paper: IPCP leads on the neural networks (they are\n"
+                 "mostly streaming).\n";
+    return 0;
+}

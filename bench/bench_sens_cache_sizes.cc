@@ -1,0 +1,47 @@
+/**
+ * @file
+ * §VI-C cache-size sensitivity: combinations of 32/48 KB L1-D,
+ * 512 KB/1 MB L2, and 1/2 MB-per-core LLC, for IPCP over the
+ * sensitivity subset.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace bouquet;
+    using namespace bouquet::bench;
+
+    printBanner(std::cout, "sens-cache",
+                "Cache-size sensitivity (Section VI-C)");
+
+    const std::vector<Combo> combos{namedCombo("ipcp")};
+
+    struct Grid
+    {
+        const char *name;
+        std::uint32_t l1Ways;   //!< 64 sets x ways x 64 B
+        std::uint32_t l2Sets;   //!< x 8 ways
+        std::uint32_t llcSets;  //!< x 16 ways per core
+    };
+    for (const Grid g : {Grid{"32K-L1/512K-L2/2M-LLC", 8, 1024, 2048},
+                         Grid{"48K-L1/512K-L2/2M-LLC", 12, 1024, 2048},
+                         Grid{"48K-L1/1M-L2/2M-LLC", 12, 2048, 2048},
+                         Grid{"48K-L1/512K-L2/1M-LLC", 12, 1024, 1024},
+                         Grid{"48K-L1/512K-L2/512K-LLC", 12, 1024, 512}}) {
+        ExperimentConfig cfg = defaultConfig();
+        cfg.system.l1d.ways = g.l1Ways;
+        cfg.system.l2.sets = g.l2Sets;
+        cfg.system.llcPerCore.sets = g.llcSets;
+        std::cout << "\n-- " << g.name << " --\n";
+        speedupTable(std::cout, sensitivitySubset(), combos, cfg,
+                     false);
+    }
+    std::cout << "\nPaper: IPCP is resilient across the size grid (max\n"
+                 "difference ~1%); an extremely small LLC costs ~3%\n"
+                 "absolute for every prefetcher.\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * §VI-C prefetch-table size sensitivity: IP table / CSPT / RST scaled
+ * 1x (paper), 2x, 4x and 16x, over the sensitivity subset. The paper
+ * reports only ~0.7% average gain from growing the tables up to 100x
+ * (cactuBSSN-style outliers excepted).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "ipcp/ipcp_l1.hh"
+#include "ipcp/ipcp_l2.hh"
+
+int
+main()
+{
+    using namespace bouquet;
+    using namespace bouquet::bench;
+
+    const ExperimentConfig cfg = defaultConfig();
+    printBanner(std::cout, "sens-table",
+                "Prefetch-table size sensitivity (Section VI-C)");
+
+    for (const unsigned scale : {1u, 2u, 4u, 16u}) {
+        IpcpL1Params l1;
+        l1.ipEntries *= scale;
+        l1.csptEntries *= scale;
+        l1.rstEntries *= scale;
+        l1.rrEntries *= scale;
+        IpcpL2Params l2;
+        l2.ipEntries *= scale;
+        const std::string label =
+            "ipcp-x" + std::to_string(scale);
+        std::vector<Combo> combos{
+            {label,
+             [l1, l2](System &s) { applyIpcp(s, l1, l2, true); }}};
+        std::cout << "\n-- tables x" << scale << " ("
+                  << (IpcpL1(l1).storageBits() +
+                      IpcpL2(l2).storageBits() + 7) / 8
+                  << " bytes) --\n";
+        speedupTable(std::cout, sensitivitySubset(), combos, cfg,
+                     false);
+    }
+    std::cout << "\nPaper: marginal improvement (~0.7%) from much larger\n"
+                 "tables; 895 bytes already captures the live IPs.\n";
+    return 0;
+}

@@ -1,0 +1,246 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include <fstream>
+
+#include "common/bitops.hh"
+#include "common/stats.hh"
+#include "harness/report.hh"
+
+namespace bouquet::bench
+{
+
+namespace
+{
+
+/** Binary cache of Outcome records keyed by a string. */
+class OutcomeStore
+{
+  public:
+    OutcomeStore()
+    {
+        const char *env = std::getenv("IPCP_CACHE_FILE");
+        path_ = env != nullptr ? env : "bench_cache.bin";
+        if (!path_.empty())
+            load();
+    }
+
+    bool
+    get(const std::string &key, Outcome &out)
+    {
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    put(const std::string &key, const Outcome &out)
+    {
+        cache_[key] = out;
+        if (path_.empty())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "ab");
+        if (f == nullptr)
+            return;
+        if (cacheEmptyOnDisk_) {
+            // fresh file: stamp the header
+            writeHeader(f);
+            cacheEmptyOnDisk_ = false;
+        }
+        writeRecord(f, key, out);
+        std::fclose(f);
+    }
+
+  private:
+    static constexpr std::uint64_t kMagic = 0x49504350'0001ull ^
+                                            sizeof(Outcome);
+
+    void
+    writeHeader(std::FILE *f)
+    {
+        std::fwrite(&kMagic, sizeof(kMagic), 1, f);
+    }
+
+    void
+    writeRecord(std::FILE *f, const std::string &key, const Outcome &o)
+    {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(key.size());
+        std::fwrite(&len, sizeof(len), 1, f);
+        std::fwrite(key.data(), 1, len, f);
+        // Outcome is trivially copyable (counters only): raw dump is
+        // safe for a same-machine cache; the magic embeds its size.
+        std::fwrite(&o, sizeof(Outcome), 1, f);
+    }
+
+    void
+    load()
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        if (f == nullptr) {
+            cacheEmptyOnDisk_ = true;
+            return;
+        }
+        std::uint64_t magic = 0;
+        if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
+            magic != kMagic) {
+            std::fclose(f);
+            std::remove(path_.c_str());
+            cacheEmptyOnDisk_ = true;
+            return;
+        }
+        for (;;) {
+            std::uint32_t len = 0;
+            if (std::fread(&len, sizeof(len), 1, f) != 1)
+                break;
+            if (len > 4096)
+                break;  // corrupt
+            std::string key(len, '\0');
+            if (std::fread(key.data(), 1, len, f) != len)
+                break;
+            Outcome o;
+            if (std::fread(&o, sizeof(Outcome), 1, f) != 1)
+                break;
+            cache_[key] = o;
+        }
+        std::fclose(f);
+    }
+
+    std::string path_;
+    bool cacheEmptyOnDisk_ = false;
+    std::map<std::string, Outcome> cache_;
+};
+
+OutcomeStore &
+store()
+{
+    static OutcomeStore s;
+    return s;
+}
+
+} // namespace
+
+Combo
+namedCombo(const std::string &name)
+{
+    return Combo{name, [name](System &s) { applyCombo(s, name); }};
+}
+
+std::vector<Combo>
+tableIIIComboSet()
+{
+    std::vector<Combo> combos;
+    for (const std::string &name : tableIIICombos())
+        combos.push_back(namedCombo(name));
+    return combos;
+}
+
+ExperimentConfig
+defaultConfig()
+{
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    return cfg;
+}
+
+std::string
+systemFingerprint(const SystemConfig &cfg)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf), "s%ux%u.%ux%u.%ux%u.%ux%u.m%u.%u.p%u.%u.d%u.%llu.r%d",
+        cfg.l1d.sets, cfg.l1d.ways, cfg.l2.sets, cfg.l2.ways,
+        cfg.llcPerCore.sets, cfg.llcPerCore.ways, cfg.l1i.sets,
+        cfg.l1i.ways, cfg.l1d.mshrs, cfg.l2.mshrs, cfg.l1d.pqSize,
+        cfg.l2.pqSize, cfg.dram.channels,
+        static_cast<unsigned long long>(cfg.dram.busCyclesPerLine),
+        static_cast<int>(cfg.llcPerCore.repl));
+    return buf;
+}
+
+Outcome
+run(const TraceSpec &spec, const std::string &label,
+    const AttachFn &attach, const ExperimentConfig &cfg)
+{
+    const std::string key =
+        spec.name + "|" + label + "|" + std::to_string(cfg.simInstrs) +
+        "|" + std::to_string(cfg.warmupInstrs) + "|" +
+        systemFingerprint(cfg.system);
+    Outcome out;
+    if (store().get(key, out))
+        return out;
+    out = runSingleCore(spec, attach, cfg);
+    store().put(key, out);
+    return out;
+}
+
+std::vector<double>
+speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
+             const std::vector<Combo> &combos,
+             const ExperimentConfig &cfg, bool per_trace_rows)
+{
+    std::vector<std::string> header{"trace"};
+    for (const Combo &c : combos)
+        header.push_back(c.label);
+    TablePrinter table(header);
+
+    std::vector<MeanAccumulator> means(combos.size());
+    const Combo baseline = namedCombo("none");
+    Report report;
+
+    for (const TraceSpec &t : traces) {
+        const Outcome base = run(t, baseline.label, baseline.attach, cfg);
+        report.add(t.name, baseline.label, base);
+        std::vector<std::string> row{t.name};
+        for (std::size_t c = 0; c < combos.size(); ++c) {
+            const Outcome o = run(t, combos[c].label, combos[c].attach,
+                                  cfg);
+            report.add(t.name, combos[c].label, o);
+            const double speedup = base.ipc > 0 ? o.ipc / base.ipc : 0;
+            means[c].add(speedup);
+            row.push_back(TablePrinter::pct(speedup));
+        }
+        if (per_trace_rows)
+            table.addRow(std::move(row));
+    }
+
+    if (const char *csv = std::getenv("IPCP_REPORT_CSV");
+        csv != nullptr && *csv != '\0') {
+        std::ofstream out(csv, std::ios::app);
+        report.writeCsv(out);
+    }
+
+    std::vector<std::string> geo_row{"GEOMEAN"};
+    std::vector<double> geo;
+    for (auto &m : means) {
+        geo.push_back(m.geometricMean());
+        geo_row.push_back(TablePrinter::pct(m.geometricMean()));
+    }
+    table.addRow(std::move(geo_row));
+    table.print(os);
+    return geo;
+}
+
+std::vector<TraceSpec>
+sensitivitySubset()
+{
+    const char *names[] = {
+        "603.bwaves_s-891B",   "602.gcc_s-2226B",
+        "607.cactuBSSN_s-2421B", "619.lbm_s-2676B",
+        "605.mcf_s-994B",      "605.mcf_s-1536B",
+        "620.omnetpp_s-141B",  "621.wrf_s-6673B",
+        "627.cam4_s-490B",     "649.fotonik3d_s-1176B",
+        "654.roms_s-842B",     "657.xz_s-2302B",
+    };
+    std::vector<TraceSpec> v;
+    for (const char *n : names)
+        v.push_back(findTrace(n));
+    return v;
+}
+
+} // namespace bouquet::bench

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared bench plumbing: environment-scaled run lengths, a disk-backed
+ * outcome cache so the per-figure binaries don't re-simulate shared
+ * configurations (baselines, the Table III combos), and the standard
+ * per-trace speedup table printer.
+ *
+ * Environment knobs:
+ *   IPCP_SIM_INSTRS    measured instructions per trace (default 1e6)
+ *   IPCP_WARMUP_INSTRS warmup instructions           (default 1e5)
+ *   IPCP_MIXES         multi-core mixes per experiment (default 12)
+ *   IPCP_CACHE_FILE    outcome cache path (default bench_cache.bin in
+ *                      the working directory; set empty to disable)
+ *   IPCP_REPORT_CSV    when set, every speedupTable() call also appends
+ *                      its raw outcomes to this CSV file for plotting
+ */
+
+#ifndef BOUQUET_BENCH_BENCH_UTIL_HH
+#define BOUQUET_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/table.hh"
+#include "trace/suite.hh"
+
+namespace bouquet::bench
+{
+
+/** A labelled prefetching configuration. */
+struct Combo
+{
+    std::string label;   //!< display + cache key
+    AttachFn attach;
+};
+
+/** Make a Combo from a factory combo name. */
+Combo namedCombo(const std::string &name);
+
+/** The Table III competitor set, paper order, IPCP last. */
+std::vector<Combo> tableIIIComboSet();
+
+/** Experiment config from the environment. */
+ExperimentConfig defaultConfig();
+
+/**
+ * Fingerprint the non-default parts of a system config so cached
+ * outcomes are keyed by what was actually simulated.
+ */
+std::string systemFingerprint(const SystemConfig &cfg);
+
+/**
+ * Run (or fetch from the disk cache) one single-core simulation.
+ * `label` must uniquely identify the attach configuration.
+ */
+Outcome run(const TraceSpec &spec, const std::string &label,
+            const AttachFn &attach, const ExperimentConfig &cfg);
+
+/**
+ * Print the standard paper-style table: one row per trace with the
+ * speedup of every combo over no prefetching, then the geomean row.
+ * Returns the geomean speedup per combo.
+ */
+std::vector<double>
+speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
+             const std::vector<Combo> &combos,
+             const ExperimentConfig &cfg, bool per_trace_rows = true);
+
+/** 12 representative memory-intensive traces for sensitivity sweeps. */
+std::vector<TraceSpec> sensitivitySubset();
+
+} // namespace bouquet::bench
+
+#endif // BOUQUET_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Extending the framework: the paper argues IPCP is *modular* — "a new
+ * access pattern can be added to the existing classes as a new class
+ * seamlessly". This example does exactly that with the library's
+ * public API: it implements a tiny pointer-chase-friendly prefetcher
+ * (a Markov-style next-line-pair predictor) against the Prefetcher
+ * interface, attaches it alongside nothing / IPCP, and compares on an
+ * irregular workload.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace
+{
+
+using namespace bouquet;
+
+/**
+ * A 1st-order Markov line predictor: remembers, per line, the line the
+ * program touched next last time, and prefetches it. This is the
+ * simplest member of the *temporal* prefetcher family the paper's
+ * summary proposes adding to IPCP as future work.
+ */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(std::size_t entries = 1u << 16)
+        : table_(entries)
+    {
+    }
+
+    void
+    operate(Addr addr, Ip, bool, AccessType type, std::uint32_t) override
+    {
+        if (type != AccessType::Load && type != AccessType::Store)
+            return;
+        const LineAddr line = lineAddr(addr);
+        if (lastLine_ != 0) {
+            Entry &e = table_[lastLine_ % table_.size()];
+            e.tag = static_cast<std::uint32_t>(foldXor(lastLine_, 20));
+            e.next = line;
+        }
+        lastLine_ = line;
+
+        const Entry &e = table_[line % table_.size()];
+        if (e.next != 0 &&
+            e.tag == static_cast<std::uint32_t>(foldXor(line, 20))) {
+            host_->issuePrefetch(lineToByte(e.next), host_->level(), 0,
+                                 0);
+        }
+    }
+
+    std::string name() const override { return "markov"; }
+
+    std::size_t
+    storageBits() const override
+    {
+        return table_.size() * (20 + 32);
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        LineAddr next = 0;
+    };
+
+    std::vector<Entry> table_;
+    LineAddr lastLine_ = 0;
+};
+
+/**
+ * A repeated traversal of a fixed pseudo-random linked ring: spatially
+ * irregular (no stride or stream to find) but temporally perfectly
+ * repetitive — the pattern a Markov predictor covers and a spatial
+ * prefetcher cannot.
+ */
+class LoopedChaseGen : public WorkloadGenerator
+{
+  public:
+    explicit LoopedChaseGen(std::uint64_t nodes = 65'536)
+        : nodes_(nodes)
+    {}
+
+    void
+    next(TraceRecord &out) override
+    {
+        // A full-period LCG (power-of-two modulus, a % 4 == 1, c odd)
+        // is a permutation of the node set: successive nodes are
+        // scattered, but the traversal order repeats exactly.
+        cursor_ = (cursor_ * 1664525 + 1013904223) % nodes_;
+        out.ip = 0x402000;
+        out.vaddr = 0x20000000 + cursor_ * kLineSize;
+        out.type = AccessType::Load;
+        out.bubble = 8;
+        out.serialize = true;
+        if (++step_ >= nodes_) {
+            step_ = 0;
+            cursor_ = 0;  // restart the traversal: temporal repetition
+        }
+    }
+
+    void
+    reset() override
+    {
+        cursor_ = 0;
+        step_ = 0;
+    }
+
+    std::string name() const override { return "looped-chase"; }
+
+  private:
+    std::uint64_t nodes_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t step_ = 0;
+};
+
+Outcome
+runChase(const AttachFn &attach, const ExperimentConfig &cfg)
+{
+    std::vector<GeneratorPtr> w;
+    w.push_back(std::make_unique<LoopedChaseGen>());
+    System sys(cfg.system, std::move(w));
+    attach(sys);
+    const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+    Outcome out;
+    out.ipc = r.cores[0].ipc;
+    out.instructions = r.cores[0].instructions;
+    out.l1d = sys.l1d(0).stats();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bouquet;
+
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv();
+
+    std::cout << "Workload: repeated traversal of an irregular linked "
+                 "ring\n(spatially random, temporally repetitive)\n\n";
+
+    const Outcome base =
+        runChase([](System &s) { applyCombo(s, "none"); }, cfg);
+    const Outcome ipcp =
+        runChase([](System &s) { applyCombo(s, "ipcp"); }, cfg);
+    const Outcome markov = runChase(
+        [](System &s) {
+            // Attach the custom prefetcher at the L1-D of every core —
+            // three lines against the public API.
+            for (unsigned c = 0; c < s.numCores(); ++c)
+                s.l1d(c).setPrefetcher(
+                    std::make_unique<MarkovPrefetcher>());
+        },
+        cfg);
+
+    TablePrinter table({"configuration", "IPC", "speedup", "L1D MPKI"});
+    auto add = [&](const char *n, const Outcome &o) {
+        table.addRow({n, TablePrinter::num(o.ipc),
+                      TablePrinter::pct(o.ipc / base.ipc),
+                      TablePrinter::num(perKiloInstr(
+                          o.l1d.demandMisses(), o.instructions), 1)});
+    };
+    add("no-prefetch", base);
+    add("ipcp", ipcp);
+    add("markov (custom, temporal)", markov);
+    table.print(std::cout);
+
+    std::cout
+        << "\nSpatial prefetchers (IPCP included) cannot cover irregular\n"
+           "chains; the paper's future-work direction is a temporal\n"
+           "component on top of IPCP — this example is the smallest\n"
+           "possible version of that experiment, built entirely against\n"
+           "the library's public Prefetcher interface.\n";
+    return 0;
+}

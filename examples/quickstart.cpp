@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build a single-core Table II system, run one workload
+ * with no prefetching and with IPCP, and print the speedup plus the
+ * per-class prefetch breakdown — the library's public API in ~60 lines.
+ *
+ * Usage: quickstart [trace-name]   (default: 619.lbm_s-2676B)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/table.hh"
+#include "ipcp/metadata.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bouquet;
+
+    const std::string trace_name =
+        argc > 1 ? argv[1] : "619.lbm_s-2676B";
+
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    const TraceSpec &spec = findTrace(trace_name);
+
+    std::cout << "Workload: " << spec.name << "\n"
+              << "Simulating " << cfg.simInstrs << " instructions after "
+              << cfg.warmupInstrs << " of warmup...\n\n";
+
+    const Outcome base = runSingleCore(
+        spec, [](System &s) { applyCombo(s, "none"); }, cfg);
+    const Outcome ipcp = runSingleCore(
+        spec, [](System &s) { applyCombo(s, "ipcp"); }, cfg);
+
+    TablePrinter table({"config", "IPC", "L1D MPKI", "L2 MPKI",
+                        "LLC MPKI", "DRAM MB"});
+    auto add = [&](const char *name, const Outcome &o) {
+        table.addRow({name, TablePrinter::num(o.ipc),
+                      TablePrinter::num(o.mpkiL1(), 1),
+                      TablePrinter::num(o.mpkiL2(), 1),
+                      TablePrinter::num(o.mpkiLlc(), 1),
+                      TablePrinter::num(
+                          static_cast<double>(o.dramBytes) / 1.0e6, 1)});
+    };
+    add("no-prefetch", base);
+    add("ipcp", ipcp);
+    table.print(std::cout);
+
+    std::cout << "\nIPCP speedup: "
+              << TablePrinter::pct(ipcp.ipc / base.ipc) << "\n\n";
+
+    std::cout << "L1-D prefetches by IPCP class (fills / useful):\n";
+    for (unsigned c = 1; c < kIpcpClassCount; ++c) {
+        std::cout << "  " << ipcpClassName(static_cast<IpcpClass>(c))
+                  << ": " << ipcp.l1d.pfClassFills[c] << " / "
+                  << ipcp.l1d.pfClassUseful[c] << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Domain scenario: a user-defined stencil workload built against the
+ * public WorkloadGenerator API (the kind of kernel the paper's GS class
+ * targets — lbm-style sweeps over a grid), run under each IPCP class
+ * configuration to show how the bouquet divides the work.
+ *
+ * Usage: stencil_streaming [rows] [cols]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/table.hh"
+#include "ipcp/ipcp_l1.hh"
+#include "ipcp/ipcp_l2.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace bouquet;
+
+/**
+ * A 5-point stencil sweep: for each grid cell, read the cell and its
+ * four neighbours, write the result to a second grid. Row-major sweep
+ * gives three concurrent streams (row above, current row, row below)
+ * plus a store stream — a textbook global-stream workload.
+ */
+class StencilGen : public WorkloadGenerator
+{
+  public:
+    StencilGen(std::uint64_t rows, std::uint64_t cols)
+        : rows_(rows), cols_(cols)
+    {}
+
+    void
+    next(TraceRecord &out) override
+    {
+        constexpr Addr kSrc = 0x10000000;
+        constexpr Addr kDst = 0x90000000;
+        constexpr Addr kElem = 8;  // doubles
+
+        const std::uint64_t r = 1 + cursor_ / cols_ % (rows_ - 2);
+        const std::uint64_t c = cursor_ % cols_;
+        auto at = [&](std::uint64_t row, std::uint64_t col) {
+            return kSrc + (row * cols_ + col) * kElem;
+        };
+
+        out.bubble = 3;  // a few FLOPs per loaded element
+        out.serialize = false;
+        switch (phase_) {
+          case 0:
+            out.ip = 0x401000;
+            out.vaddr = at(r - 1, c);
+            out.type = AccessType::Load;
+            break;
+          case 1:
+            out.ip = 0x401010;
+            out.vaddr = at(r, c);
+            out.type = AccessType::Load;
+            break;
+          case 2:
+            out.ip = 0x401020;
+            out.vaddr = at(r + 1, c);
+            out.type = AccessType::Load;
+            break;
+          default:
+            out.ip = 0x401030;
+            out.vaddr = kDst + (r * cols_ + c) * kElem;
+            out.type = AccessType::Store;
+            break;
+        }
+        if (++phase_ == 4) {
+            phase_ = 0;
+            ++cursor_;
+        }
+    }
+
+    void
+    reset() override
+    {
+        cursor_ = 0;
+        phase_ = 0;
+    }
+
+    std::string name() const override { return "stencil"; }
+
+  private:
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    std::uint64_t cursor_ = 0;
+    int phase_ = 0;
+};
+
+double
+runStencil(std::uint64_t rows, std::uint64_t cols, const AttachFn &attach,
+           const ExperimentConfig &cfg, Outcome *out = nullptr)
+{
+    SystemConfig sys_cfg = cfg.system;
+    std::vector<GeneratorPtr> w;
+    w.push_back(std::make_unique<StencilGen>(rows, cols));
+    System sys(sys_cfg, std::move(w));
+    attach(sys);
+    const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+    if (out != nullptr) {
+        out->ipc = r.cores[0].ipc;
+        out->l1d = sys.l1d(0).stats();
+    }
+    return r.cores[0].ipc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bouquet;
+
+    const std::uint64_t rows =
+        argc > 1 ? std::stoull(argv[1]) : 4096;
+    const std::uint64_t cols =
+        argc > 2 ? std::stoull(argv[2]) : 4096;
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv();
+
+    std::cout << "5-point stencil over a " << rows << "x" << cols
+              << " grid of doubles\n\n";
+
+    const double base = runStencil(
+        rows, cols, [](System &s) { applyCombo(s, "none"); }, cfg);
+
+    TablePrinter table({"configuration", "IPC", "speedup"});
+    table.addRow({"no-prefetch", TablePrinter::num(base), "-"});
+
+    struct Variant
+    {
+        const char *name;
+        bool cs, cplx, gs, nl, l2;
+    };
+    for (const Variant v :
+         {Variant{"ipcp cs-only", true, false, false, false, false},
+          Variant{"ipcp gs-only", false, false, true, false, false},
+          Variant{"ipcp full bouquet", true, true, true, true, false},
+          Variant{"ipcp full + L2 metadata", true, true, true, true,
+                  true}}) {
+        IpcpL1Params p;
+        p.enableCS = v.cs;
+        p.enableCPLX = v.cplx;
+        p.enableGS = v.gs;
+        p.enableNL = v.nl;
+        Outcome out;
+        const double ipc = runStencil(
+            rows, cols,
+            [&](System &s) { applyIpcp(s, p, IpcpL2Params{}, v.l2); },
+            cfg, &out);
+        table.addRow({v.name, TablePrinter::num(ipc),
+                      TablePrinter::pct(ipc / base)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe row streams are dense 2 KB regions: the GS class\n"
+                 "owns this kernel, exactly as the paper's lbm analysis\n"
+                 "predicts.\n";
+    return 0;
+}

@@ -1,0 +1,512 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+std::uint64_t
+CacheStats::demandAccesses() const
+{
+    return accesses[static_cast<int>(AccessType::Load)] +
+           accesses[static_cast<int>(AccessType::Store)] +
+           accesses[static_cast<int>(AccessType::InstFetch)];
+}
+
+std::uint64_t
+CacheStats::demandHits() const
+{
+    return hits[static_cast<int>(AccessType::Load)] +
+           hits[static_cast<int>(AccessType::Store)] +
+           hits[static_cast<int>(AccessType::InstFetch)];
+}
+
+std::uint64_t
+CacheStats::demandMisses() const
+{
+    return misses[static_cast<int>(AccessType::Load)] +
+           misses[static_cast<int>(AccessType::Store)] +
+           misses[static_cast<int>(AccessType::InstFetch)];
+}
+
+namespace
+{
+
+bool
+isDemand(AccessType t)
+{
+    return t == AccessType::Load || t == AccessType::Store ||
+           t == AccessType::InstFetch;
+}
+
+} // namespace
+
+Cache::Cache(CacheConfig cfg, std::uint64_t repl_seed)
+    : config_(std::move(cfg)),
+      lines_(static_cast<std::size_t>(config_.sets) * config_.ways),
+      repl_(makeReplacement(config_.repl, config_.sets, config_.ways,
+                            repl_seed)),
+      prefetcher_(std::make_unique<NoPrefetcher>())
+{
+    assert(isPowerOfTwo(config_.sets));
+    mshrs_.reserve(config_.mshrs);
+}
+
+void
+Cache::setPrefetcher(std::unique_ptr<Prefetcher> pf)
+{
+    prefetcher_ = std::move(pf);
+    prefetcher_->setHost(this);
+}
+
+std::uint32_t
+Cache::setOf(LineAddr line) const
+{
+    return static_cast<std::uint32_t>(line & (config_.sets - 1));
+}
+
+Cache::Line *
+Cache::findLine(LineAddr line)
+{
+    const std::uint32_t set = setOf(line);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(LineAddr line) const
+{
+    return const_cast<Cache *>(this)->findLine(line);
+}
+
+bool
+Cache::probe(LineAddr line) const
+{
+    return findLine(line) != nullptr;
+}
+
+Cache::Mshr *
+Cache::findMshr(LineAddr line)
+{
+    for (Mshr &m : mshrs_) {
+        if (m.line == line)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Cache::demandMisses() const
+{
+    return stats_.demandMisses();
+}
+
+std::uint64_t
+Cache::retiredInstructions() const
+{
+    return instrSource_ ? instrSource_() : 0;
+}
+
+bool
+Cache::acceptRequest(const MemRequest &req)
+{
+    if (req.type == AccessType::Writeback) {
+        if (wq_.size() >= config_.wqSize) {
+            ++stats_.wbDropped;
+            return false;
+        }
+        wq_.push_back({req, now_ + config_.latency});
+        return true;
+    }
+    if (req.type == AccessType::Prefetch) {
+        // Arriving prefetches occupy this cache's PQ (ChampSim-style):
+        // rejecting on a full PQ is the backpressure the paper's
+        // multi-level discussion relies on.
+        if (pqOccupancy() >= config_.pqSize)
+            return false;
+        ipq_.push_back({req, now_ + config_.latency});
+        return true;
+    }
+    if (rq_.size() >= config_.rqSize)
+        return false;
+    rq_.push_back({req, now_ + config_.latency});
+    return true;
+}
+
+void
+Cache::notifyPrefetcher(const MemRequest &req, bool hit)
+{
+    // L1 prefetchers train on virtual addresses (VIPT L1); lower levels
+    // see physical addresses only.
+    const bool is_l1 = config_.level == CacheLevel::L1D ||
+                       config_.level == CacheLevel::L1I;
+    const Addr addr = (is_l1 && req.vaddr != 0) ? req.vaddr
+                                                : lineToByte(req.line);
+    operateIp_ = req.ip;
+    prefetcher_->operate(addr, req.ip, hit, req.type, req.metadata);
+}
+
+void
+Cache::handleLookup(const MemRequest &req)
+{
+    const int t = static_cast<int>(req.type);
+    ++stats_.accesses[t];
+
+    Line *line = findLine(req.line);
+    const bool hit = line != nullptr;
+
+    notifyPrefetcher(req, hit);
+
+    if (hit) {
+        ++stats_.hits[t];
+        if (isDemand(req.type)) {
+            repl_->touch(setOf(req.line),
+                         static_cast<std::uint32_t>(
+                             line - &lines_[static_cast<std::size_t>(
+                                       setOf(req.line)) * config_.ways]),
+                         req.ip);
+            if (line->prefetched && !line->reused) {
+                line->reused = true;
+                ++stats_.pfUseful;
+                ++stats_.pfClassUseful[line->pfClass % kPfClassSlots];
+                prefetcher_->onPrefetchUseful(lineToByte(req.line),
+                                              line->pfClass);
+            }
+            if (req.type == AccessType::Store)
+                line->dirty = true;
+        }
+        if (req.requester != nullptr)
+            req.requester->onResponse(req);
+        return;
+    }
+
+    Mshr *m = findMshr(req.line);
+    if (m == nullptr)
+        ++stats_.misses[t];  // merged requests are not fresh line misses
+
+    if (m != nullptr) {
+        if (isDemand(req.type)) {
+            ++stats_.mshrMerges;
+            if (m->pfOrigin && !m->demandMerged) {
+                // A demand caught up with an in-flight prefetch: the
+                // prefetch was useful but late (ChampSim's pf_late).
+                ++stats_.latePrefetches;
+                ++stats_.pfUseful;
+                ++stats_.pfClassUseful[m->pfClass % kPfClassSlots];
+                prefetcher_->onPrefetchUseful(lineToByte(req.line),
+                                              m->pfClass);
+            }
+            m->demandMerged = true;
+            if (req.type == AccessType::Store)
+                m->proto.type = AccessType::Store;
+        }
+        if (req.requester != nullptr)
+            m->targets.push_back(req);
+        return;
+    }
+
+    // Allocate a new MSHR. Callers guarantee capacity for demand
+    // requests (processReadQueue stalls otherwise); arriving prefetches
+    // are dropped when no MSHR is free.
+    assert(mshrs_.size() < config_.mshrs);
+    Mshr fresh;
+    fresh.line = req.line;
+    fresh.allocCycle = now_;
+    fresh.pfOrigin = req.type == AccessType::Prefetch;
+    fresh.pfClass = req.pfClass;
+    fresh.proto = req;
+    fresh.proto.requester = this;
+    if (req.requester != nullptr)
+        fresh.targets.push_back(req);
+    fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
+    mshrs_.push_back(std::move(fresh));
+}
+
+void
+Cache::processReadQueue()
+{
+    std::uint32_t lookups = 0;
+    while (!rq_.empty() && rq_.front().ready <= now_ &&
+           lookups < config_.ports) {
+        const MemRequest &req = rq_.front().req;
+        const bool miss_needs_mshr =
+            findLine(req.line) == nullptr && findMshr(req.line) == nullptr;
+        if (miss_needs_mshr && mshrs_.size() >= config_.mshrs) {
+            ++stats_.mshrFullStalls;
+            break;  // head-of-line blocking until an MSHR frees up
+        }
+        MemRequest r = req;
+        rq_.pop_front();
+        ++lookups;
+        handleLookup(r);
+    }
+}
+
+bool
+Cache::handleIncomingPrefetch(const MemRequest &req)
+{
+    // A prefetch whose fill target is deeper than this cache simply
+    // passes through without touching local state.
+    if (static_cast<int>(req.fillLevel) > static_cast<int>(config_.level))
+        return lower_ != nullptr && lower_->acceptRequest(req);
+
+    const int t = static_cast<int>(AccessType::Prefetch);
+    ++stats_.accesses[t];
+
+    Line *line = findLine(req.line);
+    const bool hit = line != nullptr;
+    notifyPrefetcher(req, hit);
+
+    if (hit) {
+        ++stats_.hits[t];
+        if (req.requester != nullptr)
+            req.requester->onResponse(req);
+        return true;
+    }
+
+    ++stats_.misses[t];
+
+    Mshr *m = findMshr(req.line);
+    if (m != nullptr) {
+        if (req.requester != nullptr)
+            m->targets.push_back(req);
+        return true;
+    }
+
+    if (mshrs_.size() >= config_.mshrs)
+        return false;  // stall in the incoming PQ until one frees up
+
+    Mshr fresh;
+    fresh.line = req.line;
+    fresh.allocCycle = now_;
+    fresh.pfOrigin = true;
+    fresh.pfClass = req.pfClass;
+    fresh.proto = req;
+    fresh.proto.requester = this;
+    if (req.requester != nullptr)
+        fresh.targets.push_back(req);
+    fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
+    mshrs_.push_back(std::move(fresh));
+    return true;
+}
+
+void
+Cache::processWriteQueue()
+{
+    std::uint32_t writes = 0;
+    while (!wq_.empty() && wq_.front().ready <= now_ && writes < 2) {
+        MemRequest req = wq_.front().req;
+        wq_.pop_front();
+        ++writes;
+        handleWriteback(req);
+    }
+}
+
+void
+Cache::handleWriteback(const MemRequest &req)
+{
+    Line *line = findLine(req.line);
+    if (line != nullptr) {
+        line->dirty = true;
+        return;
+    }
+    // Non-inclusive hierarchy: a writeback from above allocates here
+    // (no fetch needed, the data is the payload).
+    installLine(req, false, 0);
+    Line *filled = findLine(req.line);
+    if (filled != nullptr)
+        filled->dirty = true;
+}
+
+void
+Cache::installLine(const MemRequest &req, bool was_prefetch,
+                   std::uint8_t pf_class)
+{
+    const std::uint32_t set = setOf(req.line);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+    static thread_local std::vector<bool> valid;
+    valid.assign(config_.ways, false);
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        valid[w] = base[w].valid;
+
+    const std::uint32_t way = repl_->victim(set, valid);
+    Line &v = base[way];
+
+    if (v.valid) {
+        if (v.prefetched && !v.reused) {
+            ++stats_.pfUnused;
+            ++stats_.pfClassUnused[v.pfClass % kPfClassSlots];
+        }
+        if (v.dirty) {
+            ++stats_.writebacks;
+            MemRequest wb;
+            wb.line = v.tag;
+            wb.type = AccessType::Writeback;
+            wb.core = req.core;
+            outbound_.push_back(wb);
+        }
+    }
+
+    v.tag = req.line;
+    v.valid = true;
+    v.dirty = req.type == AccessType::Store;
+    v.prefetched = was_prefetch;
+    v.reused = false;
+    v.pfClass = pf_class;
+    repl_->fill(set, way, req.ip, was_prefetch);
+}
+
+void
+Cache::onResponse(const MemRequest &req)
+{
+    Mshr *m = findMshr(req.line);
+    if (m == nullptr)
+        return;  // stray response (only possible after stats reset)
+
+    stats_.missLatencySum += now_ - m->allocCycle;
+    ++stats_.missLatencyCount;
+
+    const bool pf_fill = m->pfOrigin;
+    if (pf_fill) {
+        ++stats_.pfFills;
+        ++stats_.pfClassFills[m->pfClass % kPfClassSlots];
+    }
+    // A prefetch that a demand already merged into is installed as a
+    // demand line (it has been "used"); a pure prefetch carries its
+    // class bits for later attribution.
+    const bool install_as_pf = pf_fill && !m->demandMerged;
+    installLine(m->proto, install_as_pf, m->pfClass);
+
+    prefetcher_->onFill(lineToByte(req.line), pf_fill, m->pfClass);
+
+    for (const MemRequest &t : m->targets) {
+        if (t.requester != nullptr)
+            t.requester->onResponse(t);
+    }
+
+    *m = mshrs_.back();
+    mshrs_.pop_back();
+}
+
+bool
+Cache::issuePrefetch(Addr byte_addr, CacheLevel fill_level,
+                     std::uint32_t metadata, std::uint8_t pf_class)
+{
+    ++stats_.pfRequested;
+    if (pq_.size() >= config_.pqSize) {
+        ++stats_.pfDroppedFull;
+        return false;
+    }
+    pq_.push_back({byte_addr, fill_level, metadata, pf_class,
+                   operateIp_, now_ + 1});
+    return true;
+}
+
+void
+Cache::processPrefetchQueue()
+{
+    // Prefetch arrivals from the level above first: they are older.
+    std::uint32_t incoming = 0;
+    while (!ipq_.empty() && ipq_.front().ready <= now_ &&
+           incoming < config_.pfIssuePerCycle) {
+        if (!handleIncomingPrefetch(ipq_.front().req))
+            break;  // downstream backpressure: retry next cycle
+        ipq_.pop_front();
+        ++incoming;
+    }
+
+    std::uint32_t issued = 0;
+    while (!pq_.empty() && pq_.front().ready <= now_ &&
+           issued < config_.pfIssuePerCycle) {
+        const PqEntry e = pq_.front();
+
+        const Addr pa = translator_ ? translator_(e.byteAddr)
+                                    : e.byteAddr;
+        const LineAddr line = lineAddr(pa);
+
+        if (probe(line)) {
+            ++stats_.pfDroppedHitCache;
+            pq_.pop_front();
+            continue;
+        }
+        if (findMshr(line) != nullptr) {
+            ++stats_.pfDroppedHitMshr;
+            pq_.pop_front();
+            continue;
+        }
+
+        MemRequest req;
+        req.line = line;
+        req.vaddr = e.byteAddr;
+        req.ip = e.triggerIp;
+        req.type = AccessType::Prefetch;
+        req.metadata = e.metadata;
+        req.pfClass = e.pfClass;
+        req.fillLevel = e.fillLevel;
+
+        if (e.fillLevel == config_.level) {
+            if (mshrs_.size() >= config_.mshrs)
+                break;  // retry next cycle
+            Mshr fresh;
+            fresh.line = line;
+            fresh.allocCycle = now_;
+            fresh.pfOrigin = true;
+            fresh.pfClass = e.pfClass;
+            req.requester = this;
+            fresh.proto = req;
+            fresh.sent =
+                lower_ != nullptr && lower_->acceptRequest(fresh.proto);
+            mshrs_.push_back(std::move(fresh));
+        } else {
+            // Fill stops below us: hand the request straight to the
+            // next level, no local MSHR, no response expected.
+            req.requester = nullptr;
+            if (lower_ == nullptr || !lower_->acceptRequest(req))
+                break;  // retry next cycle
+        }
+        ++stats_.pfIssued;
+        ++issued;
+        pq_.pop_front();
+    }
+}
+
+void
+Cache::drainOutbound()
+{
+    while (!outbound_.empty()) {
+        if (lower_ == nullptr) {
+            outbound_.pop_front();
+            continue;
+        }
+        if (!lower_->acceptRequest(outbound_.front()))
+            break;
+        outbound_.pop_front();
+    }
+}
+
+void
+Cache::tick(Cycle cycle)
+{
+    now_ = cycle;
+    stats_.mshrOccupancySum += mshrs_.size();
+    ++stats_.tickCount;
+    drainOutbound();
+    // Retry MSHRs whose downstream send was refused.
+    for (Mshr &m : mshrs_) {
+        if (!m.sent && lower_ != nullptr)
+            m.sent = lower_->acceptRequest(m.proto);
+    }
+    processWriteQueue();
+    processReadQueue();
+    processPrefetchQueue();
+    prefetcher_->cycle();
+}
+
+} // namespace bouquet

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * A non-blocking, write-back, set-associative cache with MSHRs, a
+ * prefetch queue, port limits, pluggable replacement, and a prefetcher
+ * hook set — the building block of the modeled hierarchy (L1I, L1D,
+ * L2, LLC), mirroring the DPC-3 ChampSim cache.
+ *
+ * Timing model: an accepted request waits `latency` cycles in the read
+ * queue before its tag lookup; hits respond immediately after lookup
+ * (total = hit latency), misses allocate an MSHR and forward to the
+ * next level, accumulating each level's latency on the way down plus
+ * DRAM time. Fills propagate upward without additional delay.
+ */
+
+#ifndef BOUQUET_CACHE_CACHE_HH
+#define BOUQUET_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    CacheLevel level = CacheLevel::L1D;
+    std::uint32_t sets = 64;
+    std::uint32_t ways = 12;
+    Cycle latency = 5;          //!< hit latency
+    std::uint32_t mshrs = 16;
+    std::uint32_t pqSize = 8;   //!< prefetch queue entries
+    std::uint32_t rqSize = 32;  //!< read (demand) queue entries
+    std::uint32_t wqSize = 64;  //!< writeback queue entries
+    std::uint32_t ports = 2;    //!< demand lookups per cycle
+    std::uint32_t pfIssuePerCycle = 2;
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    std::uint64_t sizeBytes() const
+    {
+        return std::uint64_t{sets} * ways * kLineSize;
+    }
+};
+
+/** Number of distinct prefetch-class attribution slots. */
+inline constexpr unsigned kPfClassSlots = 8;
+
+/** Event counters of one cache (reset at end of warmup). */
+struct CacheStats
+{
+    std::uint64_t accesses[5] = {};  //!< indexed by AccessType
+    std::uint64_t hits[5] = {};
+    std::uint64_t misses[5] = {};
+
+    std::uint64_t mshrMerges = 0;      //!< demand merged into an MSHR
+    std::uint64_t latePrefetches = 0;  //!< demand merged into a pf MSHR
+    std::uint64_t mshrFullStalls = 0;
+
+    std::uint64_t pfRequested = 0;        //!< prefetcher asked for
+    std::uint64_t pfIssued = 0;           //!< sent past the probe
+    std::uint64_t pfDroppedFull = 0;      //!< PQ full
+    std::uint64_t pfDroppedHitCache = 0;  //!< probe hit in tags
+    std::uint64_t pfDroppedHitMshr = 0;   //!< already in flight
+    std::uint64_t pfFills = 0;            //!< lines installed by pf
+    std::uint64_t pfUseful = 0;           //!< first demand hit on pf line
+    std::uint64_t pfUnused = 0;           //!< pf line evicted untouched
+
+    std::uint64_t writebacks = 0;      //!< dirty evictions sent down
+    std::uint64_t wbDropped = 0;
+
+    std::uint64_t missLatencySum = 0;   //!< cycles, MSHR alloc -> fill
+    std::uint64_t missLatencyCount = 0;
+    std::uint64_t mshrOccupancySum = 0;  //!< sampled every tick
+    std::uint64_t tickCount = 0;
+
+    std::uint64_t pfClassFills[kPfClassSlots] = {};
+    std::uint64_t pfClassUseful[kPfClassSlots] = {};
+    std::uint64_t pfClassUnused[kPfClassSlots] = {};
+
+    void reset() { *this = CacheStats{}; }
+
+    /** Demand accesses = loads + stores + instruction fetches. */
+    std::uint64_t demandAccesses() const;
+    std::uint64_t demandHits() const;
+    std::uint64_t demandMisses() const;
+};
+
+/**
+ * The cache. Wire-up: `setLower` points at the next level (another
+ * Cache or the Dram); `setTranslator` is required at virtually-accessed
+ * L1s so prefetch virtual addresses can be translated when issued;
+ * `setInstructionSource` supplies the retired-instruction count for the
+ * prefetcher's MPKI gates.
+ */
+class Cache : public ReqSink, public RespTarget, public Clocked,
+              public PrefetchHost
+{
+  public:
+    Cache(CacheConfig cfg, std::uint64_t repl_seed = 7);
+
+    // --- wiring -------------------------------------------------------
+    void setLower(ReqSink *lower) { lower_ = lower; }
+
+    /** Attach a prefetcher (the cache keeps a host link back). */
+    void setPrefetcher(std::unique_ptr<Prefetcher> pf);
+
+    /** VA->PA for prefetch issue at virtually-trained L1s. */
+    void
+    setTranslator(std::function<Addr(Addr)> fn)
+    {
+        translator_ = std::move(fn);
+    }
+
+    /** Source of the owning core's retired-instruction count. */
+    void
+    setInstructionSource(std::function<std::uint64_t()> fn)
+    {
+        instrSource_ = std::move(fn);
+    }
+
+    // --- ReqSink / RespTarget / Clocked -------------------------------
+    bool acceptRequest(const MemRequest &req) override;
+    void onResponse(const MemRequest &req) override;
+    void tick(Cycle cycle) override;
+
+    // --- PrefetchHost --------------------------------------------------
+    bool issuePrefetch(Addr byte_addr, CacheLevel fill_level,
+                       std::uint32_t metadata,
+                       std::uint8_t pf_class) override;
+    CacheLevel level() const override { return config_.level; }
+    Cycle now() const override { return now_; }
+    std::uint64_t demandMisses() const override;
+    std::uint64_t retiredInstructions() const override;
+
+    // --- introspection -------------------------------------------------
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
+
+    /** Reset all statistics (end of warmup). */
+    void resetStats() { stats_.reset(); }
+
+    /** True when the line is resident (no side effects). */
+    bool probe(LineAddr line) const;
+
+    /** Number of in-flight MSHRs (for tests). */
+    std::size_t mshrsInUse() const { return mshrs_.size(); }
+
+    /** PQ occupancy: own pending prefetches + arrivals from above. */
+    std::size_t pqOccupancy() const { return pq_.size() + ipq_.size(); }
+
+  private:
+    struct Line
+    {
+        LineAddr tag = 0;       //!< full line address
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        bool reused = false;
+        std::uint8_t pfClass = 0;
+    };
+
+    struct Mshr
+    {
+        LineAddr line = 0;
+        bool pfOrigin = false;       //!< allocated by a prefetch
+        bool demandMerged = false;
+        bool sent = false;           //!< forwarded to the lower level
+        std::uint8_t pfClass = 0;
+        Cycle allocCycle = 0;
+        MemRequest proto;            //!< request to forward downward
+        std::vector<MemRequest> targets;  //!< responses owed upward
+    };
+
+    struct PqEntry
+    {
+        Addr byteAddr = 0;
+        CacheLevel fillLevel = CacheLevel::L1D;
+        std::uint32_t metadata = 0;
+        std::uint8_t pfClass = 0;
+        Ip triggerIp = 0;  //!< IP of the access that trained this
+        Cycle ready = 0;
+    };
+
+    struct RqEntry
+    {
+        MemRequest req;
+        Cycle ready = 0;
+    };
+
+    std::uint32_t setOf(LineAddr line) const;
+    Line *findLine(LineAddr line);
+    const Line *findLine(LineAddr line) const;
+    Mshr *findMshr(LineAddr line);
+
+    void handleLookup(const MemRequest &req);
+    bool handleIncomingPrefetch(const MemRequest &req);
+    void handleWriteback(const MemRequest &req);
+    void installLine(const MemRequest &req, bool was_prefetch,
+                     std::uint8_t pf_class);
+    void evict(Line &victim, LineAddr line_of_set_probe);
+    void processReadQueue();
+    void processPrefetchQueue();
+    void processWriteQueue();
+    void drainOutbound();
+    void notifyPrefetcher(const MemRequest &req, bool hit);
+
+    CacheConfig config_;
+    std::vector<Line> lines_;   //!< sets * ways, row-major by set
+    std::unique_ptr<Replacement> repl_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+
+    ReqSink *lower_ = nullptr;
+    std::function<Addr(Addr)> translator_;
+    std::function<std::uint64_t()> instrSource_;
+
+    std::deque<RqEntry> rq_;
+    std::deque<RqEntry> wq_;
+    std::deque<PqEntry> pq_;   //!< own prefetcher's pending requests
+    std::deque<RqEntry> ipq_;  //!< prefetch requests from the level above
+    std::vector<Mshr> mshrs_;
+    std::deque<MemRequest> outbound_;  //!< writebacks awaiting the bus
+
+    Cycle now_ = 0;
+    /**
+     * IP of the access currently being shown to the prefetcher; stamped
+     * onto prefetches it issues so lower levels can index their IP
+     * tables (the paper: "the IP of the request is passed to the L2").
+     */
+    Ip operateIp_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_CACHE_CACHE_HH

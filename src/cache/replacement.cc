@@ -1,0 +1,296 @@
+#include "cache/replacement.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+ReplPolicy
+parseReplPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicy::LRU;
+    if (name == "random")
+        return ReplPolicy::Random;
+    if (name == "srrip")
+        return ReplPolicy::SRRIP;
+    if (name == "drrip")
+        return ReplPolicy::DRRIP;
+    if (name == "ship")
+        return ReplPolicy::SHiP;
+    throw std::invalid_argument("unknown replacement policy: " + name);
+}
+
+namespace
+{
+
+/** True LRU via a monotonically increasing timestamp per line. */
+class LruRepl : public Replacement
+{
+  public:
+    LruRepl(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways), stamp_(static_cast<std::size_t>(sets) * ways, 0)
+    {}
+
+    void
+    touch(std::uint32_t set, std::uint32_t way, Ip) override
+    {
+        stamp_[idx(set, way)] = ++clock_;
+    }
+
+    void
+    fill(std::uint32_t set, std::uint32_t way, Ip, bool) override
+    {
+        stamp_[idx(set, way)] = ++clock_;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, const std::vector<bool> &valid) override
+    {
+        std::uint32_t best = 0;
+        std::uint64_t best_stamp = ~0ull;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!valid[w])
+                return w;
+            if (stamp_[idx(set, w)] < best_stamp) {
+                best_stamp = stamp_[idx(set, w)];
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::size_t
+    idx(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_;
+};
+
+/** Random victim selection. */
+class RandomRepl : public Replacement
+{
+  public:
+    RandomRepl(std::uint32_t ways, std::uint64_t seed)
+        : ways_(ways), rng_(seed)
+    {}
+
+    void touch(std::uint32_t, std::uint32_t, Ip) override {}
+    void fill(std::uint32_t, std::uint32_t, Ip, bool) override {}
+
+    std::uint32_t
+    victim(std::uint32_t, const std::vector<bool> &valid) override
+    {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!valid[w])
+                return w;
+        }
+        return static_cast<std::uint32_t>(rng_.below(ways_));
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+/** 2-bit SRRIP (re-reference interval prediction). */
+class SrripRepl : public Replacement
+{
+  public:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    SrripRepl(std::uint32_t sets, std::uint32_t ways)
+        : ways_(ways),
+          rrpv_(static_cast<std::size_t>(sets) * ways, kMaxRrpv)
+    {}
+
+    void
+    touch(std::uint32_t set, std::uint32_t way, Ip) override
+    {
+        rrpv_[idx(set, way)] = 0;
+    }
+
+    void
+    fill(std::uint32_t set, std::uint32_t way, Ip, bool) override
+    {
+        rrpv_[idx(set, way)] = kMaxRrpv - 1;
+    }
+
+    std::uint32_t
+    victim(std::uint32_t set, const std::vector<bool> &valid) override
+    {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (!valid[w])
+                return w;
+        }
+        // Age until some way reaches the max RRPV.
+        for (;;) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                if (rrpv_[idx(set, w)] == kMaxRrpv)
+                    return w;
+            }
+            for (std::uint32_t w = 0; w < ways_; ++w)
+                ++rrpv_[idx(set, w)];
+        }
+    }
+
+    std::string name() const override { return "srrip"; }
+
+  protected:
+    std::size_t
+    idx(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/** DRRIP: SRRIP vs BRRIP set dueling with a PSEL counter. */
+class DrripRepl : public SrripRepl
+{
+  public:
+    DrripRepl(std::uint32_t sets, std::uint32_t ways, std::uint64_t seed)
+        : SrripRepl(sets, ways), sets_(sets), rng_(seed)
+    {}
+
+    void
+    fill(std::uint32_t set, std::uint32_t way, Ip, bool) override
+    {
+        const int leader = leaderOf(set);
+        bool use_brrip;
+        if (leader == 0) {
+            use_brrip = false;
+            // A miss in an SRRIP leader set votes for BRRIP.
+            if (psel_ < kPselMax)
+                ++psel_;
+        } else if (leader == 1) {
+            use_brrip = true;
+            if (psel_ > 0)
+                --psel_;
+        } else {
+            use_brrip = psel_ <= kPselMax / 2;
+        }
+
+        if (use_brrip) {
+            // BRRIP: long re-reference prediction, rarely intermediate.
+            rrpv_[idx(set, way)] =
+                rng_.chance(1.0 / 32.0) ? kMaxRrpv - 1 : kMaxRrpv;
+        } else {
+            rrpv_[idx(set, way)] = kMaxRrpv - 1;
+        }
+    }
+
+    std::string name() const override { return "drrip"; }
+
+  private:
+    static constexpr std::uint32_t kPselMax = 1023;
+
+    /** 0 = SRRIP leader, 1 = BRRIP leader, -1 = follower. */
+    int
+    leaderOf(std::uint32_t set) const
+    {
+        // 32 leader sets per policy, spread by low bits.
+        if (sets_ < 64)
+            return -1;
+        const std::uint32_t group = set % (sets_ / 32);
+        if (group == 0)
+            return 0;
+        if (group == 1)
+            return 1;
+        return -1;
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t psel_ = kPselMax / 2;
+    Rng rng_;
+};
+
+/**
+ * SHiP-lite: signature-based hit prediction over SRRIP. A 14-bit
+ * IP-signature table of 2-bit counters learns whether lines brought in
+ * by a signature are re-referenced.
+ */
+class ShipRepl : public SrripRepl
+{
+  public:
+    ShipRepl(std::uint32_t sets, std::uint32_t ways)
+        : SrripRepl(sets, ways),
+          lineSig_(static_cast<std::size_t>(sets) * ways, 0),
+          lineReused_(static_cast<std::size_t>(sets) * ways, false),
+          shct_(1u << 14, 1)
+    {}
+
+    void
+    touch(std::uint32_t set, std::uint32_t way, Ip ip) override
+    {
+        SrripRepl::touch(set, way, ip);
+        const std::size_t i = idx(set, way);
+        if (!lineReused_[i]) {
+            lineReused_[i] = true;
+            std::uint8_t &c = shct_[lineSig_[i]];
+            if (c < 3)
+                ++c;
+        }
+    }
+
+    void
+    fill(std::uint32_t set, std::uint32_t way, Ip ip, bool) override
+    {
+        const std::size_t i = idx(set, way);
+        // The previous occupant trains the table on eviction.
+        if (!lineReused_[i]) {
+            std::uint8_t &c = shct_[lineSig_[i]];
+            if (c > 0)
+                --c;
+        }
+        const std::uint16_t sig =
+            static_cast<std::uint16_t>(foldXor(ip >> 2, 14));
+        lineSig_[i] = sig;
+        lineReused_[i] = false;
+        rrpv_[i] = (shct_[sig] == 0) ? kMaxRrpv : kMaxRrpv - 1;
+    }
+
+    std::string name() const override { return "ship"; }
+
+  private:
+    std::vector<std::uint16_t> lineSig_;
+    std::vector<bool> lineReused_;
+    std::vector<std::uint8_t> shct_;
+};
+
+} // namespace
+
+std::unique_ptr<Replacement>
+makeReplacement(ReplPolicy policy, std::uint32_t sets, std::uint32_t ways,
+                std::uint64_t seed)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruRepl>(sets, ways);
+      case ReplPolicy::Random:
+        return std::make_unique<RandomRepl>(ways, seed);
+      case ReplPolicy::SRRIP:
+        return std::make_unique<SrripRepl>(sets, ways);
+      case ReplPolicy::DRRIP:
+        return std::make_unique<DrripRepl>(sets, ways, seed);
+      case ReplPolicy::SHiP:
+        return std::make_unique<ShipRepl>(sets, ways);
+    }
+    throw std::logic_error("unhandled replacement policy");
+}
+
+} // namespace bouquet

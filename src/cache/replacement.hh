@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cache replacement policies for the §VI-C sensitivity study: LRU
+ * (baseline), Random, SRRIP, DRRIP (set dueling), and SHiP-lite.
+ *
+ * A policy sees touch/fill/victim events per (set, way) and never owns
+ * the tag array; the cache queries it for the victim way.
+ */
+
+#ifndef BOUQUET_CACHE_REPLACEMENT_HH
+#define BOUQUET_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    LRU,
+    Random,
+    SRRIP,
+    DRRIP,
+    SHiP,
+};
+
+/** Parse a policy name ("lru", "random", "srrip", "drrip", "ship"). */
+ReplPolicy parseReplPolicy(const std::string &name);
+
+/** Abstract replacement state machine for one cache. */
+class Replacement
+{
+  public:
+    virtual ~Replacement() = default;
+
+    /** A resident line was touched by a demand access. */
+    virtual void touch(std::uint32_t set, std::uint32_t way, Ip ip) = 0;
+
+    /** A line was installed. @param prefetch fill caused by a prefetch */
+    virtual void fill(std::uint32_t set, std::uint32_t way, Ip ip,
+                      bool prefetch) = 0;
+
+    /**
+     * Choose the victim way in `set`. `valid[way]` tells which ways
+     * hold data; an invalid way must be preferred.
+     */
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 const std::vector<bool> &valid) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Factory. */
+std::unique_ptr<Replacement> makeReplacement(ReplPolicy policy,
+                                             std::uint32_t sets,
+                                             std::uint32_t ways,
+                                             std::uint64_t seed = 7);
+
+} // namespace bouquet
+
+#endif // BOUQUET_CACHE_REPLACEMENT_HH

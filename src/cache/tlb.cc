@@ -1,0 +1,98 @@
+#include "cache/tlb.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t ways)
+    : sets_(entries / ways), ways_(ways),
+      entries_(static_cast<std::size_t>(entries))
+{
+    assert(entries % ways == 0);
+    assert(isPowerOfTwo(sets_));
+}
+
+bool
+Tlb::lookup(Addr vpn)
+{
+    ++stats_.accesses;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(vpn & (sets_ - 1));
+    Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].stamp = ++clock_;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+Tlb::insert(Addr vpn)
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(vpn & (sets_ - 1));
+    Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+    Entry *victim = &base[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->stamp = ++clock_;
+}
+
+TlbStack::TlbStack(const TlbConfig &cfg)
+    : config_(cfg),
+      itlb_(cfg.itlbEntries, cfg.itlbWays),
+      dtlb_(cfg.dtlbEntries, cfg.dtlbWays),
+      stlb_(cfg.stlbEntries, cfg.stlbWays)
+{
+}
+
+Cycle
+TlbStack::translate(Tlb &first, Addr vaddr)
+{
+    const Addr vpn = pageNumber(vaddr);
+    if (first.lookup(vpn))
+        return 0;
+    if (stlb_.lookup(vpn)) {
+        first.insert(vpn);
+        return config_.stlbLatency;
+    }
+    stlb_.insert(vpn);
+    first.insert(vpn);
+    return config_.walkLatency;
+}
+
+Cycle
+TlbStack::dataTranslate(Addr vaddr)
+{
+    return translate(dtlb_, vaddr);
+}
+
+Cycle
+TlbStack::instTranslate(Addr vaddr)
+{
+    return translate(itlb_, vaddr);
+}
+
+void
+TlbStack::resetStats()
+{
+    itlb_.resetStats();
+    dtlb_.resetStats();
+    stlb_.resetStats();
+}
+
+} // namespace bouquet

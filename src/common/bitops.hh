@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bit-manipulation helpers used across predictor tables: field
+ * extraction, folded-XOR hashing, signed field sign extension, and
+ * power-of-two assertions.
+ */
+
+#ifndef BOUQUET_COMMON_BITOPS_HH
+#define BOUQUET_COMMON_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace bouquet
+{
+
+/** True when v is a power of two (v != 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Extract bits [lo, lo+width) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/** Mask v down to its low `width` bits. */
+constexpr std::uint64_t
+lowBits(std::uint64_t v, unsigned width)
+{
+    return v & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/**
+ * Sign-extend a `width`-bit two's-complement field to int64.
+ * Used to decode the 7-bit stride fields of the IPCP tables.
+ */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned width)
+{
+    const std::uint64_t m = 1ull << (width - 1);
+    const std::uint64_t x = lowBits(v, width);
+    return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+/**
+ * Encode a signed stride into a `width`-bit two's-complement field,
+ * saturating at the representable range. Hardware stride fields are
+ * narrow (7 bits in IPCP), so out-of-range strides clamp.
+ */
+constexpr std::uint64_t
+encodeSigned(std::int64_t v, unsigned width)
+{
+    const std::int64_t max_v = (1ll << (width - 1)) - 1;
+    const std::int64_t min_v = -(1ll << (width - 1));
+    if (v > max_v)
+        v = max_v;
+    if (v < min_v)
+        v = min_v;
+    return lowBits(static_cast<std::uint64_t>(v), width);
+}
+
+/** Fold a 64-bit value into `width` bits by XOR-ing width-bit chunks. */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned width)
+{
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= lowBits(v, width);
+        v >>= width;
+    }
+    return r;
+}
+
+/** A cheap 64-bit integer mixer (splitmix finalizer) for table hashing. */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_BITOPS_HH

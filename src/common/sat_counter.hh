@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Saturating counter templates used by predictors throughout the
+ * prefetcher bouquet (confidence counters, stream-direction counters,
+ * accuracy throttles).
+ */
+
+#ifndef BOUQUET_COMMON_SAT_COUNTER_HH
+#define BOUQUET_COMMON_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace bouquet
+{
+
+/**
+ * An n-bit unsigned saturating counter.
+ *
+ * The counter saturates at [0, 2^Bits - 1]. Used for the 2-bit
+ * confidence counters of the CS and CPLX classes and the dense-count of
+ * the RST.
+ */
+template <unsigned Bits>
+class SatCounter
+{
+  public:
+    static_assert(Bits >= 1 && Bits <= 31, "counter width out of range");
+
+    /** Maximum representable value. */
+    static constexpr std::uint32_t max() { return (1u << Bits) - 1; }
+
+    SatCounter() = default;
+
+    /** Construct with an initial value (clamped to the maximum). */
+    explicit SatCounter(std::uint32_t initial)
+        : value_(initial > max() ? max() : initial)
+    {}
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max())
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Set to an explicit value (clamped). */
+    void
+    set(std::uint32_t v)
+    {
+        value_ = v > max() ? max() : v;
+    }
+
+    /** Current value. */
+    std::uint32_t value() const { return value_; }
+
+    /** True when the counter has reached its maximum. */
+    bool saturated() const { return value_ == max(); }
+
+    /** True when the most significant bit is set (>= half range). */
+    bool msb() const { return value_ >= (1u << (Bits - 1)); }
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+/**
+ * An n-bit up/down counter biased around its midpoint.
+ *
+ * Models the pos/neg direction counter of the Region Stream Table: it
+ * is initialised to 2^(Bits-1) and the most significant bit gives the
+ * current direction (1 = positive).
+ */
+template <unsigned Bits>
+class BiasedCounter
+{
+  public:
+    static_assert(Bits >= 2 && Bits <= 31, "counter width out of range");
+
+    static constexpr std::uint32_t max() { return (1u << Bits) - 1; }
+    static constexpr std::uint32_t midpoint() { return 1u << (Bits - 1); }
+
+    BiasedCounter() : value_(midpoint()) {}
+
+    /** Move toward positive, saturating. */
+    void
+    up()
+    {
+        if (value_ < max())
+            ++value_;
+    }
+
+    /** Move toward negative, saturating. */
+    void
+    down()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to the midpoint (unknown direction). */
+    void reset() { value_ = midpoint(); }
+
+    /** True when the counter currently indicates the positive direction. */
+    bool positive() const { return value_ >= midpoint(); }
+
+    std::uint32_t value() const { return value_; }
+
+  private:
+    std::uint32_t value_;
+};
+
+/**
+ * A signed saturating integer counter with run-time bounds, used by
+ * perceptron weights in the PPF baseline.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter(int min_v, int max_v, int initial = 0)
+        : min_(min_v), max_(max_v), value_(initial)
+    {
+        assert(min_ <= initial && initial <= max_);
+    }
+
+    void
+    add(int delta)
+    {
+        value_ += delta;
+        if (value_ > max_)
+            value_ = max_;
+        if (value_ < min_)
+            value_ = min_;
+    }
+
+    int value() const { return value_; }
+
+  private:
+    int min_;
+    int max_;
+    int value_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,42 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <numeric>
+
+namespace bouquet
+{
+
+double
+MeanAccumulator::arithmeticMean() const
+{
+    if (values_.empty())
+        return 0.0;
+    const double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+MeanAccumulator::geometricMean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values_)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+std::uint64_t
+SmallHistogram::total() const
+{
+    return std::accumulate(counts_.begin(), counts_.end(),
+                           std::uint64_t{0});
+}
+
+void
+SmallHistogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+} // namespace bouquet

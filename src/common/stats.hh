@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters and simple
+ * distributions, with warmup-reset support.
+ *
+ * Every simulated component owns its counters as plain members; this
+ * header only supplies the small helpers (ratio with zero-guard,
+ * formatting) shared by all of them.
+ */
+
+#ifndef BOUQUET_COMMON_STATS_HH
+#define BOUQUET_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bouquet
+{
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+constexpr double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+/** Misses (or any event) per kilo instructions. */
+constexpr double
+perKiloInstr(std::uint64_t events, std::uint64_t instructions)
+{
+    return instructions == 0
+        ? 0.0
+        : 1000.0 * static_cast<double>(events) /
+              static_cast<double>(instructions);
+}
+
+/**
+ * Accumulates a set of per-workload scalar observations and reports
+ * arithmetic and geometric means. Speedups in the paper are reported
+ * as geometric means over traces.
+ */
+class MeanAccumulator
+{
+  public:
+    /** Record one observation (must be > 0 for the geomean). */
+    void
+    add(double v)
+    {
+        values_.push_back(v);
+    }
+
+    std::size_t count() const { return values_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double arithmeticMean() const;
+
+    /** Geometric mean; 0 when empty. Values must be positive. */
+    double geometricMean() const;
+
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+};
+
+/**
+ * A histogram over a small fixed domain (e.g. prefetch class ids) used
+ * to attribute coverage to IPCP classes.
+ */
+class SmallHistogram
+{
+  public:
+    explicit SmallHistogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+    void
+    add(std::size_t bucket, std::uint64_t n = 1)
+    {
+        if (bucket < counts_.size())
+            counts_[bucket] += n;
+    }
+
+    std::uint64_t
+    at(std::size_t bucket) const
+    {
+        return bucket < counts_.size() ? counts_[bucket] : 0;
+    }
+
+    std::uint64_t total() const;
+
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Reset all buckets to zero (used at end of warmup). */
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_STATS_HH

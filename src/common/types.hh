@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental value types and address-geometry constants shared by every
+ * subsystem of the simulator.
+ *
+ * The simulator models a byte-addressed 64-bit machine with 64-byte cache
+ * lines and 4 KB pages, matching the configuration in Table II of the
+ * IPCP paper (Pakalapati & Panda, ISCA 2020).
+ */
+
+#ifndef BOUQUET_COMMON_TYPES_HH
+#define BOUQUET_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bouquet
+{
+
+/** Byte address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** Cache-line-aligned address (byte address >> kLineBits). */
+using LineAddr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Instruction pointer (program counter) of a memory instruction. */
+using Ip = std::uint64_t;
+
+/** Identifier of a core in a multi-core system. */
+using CoreId = std::uint32_t;
+
+/** log2 of the cache line size: 64-byte lines. */
+inline constexpr unsigned kLineBits = 6;
+
+/** Cache line size in bytes. */
+inline constexpr unsigned kLineSize = 1u << kLineBits;
+
+/** log2 of the page size: 4 KB pages. */
+inline constexpr unsigned kPageBits = 12;
+
+/** Page size in bytes. */
+inline constexpr unsigned kPageSize = 1u << kPageBits;
+
+/** Cache lines per 4 KB page. */
+inline constexpr unsigned kLinesPerPage = kPageSize / kLineSize;
+
+/** Convert a byte address to its cache-line-aligned address. */
+constexpr LineAddr
+lineAddr(Addr a)
+{
+    return a >> kLineBits;
+}
+
+/** Convert a cache-line-aligned address back to a byte address. */
+constexpr Addr
+lineToByte(LineAddr l)
+{
+    return l << kLineBits;
+}
+
+/** Virtual/physical page number of a byte address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/** Page number of a cache-line-aligned address. */
+constexpr Addr
+pageOfLine(LineAddr l)
+{
+    return l >> (kPageBits - kLineBits);
+}
+
+/** Cache-line offset (0..63) of a byte address within its page. */
+constexpr unsigned
+lineOffsetInPage(Addr a)
+{
+    return static_cast<unsigned>((a >> kLineBits) &
+                                 (kLinesPerPage - 1));
+}
+
+/** Kind of memory access presented to a cache. */
+enum class AccessType : std::uint8_t
+{
+    Load,       //!< demand data load
+    Store,      //!< demand data store (write-allocate)
+    InstFetch,  //!< instruction fetch
+    Prefetch,   //!< prefetch issued by a prefetcher
+    Writeback,  //!< dirty eviction from an upper level
+};
+
+/** Cache level in the hierarchy; used for fill targets and stats. */
+enum class CacheLevel : std::uint8_t
+{
+    L1I = 0,
+    L1D = 1,
+    L2 = 2,
+    LLC = 3,
+};
+
+/** Number of modeled cache levels. */
+inline constexpr unsigned kNumCacheLevels = 4;
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_TYPES_HH

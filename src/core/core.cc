@@ -1,0 +1,198 @@
+#include "core/core.hh"
+
+#include <cassert>
+
+namespace bouquet
+{
+
+Core::Core(CoreId id, CoreConfig cfg, TlbConfig tlb_cfg, Cache *l1i,
+           Cache *l1d, VirtualMemory *vmem, WorkloadGenerator *workload)
+    : id_(id), config_(cfg), tlbs_(tlb_cfg), l1i_(l1i), l1d_(l1d),
+      vmem_(vmem), workload_(workload),
+      rob_(cfg.robSize),
+      loadSlotOf_(static_cast<std::size_t>(cfg.robSize) * 2, 0)
+{
+    assert(l1d_ != nullptr);
+    assert(workload_ != nullptr);
+}
+
+void
+Core::markStatsReset(Cycle cycle)
+{
+    (void)cycle;
+    retiredAtReset_ = retired_;
+    stats_.reset();
+    tlbs_.resetStats();
+}
+
+void
+Core::retireInstructions()
+{
+    unsigned done = 0;
+    while (robCount_ > 0 && done < config_.width) {
+        RobEntry &head = rob_[robHead_];
+        if (!head.complete || head.completeAt > now_)
+            break;
+        head.valid = false;
+        robHead_ = (robHead_ + 1) % config_.robSize;
+        --robCount_;
+        ++retired_;
+        ++done;
+    }
+}
+
+void
+Core::fetchLine(Addr ip_vaddr)
+{
+    if (!config_.modelInstructionFetch || l1i_ == nullptr)
+        return;
+    const LineAddr vline = lineAddr(ip_vaddr);
+    if (vline == lastFetchLine_)
+        return;
+    lastFetchLine_ = vline;
+
+    // ITLB cost is charged to the fetch pipeline implicitly through the
+    // in-flight fetch budget; the translation itself must still happen
+    // so the ITLB/STLB warm correctly.
+    tlbs_.instTranslate(ip_vaddr);
+    const Addr pa = vmem_->translate(id_, ip_vaddr);
+
+    MemRequest req;
+    req.line = lineAddr(pa);
+    req.vaddr = ip_vaddr;
+    req.ip = ip_vaddr;
+    req.type = AccessType::InstFetch;
+    req.core = id_;
+    req.requester = this;
+    if (l1i_->acceptRequest(req))
+        ++inflightFetches_;
+}
+
+void
+Core::dispatchInstructions()
+{
+    for (unsigned w = 0; w < config_.width; ++w) {
+        if (robFree() == 0) {
+            ++stats_.robFullStalls;
+            break;
+        }
+        if (inflightFetches_ >= config_.maxInflightFetches) {
+            ++stats_.fetchStalls;
+            break;
+        }
+        if (!haveRecord_) {
+            workload_->next(current_);
+            bubblesLeft_ = current_.bubble;
+            haveRecord_ = true;
+        }
+
+        const std::uint32_t slot = robTail_;
+        robTail_ = (robTail_ + 1) % config_.robSize;
+        ++robCount_;
+        RobEntry &e = rob_[slot];
+        e = RobEntry{};
+        e.valid = true;
+
+        if (bubblesLeft_ > 0) {
+            --bubblesLeft_;
+            fetchIp_ += 4;
+            fetchLine(fetchIp_);
+            e.complete = true;
+            e.completeAt = now_ + 1;
+            continue;
+        }
+
+        // The memory operation of the current record.
+        fetchIp_ = current_.ip;
+        fetchLine(fetchIp_);
+        haveRecord_ = false;
+
+        const Cycle penalty = tlbs_.dataTranslate(current_.vaddr);
+        const Addr pa = vmem_->translate(id_, current_.vaddr);
+
+        MemRequest req;
+        req.line = lineAddr(pa);
+        req.vaddr = current_.vaddr;
+        req.ip = current_.ip;
+        req.core = id_;
+
+        PendingIssue pi;
+        pi.ready = now_ + 1 + penalty;
+        pi.robSlot = slot;
+        pi.serialize = current_.serialize;
+
+        if (current_.type == AccessType::Load) {
+            ++stats_.loads;
+            const std::uint64_t load_id = nextLoadId_++;
+            req.type = AccessType::Load;
+            req.id = load_id;
+            req.requester = this;
+            e.isLoad = true;
+            e.loadId = load_id;
+            loadSlotOf_[load_id % loadSlotOf_.size()] = slot;
+        } else {
+            ++stats_.stores;
+            req.type = AccessType::Store;
+            req.requester = nullptr;
+            // Stores retire through the write buffer without waiting.
+            e.complete = true;
+            e.completeAt = now_ + 1;
+        }
+        pi.req = req;
+        pendingIssue_.push_back(pi);
+    }
+}
+
+void
+Core::issuePending()
+{
+    while (!pendingIssue_.empty()) {
+        PendingIssue &pi = pendingIssue_.front();
+        if (pi.ready > now_)
+            break;
+        if (pi.serialize && serializedInFlight_ > 0)
+            break;  // dependent load: wait for the previous pointer
+        if (!l1d_->acceptRequest(pi.req)) {
+            ++stats_.issueRejects;
+            break;
+        }
+        if (pi.req.type == AccessType::Load) {
+            rob_[pi.robSlot].serialized = pi.serialize;
+            if (pi.serialize)
+                ++serializedInFlight_;
+        }
+        pendingIssue_.pop_front();
+    }
+}
+
+void
+Core::onResponse(const MemRequest &req)
+{
+    if (req.type == AccessType::InstFetch) {
+        if (inflightFetches_ > 0)
+            --inflightFetches_;
+        return;
+    }
+    if (req.type != AccessType::Load)
+        return;
+    const std::uint32_t slot =
+        loadSlotOf_[req.id % loadSlotOf_.size()];
+    RobEntry &e = rob_[slot];
+    if (!e.valid || !e.isLoad || e.loadId != req.id || e.complete)
+        return;
+    e.complete = true;
+    e.completeAt = now_ + 1;
+    if (e.serialized && serializedInFlight_ > 0)
+        --serializedInFlight_;
+}
+
+void
+Core::tick(Cycle cycle)
+{
+    now_ = cycle;
+    retireInstructions();
+    issuePending();
+    dispatchInstructions();
+}
+
+} // namespace bouquet

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace-driven core model: 4-wide dispatch/retire, a 256-entry ROB,
+ * non-blocking loads that retire in order when their data returns,
+ * stores that never block retirement, dependent-load serialization for
+ * pointer-chasing records, and an instruction-fetch stream through the
+ * L1I.
+ *
+ * This is the standard prefetching-study simplification of ChampSim's
+ * O3 model (see DESIGN.md §3): memory-level parallelism is bounded by
+ * the ROB, the L1-D MSHRs and explicit load-load dependences, and miss
+ * latency is exposed at in-order retire — the mechanisms that determine
+ * how much a prefetcher helps.
+ */
+
+#ifndef BOUQUET_CORE_CORE_HH
+#define BOUQUET_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "mem/vmem.hh"
+#include "trace/trace.hh"
+
+namespace bouquet
+{
+
+/** Core microarchitecture parameters (Table II). */
+struct CoreConfig
+{
+    unsigned width = 4;          //!< dispatch/retire width
+    unsigned robSize = 256;
+    unsigned maxInflightFetches = 4;  //!< L1I lines in flight
+    bool modelInstructionFetch = true;
+};
+
+/**
+ * One core. Owns its TLB stack; uses (but does not own) its L1I and
+ * L1D, the shared virtual memory, and its workload generator.
+ */
+class Core : public RespTarget, public Clocked
+{
+  public:
+    /** Core statistics (reset at end of warmup via markStatsReset). */
+    struct Stats
+    {
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t robFullStalls = 0;
+        std::uint64_t fetchStalls = 0;
+        std::uint64_t issueRejects = 0;
+
+        void reset() { *this = Stats{}; }
+    };
+
+    Core(CoreId id, CoreConfig cfg, TlbConfig tlb_cfg, Cache *l1i,
+         Cache *l1d, VirtualMemory *vmem, WorkloadGenerator *workload);
+
+    // --- Clocked / RespTarget ------------------------------------------
+    void tick(Cycle cycle) override;
+    void onResponse(const MemRequest &req) override;
+
+    // --- progress -------------------------------------------------------
+    /** Instructions retired since construction. */
+    std::uint64_t retired() const { return retired_; }
+
+    /** Instructions retired since the last markStatsReset(). */
+    std::uint64_t
+    retiredSinceReset() const
+    {
+        return retired_ - retiredAtReset_;
+    }
+
+    /** Begin the measured region: zero the deltas. */
+    void markStatsReset(Cycle cycle);
+
+    const Stats &stats() const { return stats_; }
+    TlbStack &tlbs() { return tlbs_; }
+    CoreId id() const { return id_; }
+
+    /** Translate a data virtual address (used as the L1D translator). */
+    Addr
+    translateData(Addr vaddr)
+    {
+        return vmem_->translate(id_, vaddr);
+    }
+
+  private:
+    struct RobEntry
+    {
+        bool valid = false;
+        bool isLoad = false;
+        bool complete = false;
+        bool serialized = false;
+        Cycle completeAt = 0;
+        std::uint64_t loadId = 0;
+    };
+
+    struct PendingIssue
+    {
+        MemRequest req;
+        Cycle ready = 0;
+        bool serialize = false;
+        std::uint32_t robSlot = 0;
+    };
+
+    void retireInstructions();
+    void dispatchInstructions();
+    void issuePending();
+    void fetchLine(Addr ip_vaddr);
+
+    /** Free ROB slots. */
+    unsigned robFree() const { return config_.robSize - robCount_; }
+
+    CoreId id_;
+    CoreConfig config_;
+    TlbStack tlbs_;
+    Cache *l1i_;
+    Cache *l1d_;
+    VirtualMemory *vmem_;
+    WorkloadGenerator *workload_;
+
+    // ROB as a fixed ring buffer.
+    std::vector<RobEntry> rob_;
+    std::uint32_t robHead_ = 0;
+    std::uint32_t robTail_ = 0;
+    std::uint32_t robCount_ = 0;
+
+    std::deque<PendingIssue> pendingIssue_;
+    std::vector<std::uint32_t> loadSlotOf_;  //!< loadId % N -> rob slot
+
+    // Trace expansion state.
+    TraceRecord current_;
+    std::uint16_t bubblesLeft_ = 0;
+    bool haveRecord_ = false;
+    Ip fetchIp_ = 0;
+    LineAddr lastFetchLine_ = ~0ull;
+    unsigned inflightFetches_ = 0;
+
+    // Dependent-load serialization: pointer-chase loads form a chain.
+    unsigned serializedInFlight_ = 0;
+
+    std::uint64_t nextLoadId_ = 1;
+    std::uint64_t retired_ = 0;
+    std::uint64_t retiredAtReset_ = 0;
+    Cycle now_ = 0;
+    Stats stats_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_CORE_CORE_HH

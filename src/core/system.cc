@@ -1,0 +1,163 @@
+#include "core/system.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bouquet
+{
+
+System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
+    : config_(cfg), workloads_(std::move(workloads))
+{
+    assert(!workloads_.empty());
+    const unsigned n = static_cast<unsigned>(workloads_.size());
+
+    vmem_ = std::make_unique<VirtualMemory>(config_.frameBits,
+                                            config_.seed);
+    dram_ = std::make_unique<Dram>(config_.dram);
+
+    CacheConfig llc_cfg = config_.llcPerCore;
+    llc_cfg.sets *= n;
+    llc_cfg.mshrs *= n;
+    llc_cfg.pqSize *= n;
+    llc_cfg.rqSize *= n;
+    llc_cfg.wqSize *= n;
+    llc_ = std::make_unique<Cache>(llc_cfg, config_.seed + 1);
+    llc_->setLower(dram_.get());
+
+    for (unsigned c = 0; c < n; ++c) {
+        l1is_.push_back(
+            std::make_unique<Cache>(config_.l1i, config_.seed + 10 + c));
+        l1ds_.push_back(
+            std::make_unique<Cache>(config_.l1d, config_.seed + 20 + c));
+        l2s_.push_back(
+            std::make_unique<Cache>(config_.l2, config_.seed + 30 + c));
+
+        l1is_[c]->setLower(l2s_[c].get());
+        l1ds_[c]->setLower(l2s_[c].get());
+        l2s_[c]->setLower(llc_.get());
+
+        cores_.push_back(std::make_unique<Core>(
+            c, config_.core, config_.tlb, l1is_[c].get(), l1ds_[c].get(),
+            vmem_.get(), workloads_[c].get()));
+
+        Core *core = cores_[c].get();
+        l1ds_[c]->setTranslator(
+            [core](Addr va) { return core->translateData(va); });
+        l1is_[c]->setTranslator(
+            [core](Addr va) { return core->translateData(va); });
+
+        auto instr_source = [core] { return core->retiredSinceReset(); };
+        l1ds_[c]->setInstructionSource(instr_source);
+        l1is_[c]->setInstructionSource(instr_source);
+        l2s_[c]->setInstructionSource(instr_source);
+    }
+    // The shared LLC's MPKI gate uses core 0 (single-core studies only).
+    Core *core0 = cores_[0].get();
+    llc_->setInstructionSource(
+        [core0] { return core0->retiredSinceReset(); });
+}
+
+void
+System::tickAll(Cycle cycle)
+{
+    // Lower levels first so responses propagate upward within a cycle.
+    dram_->tick(cycle);
+    llc_->tick(cycle);
+    for (auto &l2 : l2s_)
+        l2->tick(cycle);
+    for (auto &l1d : l1ds_)
+        l1d->tick(cycle);
+    for (auto &l1i : l1is_)
+        l1i->tick(cycle);
+    for (auto &core : cores_)
+        core->tick(cycle);
+}
+
+void
+System::resetAllStats()
+{
+    dram_->stats().reset();
+    llc_->resetStats();
+    for (unsigned c = 0; c < numCores(); ++c) {
+        l1is_[c]->resetStats();
+        l1ds_[c]->resetStats();
+        l2s_[c]->resetStats();
+        cores_[c]->markStatsReset(cycle_);
+    }
+}
+
+RunResult
+System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
+{
+    const unsigned n = numCores();
+
+    auto all_reached = [&](std::uint64_t target) {
+        for (unsigned c = 0; c < n; ++c) {
+            if (cores_[c]->retired() < target)
+                return false;
+        }
+        return true;
+    };
+
+    std::uint64_t last_progress_total = 0;
+    Cycle last_progress_cycle = cycle_;
+    auto watchdog = [&] {
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < n; ++c)
+            total += cores_[c]->retired();
+        if (total != last_progress_total) {
+            last_progress_total = total;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle >
+                   config_.watchdogCycles) {
+            throw std::runtime_error(
+                "simulation watchdog: no instruction retired for too "
+                "long (deadlock?)");
+        }
+    };
+
+    // Warmup.
+    while (!all_reached(warmup_instrs)) {
+        tickAll(cycle_);
+        ++cycle_;
+        if ((cycle_ & 0xFFFF) == 0)
+            watchdog();
+    }
+    resetAllStats();
+    const Cycle measure_start = cycle_;
+
+    // Measured region: run until every core has retired sim_instrs,
+    // recording each core's completion point; fast cores keep running
+    // (their workloads are endless) so contention stays realistic —
+    // the paper's replay methodology.
+    RunResult result;
+    result.cores.assign(n, CoreResult{});
+    std::vector<bool> done(n, false);
+    unsigned remaining = n;
+
+    while (remaining > 0) {
+        tickAll(cycle_);
+        ++cycle_;
+        if ((cycle_ & 0xFF) == 0 || n == 1) {
+            for (unsigned c = 0; c < n; ++c) {
+                if (!done[c] &&
+                    cores_[c]->retiredSinceReset() >= sim_instrs) {
+                    done[c] = true;
+                    --remaining;
+                    CoreResult &r = result.cores[c];
+                    r.instructions = cores_[c]->retiredSinceReset();
+                    r.cycles = cycle_ - measure_start;
+                    r.ipc = static_cast<double>(r.instructions) /
+                            static_cast<double>(r.cycles);
+                }
+            }
+        }
+        if ((cycle_ & 0xFFFF) == 0)
+            watchdog();
+    }
+    result.measuredCycles = cycle_ - measure_start;
+    return result;
+}
+
+} // namespace bouquet

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The simulated system: N cores with private L1I/L1D/L2, a shared LLC,
+ * shared DRAM and virtual memory — the Table II machine. Owns the
+ * simulation loop (warmup + measured region) and the replay-until-all-
+ * finish multi-core methodology of the paper.
+ */
+
+#ifndef BOUQUET_CORE_SYSTEM_HH
+#define BOUQUET_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "core/core.hh"
+#include "mem/dram.hh"
+#include "mem/vmem.hh"
+#include "trace/trace.hh"
+
+namespace bouquet
+{
+
+/** Full-system configuration (defaults reproduce the paper's Table II). */
+struct SystemConfig
+{
+    CoreConfig core;
+    TlbConfig tlb;
+
+    CacheConfig l1i{.name = "L1I", .level = CacheLevel::L1I, .sets = 64,
+                    .ways = 8, .latency = 3, .mshrs = 8, .pqSize = 8,
+                    .rqSize = 32, .wqSize = 32, .ports = 4,
+                    .pfIssuePerCycle = 2, .repl = ReplPolicy::LRU};
+    CacheConfig l1d{.name = "L1D", .level = CacheLevel::L1D, .sets = 64,
+                    .ways = 12, .latency = 5, .mshrs = 16, .pqSize = 8,
+                    .rqSize = 32, .wqSize = 64, .ports = 2,
+                    .pfIssuePerCycle = 2, .repl = ReplPolicy::LRU};
+    CacheConfig l2{.name = "L2", .level = CacheLevel::L2, .sets = 1024,
+                   .ways = 8, .latency = 10, .mshrs = 32, .pqSize = 16,
+                   .rqSize = 48, .wqSize = 64, .ports = 2,
+                   .pfIssuePerCycle = 2, .repl = ReplPolicy::LRU};
+    /** Per-core LLC slice; sets are multiplied by the core count. */
+    CacheConfig llcPerCore{.name = "LLC", .level = CacheLevel::LLC,
+                           .sets = 2048, .ways = 16, .latency = 20,
+                           .mshrs = 64, .pqSize = 32, .rqSize = 64,
+                           .wqSize = 128, .ports = 4,
+                           .pfIssuePerCycle = 4,
+                           .repl = ReplPolicy::LRU};
+
+    DramConfig dram;        //!< channels adjusted by the harness
+    unsigned frameBits = 20;  //!< 4 GB of physical memory
+    std::uint64_t seed = 42;
+
+    /** Abort if no core retires for this many cycles (deadlock guard). */
+    Cycle watchdogCycles = 4'000'000;
+};
+
+/** Per-core outcome of a measured run. */
+struct CoreResult
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+};
+
+/** Outcome of System::run. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+    Cycle measuredCycles = 0;  //!< cycles until the last core finished
+};
+
+/**
+ * The system under simulation. Prefetchers are attached to the caches
+ * between construction and run() via the cache accessors.
+ */
+class System
+{
+  public:
+    System(SystemConfig cfg, std::vector<GeneratorPtr> workloads);
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    Cache &l1i(unsigned core) { return *l1is_[core]; }
+    Cache &l1d(unsigned core) { return *l1ds_[core]; }
+    Cache &l2(unsigned core) { return *l2s_[core]; }
+    Cache &llc() { return *llc_; }
+    Dram &dram() { return *dram_; }
+    Core &core(unsigned c) { return *cores_[c]; }
+    const SystemConfig &config() const { return config_; }
+
+    /**
+     * Simulate: warm up until every core has retired `warmup_instrs`,
+     * reset all statistics, then measure until every core has retired
+     * `sim_instrs` more. Throws std::runtime_error on watchdog expiry.
+     */
+    RunResult run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs);
+
+  private:
+    void tickAll(Cycle cycle);
+    void resetAllStats();
+
+    SystemConfig config_;
+    std::vector<GeneratorPtr> workloads_;
+    std::unique_ptr<VirtualMemory> vmem_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l1is_;
+    std::vector<std::unique_ptr<Cache>> l1ds_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_CORE_SYSTEM_HH

@@ -1,0 +1,155 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+} // namespace
+
+ExperimentConfig
+ExperimentConfig::fromEnv()
+{
+    ExperimentConfig cfg;
+    cfg.simInstrs = envU64("IPCP_SIM_INSTRS", cfg.simInstrs);
+    cfg.warmupInstrs = envU64("IPCP_WARMUP_INSTRS", cfg.warmupInstrs);
+    cfg.mixes = static_cast<unsigned>(envU64("IPCP_MIXES", cfg.mixes));
+    return cfg;
+}
+
+double
+Outcome::mpkiL1() const
+{
+    return perKiloInstr(l1d.demandMisses(), instructions);
+}
+
+double
+Outcome::mpkiL2() const
+{
+    return perKiloInstr(l2.demandMisses(), instructions);
+}
+
+double
+Outcome::mpkiLlc() const
+{
+    return perKiloInstr(llc.demandMisses(), instructions);
+}
+
+Outcome
+runSingleCore(const TraceSpec &spec, const AttachFn &attach,
+              const ExperimentConfig &cfg)
+{
+    SystemConfig sys_cfg = cfg.system;
+    sys_cfg.dram.channels = 1;  // Table II: 1 channel per 1-core
+
+    std::vector<GeneratorPtr> workloads;
+    workloads.push_back(makeWorkload(spec));
+
+    System sys(sys_cfg, std::move(workloads));
+    attach(sys);
+    const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+
+    Outcome out;
+    out.ipc = r.cores[0].ipc;
+    out.instructions = r.cores[0].instructions;
+    out.cycles = r.cores[0].cycles;
+    out.l1i = sys.l1i(0).stats();
+    out.l1d = sys.l1d(0).stats();
+    out.l2 = sys.l2(0).stats();
+    out.llc = sys.llc().stats();
+    out.dram = sys.dram().stats();
+    out.dramBytes = sys.dram().bytesTransferred();
+    return out;
+}
+
+MixOutcome
+runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
+       const ExperimentConfig &cfg)
+{
+    SystemConfig sys_cfg = cfg.system;
+    sys_cfg.dram.channels = 2;  // Table II: 2 channels for multi-core
+
+    std::vector<GeneratorPtr> workloads;
+    workloads.reserve(specs.size());
+    for (const TraceSpec &s : specs)
+        workloads.push_back(makeWorkload(s));
+
+    System sys(sys_cfg, std::move(workloads));
+    attach(sys);
+    const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+
+    MixOutcome out;
+    for (std::size_t c = 0; c < specs.size(); ++c) {
+        out.ipc.push_back(r.cores[c].ipc);
+        out.traces.push_back(specs[c].name);
+    }
+    return out;
+}
+
+double
+RunCache::ipc(const TraceSpec &spec, const std::string &label,
+              const AttachFn &attach, const ExperimentConfig &cfg)
+{
+    const std::string key = spec.name + "|" + label + "|" +
+                            std::to_string(cfg.simInstrs);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    const Outcome out = runSingleCore(spec, attach, cfg);
+    cache_.emplace(key, out.ipc);
+    return out.ipc;
+}
+
+RunCache &
+globalRunCache()
+{
+    static RunCache cache;
+    return cache;
+}
+
+double
+weightedSpeedup(const MixOutcome &mix, const std::string &label,
+                const AttachFn &attach, const ExperimentConfig &cfg)
+{
+    double ws = 0.0;
+    for (std::size_t c = 0; c < mix.ipc.size(); ++c) {
+        const double alone = globalRunCache().ipc(
+            findTrace(mix.traces[c]), label, attach, cfg);
+        if (alone > 0.0)
+            ws += mix.ipc[c] / alone;
+    }
+    return ws;
+}
+
+std::vector<std::vector<TraceSpec>>
+sampleMixes(const std::vector<TraceSpec> &pool, unsigned cores_per_mix,
+            unsigned count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<TraceSpec>> mixes;
+    mixes.reserve(count);
+    for (unsigned m = 0; m < count; ++m) {
+        std::vector<TraceSpec> mix;
+        for (unsigned c = 0; c < cores_per_mix; ++c)
+            mix.push_back(pool[rng.below(pool.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace bouquet

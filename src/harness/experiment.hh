@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The experiment runner: builds a system for a workload (or mix),
+ * applies a prefetching configuration, simulates warmup + measurement,
+ * and returns the metrics the paper's figures are built from (IPC,
+ * per-level cache stats, DRAM traffic). Also memoizes baseline and
+ * IPC-alone runs so benches don't repeat work.
+ *
+ * Run length is controlled by environment variables so the shipped
+ * defaults stay laptop-scale while a paper-scale run is one knob away:
+ *   IPCP_SIM_INSTRS    (default 1,000,000)
+ *   IPCP_WARMUP_INSTRS (default   100,000)
+ *   IPCP_MIXES         (default 12 mixes per multi-core experiment)
+ */
+
+#ifndef BOUQUET_HARNESS_EXPERIMENT_HH
+#define BOUQUET_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "mem/dram.hh"
+#include "trace/suite.hh"
+
+namespace bouquet
+{
+
+/** Experiment-wide settings. */
+struct ExperimentConfig
+{
+    std::uint64_t warmupInstrs = 100'000;
+    std::uint64_t simInstrs = 1'000'000;
+    unsigned mixes = 12;
+    SystemConfig system;  //!< base system (per-core DRAM channels set
+                          //!< by the runner)
+
+    /** Read IPCP_* environment overrides into a config. */
+    static ExperimentConfig fromEnv();
+};
+
+/** Hook that attaches prefetchers to a freshly built system. */
+using AttachFn = std::function<void(System &)>;
+
+/** Metrics of one single-core run. */
+struct Outcome
+{
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+    Dram::Stats dram;
+    std::uint64_t dramBytes = 0;
+
+    /** Demand MPKI at a level. */
+    double mpkiL1() const;
+    double mpkiL2() const;
+    double mpkiLlc() const;
+};
+
+/** Run one workload on a single-core Table II system. */
+Outcome runSingleCore(const TraceSpec &spec, const AttachFn &attach,
+                      const ExperimentConfig &cfg);
+
+/** Metrics of one multi-core mix run. */
+struct MixOutcome
+{
+    std::vector<double> ipc;          //!< per core, together
+    std::vector<std::string> traces;  //!< per core
+};
+
+/** Run a mix (one workload per core) on an N-core system. */
+MixOutcome runMix(const std::vector<TraceSpec> &specs,
+                  const AttachFn &attach, const ExperimentConfig &cfg);
+
+/**
+ * Memoizing runner keyed by (trace, label): used for baseline IPCs
+ * and IPC-alone values so each is simulated once per process.
+ */
+class RunCache
+{
+  public:
+    /** IPC of `spec` alone on a single-core system under `attach`. */
+    double ipc(const TraceSpec &spec, const std::string &label,
+               const AttachFn &attach, const ExperimentConfig &cfg);
+
+  private:
+    std::map<std::string, double> cache_;
+};
+
+/** Process-wide run cache (benches share baselines). */
+RunCache &globalRunCache();
+
+/**
+ * Weighted speedup of a mix result against per-trace alone-IPCs
+ * obtained under the same attach configuration.
+ */
+double weightedSpeedup(const MixOutcome &mix, const std::string &label,
+                       const AttachFn &attach,
+                       const ExperimentConfig &cfg);
+
+/**
+ * Draw `count` mixes of `coresPerMix` traces from `pool`,
+ * deterministically from `seed`.
+ */
+std::vector<std::vector<TraceSpec>>
+sampleMixes(const std::vector<TraceSpec> &pool, unsigned cores_per_mix,
+            unsigned count, std::uint64_t seed);
+
+} // namespace bouquet
+
+#endif // BOUQUET_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,261 @@
+#include "harness/factory.hh"
+
+#include <stdexcept>
+
+#include "prefetch/bop.hh"
+#include "prefetch/composite.hh"
+#include "prefetch/dol.hh"
+#include "prefetch/dspatch.hh"
+#include "prefetch/mlop.hh"
+#include "prefetch/ppf.hh"
+#include "prefetch/sandbox.hh"
+#include "prefetch/simple.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/tskid.hh"
+#include "prefetch/vldp.hh"
+
+namespace bouquet
+{
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, CacheLevel level)
+{
+    if (name == "none")
+        return std::make_unique<NoPrefetcher>();
+    if (name == "nl") {
+        NextLineParams p;
+        p.degree = 1;
+        p.onlyOnMiss = false;
+        return std::make_unique<NextLinePrefetcher>(p);
+    }
+    if (name == "nl-restrictive") {
+        // NL on demand accesses only (the L2/LLC companion in Table III).
+        NextLineParams p;
+        p.degree = 1;
+        p.onlyOnMiss = true;
+        return std::make_unique<NextLinePrefetcher>(p);
+    }
+    if (name == "throttled-nl")
+        return std::make_unique<ThrottledNextLine>();
+    if (name == "ip-stride")
+        return std::make_unique<IpStridePrefetcher>();
+    if (name == "stream")
+        return std::make_unique<StreamPrefetcher>();
+    if (name == "bop")
+        return std::make_unique<BopPrefetcher>();
+    if (name == "sandbox")
+        return std::make_unique<SandboxPrefetcher>();
+    if (name == "vldp")
+        return std::make_unique<VldpPrefetcher>();
+    if (name == "spp")
+        return std::make_unique<SppPrefetcher>();
+    if (name == "spp-ppf")
+        return std::make_unique<PpfPrefetcher>();
+    if (name == "dspatch")
+        return std::make_unique<DspatchPrefetcher>();
+    if (name == "spp-ppf-dspatch") {
+        std::vector<std::unique_ptr<Prefetcher>> kids;
+        kids.push_back(std::make_unique<PpfPrefetcher>());
+        kids.push_back(std::make_unique<DspatchPrefetcher>());
+        return std::make_unique<CompositePrefetcher>(std::move(kids));
+    }
+    if (name == "mlop")
+        return std::make_unique<MlopPrefetcher>();
+    if (name == "sms") {
+        SpatialParams p;
+        p.fillLevel = level;
+        return std::make_unique<SmsPrefetcher>(p);
+    }
+    if (name == "bingo") {
+        // Tuned to the L1-D size (48 KB) as in the paper's Fig. 7.
+        SpatialParams p;
+        p.fillLevel = level;
+        p.historyEntries = 4096;
+        return std::make_unique<BingoPrefetcher>(p);
+    }
+    if (name == "bingo-119k") {
+        SpatialParams p;
+        p.fillLevel = level;
+        p.historyEntries = 8192;
+        p.accumEntries = 128;
+        return std::make_unique<BingoPrefetcher>(p);
+    }
+    if (name == "tskid")
+        return std::make_unique<TskidPrefetcher>();
+    if (name == "dol")
+        return std::make_unique<DolPrefetcher>();
+    if (name == "ipcp") {
+        if (level == CacheLevel::L1D)
+            return std::make_unique<IpcpL1>();
+        return std::make_unique<IpcpL2>();
+    }
+    throw std::invalid_argument("unknown prefetcher: " + name);
+}
+
+namespace
+{
+
+/**
+ * Wrapper for Fig. 1's "learn at L1 but prefetch till the L2" mode: the
+ * inner prefetcher trains on the L1 access stream, but every prefetch
+ * it issues is demoted to fill the L2 only.
+ */
+class FillAtL2 : public Prefetcher, private PrefetchHost
+{
+  public:
+    explicit FillAtL2(std::unique_ptr<Prefetcher> inner)
+        : inner_(std::move(inner))
+    {
+        inner_->setHost(this);
+    }
+
+    void setHost(PrefetchHost *host) override { Prefetcher::setHost(host); }
+
+    void
+    operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+            std::uint32_t meta_in) override
+    {
+        inner_->operate(addr, ip, cache_hit, type, meta_in);
+    }
+
+    void
+    onFill(Addr addr, bool was_prefetch, std::uint8_t pf_class) override
+    {
+        inner_->onFill(addr, was_prefetch, pf_class);
+    }
+
+    void
+    onPrefetchUseful(Addr addr, std::uint8_t pf_class) override
+    {
+        inner_->onPrefetchUseful(addr, pf_class);
+    }
+
+    void cycle() override { inner_->cycle(); }
+
+    std::string name() const override { return inner_->name() + "@l2"; }
+
+    std::size_t storageBits() const override
+    {
+        return inner_->storageBits();
+    }
+
+  private:
+    // PrefetchHost facade handed to the inner prefetcher.
+    bool
+    issuePrefetch(Addr byte_addr, CacheLevel, std::uint32_t metadata,
+                  std::uint8_t pf_class) override
+    {
+        return host_->issuePrefetch(byte_addr, CacheLevel::L2, metadata,
+                                    pf_class);
+    }
+
+    CacheLevel level() const override { return host_->level(); }
+    Cycle now() const override { return host_->now(); }
+    std::uint64_t demandMisses() const override
+    {
+        return host_->demandMisses();
+    }
+    std::uint64_t retiredInstructions() const override
+    {
+        return host_->retiredInstructions();
+    }
+
+    std::unique_ptr<Prefetcher> inner_;
+};
+
+void
+setAll(System &sys, const std::string &l1, const std::string &l2,
+       const std::string &llc)
+{
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        sys.l1d(c).setPrefetcher(makePrefetcher(l1, CacheLevel::L1D));
+        sys.l2(c).setPrefetcher(makePrefetcher(l2, CacheLevel::L2));
+    }
+    sys.llc().setPrefetcher(makePrefetcher(llc, CacheLevel::LLC));
+}
+
+} // namespace
+
+void
+applyCombo(System &sys, const std::string &combo)
+{
+    if (combo == "none") {
+        setAll(sys, "none", "none", "none");
+        return;
+    }
+    if (combo == "ipcp") {
+        setAll(sys, "ipcp", "ipcp", "none");
+        return;
+    }
+    if (combo == "ipcp-l1") {
+        setAll(sys, "ipcp", "none", "none");
+        return;
+    }
+    if (combo == "spp-ppf-dspatch") {
+        setAll(sys, "throttled-nl", "spp-ppf-dspatch", "nl-restrictive");
+        return;
+    }
+    if (combo == "mlop") {
+        setAll(sys, "mlop", "nl-restrictive", "nl-restrictive");
+        return;
+    }
+    if (combo == "bingo") {
+        setAll(sys, "bingo", "nl-restrictive", "nl-restrictive");
+        return;
+    }
+    if (combo == "bingo-119k") {
+        setAll(sys, "bingo-119k", "nl-restrictive", "nl-restrictive");
+        return;
+    }
+    if (combo == "tskid") {
+        setAll(sys, "tskid", "spp", "none");
+        return;
+    }
+    if (combo.rfind("l1:", 0) == 0) {
+        setAll(sys, combo.substr(3), "none", "none");
+        return;
+    }
+    if (combo.rfind("l2:", 0) == 0) {
+        setAll(sys, "none", combo.substr(3), "none");
+        return;
+    }
+    if (combo.rfind("l1fill2:", 0) == 0) {
+        // Fig. 1: train at the L1 but fill only till the L2.
+        const std::string inner = combo.substr(8);
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            sys.l1d(c).setPrefetcher(std::make_unique<FillAtL2>(
+                makePrefetcher(inner, CacheLevel::L1D)));
+            sys.l2(c).setPrefetcher(
+                std::make_unique<NoPrefetcher>());
+        }
+        sys.llc().setPrefetcher(std::make_unique<NoPrefetcher>());
+        return;
+    }
+    throw std::invalid_argument("unknown combo: " + combo);
+}
+
+const std::vector<std::string> &
+tableIIICombos()
+{
+    static const std::vector<std::string> combos = {
+        "spp-ppf-dspatch", "mlop", "bingo", "tskid", "ipcp",
+    };
+    return combos;
+}
+
+void
+applyIpcp(System &sys, const IpcpL1Params &l1, const IpcpL2Params &l2,
+          bool use_l2)
+{
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        sys.l1d(c).setPrefetcher(std::make_unique<IpcpL1>(l1));
+        if (use_l2)
+            sys.l2(c).setPrefetcher(std::make_unique<IpcpL2>(l2));
+        else
+            sys.l2(c).setPrefetcher(std::make_unique<NoPrefetcher>());
+    }
+    sys.llc().setPrefetcher(std::make_unique<NoPrefetcher>());
+}
+
+} // namespace bouquet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Prefetcher factory and multi-level combination wiring.
+ *
+ * Benches and examples describe prefetching configurations by name:
+ * either a Table III combination ("ipcp", "spp-ppf-dspatch", "mlop",
+ * "bingo", "tskid", "none", ...) applied to a whole system, or a single
+ * prefetcher name instantiated at one level ("ip-stride", "spp",
+ * "bingo-119k", ...). IPCP ablations use an explicit parameter struct.
+ */
+
+#ifndef BOUQUET_HARNESS_FACTORY_HH
+#define BOUQUET_HARNESS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "ipcp/ipcp_l1.hh"
+#include "ipcp/ipcp_l2.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/**
+ * Instantiate a single prefetcher by name for a given cache level.
+ *
+ * Known names: none, nl, nl1 (degree-1), throttled-nl, ip-stride,
+ * stream, bop, vldp, spp, spp-ppf, dspatch, mlop, sms, bingo (48 KB),
+ * bingo-119k, tskid, dol, ipcp (level-appropriate IPCP).
+ * Throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name,
+                                           CacheLevel level);
+
+/**
+ * Apply a named multi-level combination to every core of a system
+ * (Table III):
+ *
+ *  - "none"             : no prefetching anywhere
+ *  - "ipcp"             : IPCP(L1) + IPCP(L2)
+ *  - "ipcp-l1"          : IPCP at the L1 only
+ *  - "spp-ppf-dspatch"  : throttled-NL(L1) + SPP+PPF+DSPatch(L2) + NL(LLC)
+ *  - "mlop"             : MLOP(L1) + NL(L2, LLC)
+ *  - "bingo"            : Bingo 48 KB(L1) + NL(L2, LLC)
+ *  - "bingo-119k"       : Bingo 119 KB(L1) + NL(L2, LLC)
+ *  - "tskid"            : T-SKID(L1) + SPP(L2)
+ *  - "l1:<name>"        : <name> at L1-D only
+ *  - "l2:<name>"        : <name> at L2 only
+ *
+ * Throws std::invalid_argument for unknown combos.
+ */
+void applyCombo(System &sys, const std::string &combo);
+
+/** Names of the Table III combos, in the paper's presentation order. */
+const std::vector<std::string> &tableIIICombos();
+
+/** Apply an explicitly parameterized IPCP (ablation studies). */
+void applyIpcp(System &sys, const IpcpL1Params &l1,
+               const IpcpL2Params &l2, bool use_l2 = true);
+
+} // namespace bouquet
+
+#endif // BOUQUET_HARNESS_FACTORY_HH

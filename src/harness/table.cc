@@ -1,0 +1,84 @@
+#include "harness/table.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace bouquet
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  (ratio - 1.0) * 100.0);
+    return buf;
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                for (std::size_t pad = row[c].size();
+                     pad < widths[c] + 2; ++pad)
+                    os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    for (std::size_t i = 0; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &id,
+            const std::string &description)
+{
+    os << "==================================================\n"
+       << id << ": " << description << '\n'
+       << "==================================================\n";
+}
+
+} // namespace bouquet

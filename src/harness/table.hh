@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fixed-width table printing for bench output: every bench prints the
+ * rows/series of its paper figure or table through this.
+ */
+
+#ifndef BOUQUET_HARNESS_TABLE_HH
+#define BOUQUET_HARNESS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bouquet
+{
+
+/** A simple left-aligned fixed-width text table. */
+class TablePrinter
+{
+  public:
+    /** @param header column titles (defines the column count) */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format as a percentage delta, e.g. +45.1%. */
+    static std::string pct(double ratio, int precision = 1);
+
+    /** Render to a stream with aligned columns and a separator line. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a bench banner: experiment id + description. */
+void printBanner(std::ostream &os, const std::string &id,
+                 const std::string &description);
+
+} // namespace bouquet
+
+#endif // BOUQUET_HARNESS_TABLE_HH

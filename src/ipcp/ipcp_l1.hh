@@ -1,0 +1,188 @@
+/**
+ * @file
+ * IPCP at the L1-D: the paper's primary contribution (Sections IV & V).
+ *
+ * A shared, direct-mapped, 64-entry IP table classifies each load IP
+ * into the CS (constant stride), CPLX (complex stride) and GS (global
+ * stream) classes, with a tentative next-line fallback gated by MPKI.
+ * Auxiliary structures: a 128-entry Complex Stride Prediction Table
+ * (CSPT), an 8-entry Region Stream Table (RST) over 2 KB regions, and a
+ * 32-entry recent-request (RR) filter. Per-class accuracy measured
+ * every 256 class fills drives degree throttling between watermarks
+ * 0.40 and 0.75. Total budget: 740 bytes (Table I).
+ */
+
+#ifndef BOUQUET_IPCP_IPCP_L1_HH
+#define BOUQUET_IPCP_IPCP_L1_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "ipcp/metadata.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Tunables of the L1 IPCP (defaults are the paper's values). */
+struct IpcpL1Params
+{
+    unsigned ipEntries = 64;      //!< direct-mapped IP table
+    unsigned ipTagBits = 9;
+    unsigned csptEntries = 128;   //!< direct-mapped CSPT
+    unsigned rstEntries = 8;      //!< LRU region stream table
+    unsigned rstTagBits = 3;      //!< hashed region-id width (Table I)
+    unsigned rrEntries = 32;      //!< recent-request filter
+    unsigned rrTagBits = 12;
+
+    unsigned csDefaultDegree = 3;
+    unsigned cplxDefaultDegree = 3;
+    unsigned gsDefaultDegree = 6;
+    /**
+     * CPLX prefetch distance: skip the first N confident CSPT
+     * predictions and start prefetching deeper into the look-ahead
+     * walk. The paper offers this as the escape hatch when the CSPT
+     * lookup cannot meet the L1-D critical path (Section V,
+     * "Lookup latency").
+     */
+    unsigned cplxDistance = 0;
+
+    unsigned denseThreshold = 24;  //!< 75% of the 32 region lines
+    unsigned mpkiThreshold = 50;   //!< tentative-NL gate (Section IV-D)
+
+    double highWatermark = 0.75;   //!< throttling (Section V)
+    double lowWatermark = 0.40;
+    unsigned epochFills = 256;     //!< per-class fills per accuracy epoch
+    bool throttling = true;
+
+    bool enableCS = true;          //!< ablation switches (Fig. 13a)
+    bool enableCPLX = true;
+    bool enableGS = true;
+    bool enableNL = true;
+
+    bool sendMetadata = true;      //!< L1→L2 metadata channel (Fig. 13)
+    double metadataAccuracy = 0.75;  //!< min class accuracy to pass stride
+
+    /** Class priority, highest first (Fig. 13b sweeps permutations). */
+    std::array<IpcpClass, 4> priority = {IpcpClass::GS, IpcpClass::CS,
+                                         IpcpClass::CPLX, IpcpClass::NL};
+};
+
+/**
+ * The L1-D IPCP prefetcher.
+ */
+class IpcpL1 : public Prefetcher
+{
+  public:
+    explicit IpcpL1(IpcpL1Params p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+    void onFill(Addr addr, bool was_prefetch,
+                std::uint8_t pf_class) override;
+    void onPrefetchUseful(Addr addr, std::uint8_t pf_class) override;
+
+    std::string name() const override { return "ipcp-l1"; }
+
+    /** Table I accounting: 5800 + 113 bits with default parameters. */
+    std::size_t storageBits() const override;
+
+    /** Current throttled degree of a class (tests/ablation). */
+    unsigned degreeOf(IpcpClass c) const;
+
+    /** Most recent measured accuracy of a class. */
+    double accuracyOf(IpcpClass c) const;
+
+    const IpcpL1Params &params() const { return params_; }
+
+    /** True when the tentative-NL gate is currently open. */
+    bool nlEnabled() const { return nlEnabled_; }
+
+  private:
+    struct IpEntry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        std::uint8_t lastVpage = 0;      //!< low 2 bits of last vpage
+        std::uint8_t lastLineOffset = 0; //!< 6-bit offset within page
+        int stride = 0;                  //!< 7-bit constant stride
+        SatCounter<2> confidence;        //!< CS confidence
+        bool streamValid = false;        //!< GS class membership
+        bool directionPositive = true;   //!< GS direction
+        std::uint8_t signature = 0;      //!< 7-bit CPLX signature
+    };
+
+    struct CsptEntry
+    {
+        int stride = 0;
+        SatCounter<2> confidence;
+    };
+
+    struct RstEntry
+    {
+        bool valid = false;
+        /**
+         * Full region match tag. The paper's Table I budgets only 3
+         * bits of "region-id", but with 8 entries and 3-bit tags every
+         * lookup false-matches once all ids are live, which destroys
+         * the classifier on irregular access streams; we match on a
+         * wider tag and keep the 3-bit id solely for the IP-side
+         * previous-region propagation (which is all the IP table can
+         * reconstruct). See DESIGN.md §7.
+         */
+        std::uint32_t regionTag = 0;
+        std::uint8_t regionId = 0;      //!< low 3 bits (propagation)
+        std::uint8_t lastLineOffset = 0;  //!< 5-bit offset in region
+        std::uint32_t bitVector = 0;    //!< 32 region lines
+        SatCounter<6> denseCount;
+        BiasedCounter<6> posNeg;        //!< stream direction
+        bool trained = false;
+        bool tentative = false;
+        std::uint8_t lru = 0;
+    };
+
+    /** Per-class throttling state. */
+    struct ClassThrottle
+    {
+        unsigned degree = 1;
+        std::uint64_t fills = 0;
+        std::uint64_t useful = 0;
+        double lastAccuracy = 1.0;
+    };
+
+    std::uint8_t regionIdOf(Addr region) const;
+    RstEntry *findRegion(Addr region);
+    RstEntry &allocRegion(Addr region);
+    void touchRegionLru(RstEntry &e);
+
+    bool rrProbe(LineAddr line) const;
+    void rrInsert(LineAddr line);
+
+    void updateMpkiGate();
+    void measureEpoch(IpcpClass c);
+    unsigned defaultDegree(IpcpClass c) const;
+
+    /** Issue one IPCP prefetch (RR filter + page bound + metadata). */
+    bool issue(Addr base_vaddr, std::int64_t delta_lines, IpcpClass c,
+               std::int64_t meta_stride);
+
+    IpcpL1Params params_;
+    std::vector<IpEntry> ipTable_;
+    std::vector<CsptEntry> cspt_;
+    std::vector<RstEntry> rst_;
+    std::vector<std::uint16_t> rrFilter_;
+
+    std::array<ClassThrottle, kIpcpClassCount> throttle_;
+
+    // Tentative-NL MPKI gate.
+    bool nlEnabled_ = true;
+    std::uint64_t epochStartInstr_ = 0;
+    std::uint64_t epochStartMisses_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_IPCP_IPCP_L1_HH

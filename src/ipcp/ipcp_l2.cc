@@ -1,0 +1,137 @@
+#include "ipcp/ipcp_l2.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+IpcpL2::IpcpL2(IpcpL2Params p) : params_(p), table_(p.ipEntries)
+{
+    assert(isPowerOfTwo(p.ipEntries));
+}
+
+std::size_t
+IpcpL2::storageBits() const
+{
+    // Table I: IP table (19 x 64) + tentative-NL bit + 10-bit miss
+    // counter + 10-bit instruction counter.
+    const std::size_t entry_bits = params_.ipTagBits + 1 + 2 + 7;
+    return entry_bits * params_.ipEntries + 1 + 10 + 10;
+}
+
+void
+IpcpL2::updateMpkiGate()
+{
+    const std::uint64_t instr = host_->retiredInstructions();
+    const std::uint64_t miss = host_->demandMisses();
+    if (instr < epochStartInstr_ || miss < epochStartMisses_) {
+        epochStartInstr_ = instr;
+        epochStartMisses_ = miss;
+        return;
+    }
+    if (instr - epochStartInstr_ >= 1024) {
+        nlEnabled_ = (miss - epochStartMisses_) < params_.mpkiThreshold;
+        epochStartInstr_ = instr;
+        epochStartMisses_ = miss;
+    }
+}
+
+void
+IpcpL2::issueStride(Addr addr, std::int64_t stride, unsigned degree,
+                    IpcpClass attribution)
+{
+    if (stride == 0)
+        return;
+    for (unsigned k = 1; k <= degree; ++k) {
+        const Addr target =
+            addr + static_cast<Addr>(static_cast<std::int64_t>(k) *
+                                     stride *
+                                     static_cast<std::int64_t>(
+                                         kLineSize));
+        if (pageNumber(target) != pageNumber(addr))
+            return;
+        host_->issuePrefetch(target, CacheLevel::L2, 0,
+                             static_cast<std::uint8_t>(attribution));
+    }
+}
+
+void
+IpcpL2::operate(Addr addr, Ip ip, bool, AccessType type,
+                std::uint32_t meta_in)
+{
+    updateMpkiGate();
+
+    const std::uint64_t ip_key = ip >> 2;
+    const std::size_t idx = ip_key & (params_.ipEntries - 1);
+    const std::uint16_t tag = static_cast<std::uint16_t>(
+        foldXor(ip_key >> log2Exact(params_.ipEntries),
+                params_.ipTagBits));
+    IpEntry &e = table_[idx];
+
+    if (type == AccessType::Prefetch) {
+        // Metadata decode: the L1 teaches us this IP's class. Low
+        // accuracy classes arrive as MetaClass::None and erase stale
+        // state so the L2 stops prefetching on them.
+        const MetaClass mc = metadataClass(meta_in);
+        const std::int64_t stride = metadataStride(meta_in);
+        if (mc == MetaClass::None) {
+            if (e.valid && e.tag == tag)
+                e.cls = MetaClass::None;
+            return;
+        }
+        e.tag = tag;
+        e.valid = true;
+        e.cls = mc;
+        e.stride = static_cast<int>(stride);
+        // The L1's prefetch frontier kick-starts deeper prefetching
+        // from and till the L2 ("we prefetch deep based on the L1
+        // access stream but from L2 and till L2", Section V).
+        switch (mc) {
+          case MetaClass::CS:
+            issueStride(addr, e.stride, params_.csDegree, IpcpClass::CS);
+            break;
+          case MetaClass::GS:
+            issueStride(addr, e.stride < 0 ? -1 : 1, params_.gsDegree,
+                        IpcpClass::GS);
+            break;
+          case MetaClass::NL:
+            if (nlEnabled_) {
+                // "If the L2 sees a prefetch request from L1-D with
+                // class NL, it simply prefetches NL at the L2."
+                issueStride(addr, 1, 1, IpcpClass::NL);
+            }
+            break;
+          case MetaClass::None:
+            break;
+        }
+        return;
+    }
+
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    if (!e.valid || e.tag != tag)
+        return;
+
+    switch (e.cls) {
+      case MetaClass::CS:
+        issueStride(addr, e.stride, params_.csDegree, IpcpClass::CS);
+        break;
+      case MetaClass::GS: {
+        const std::int64_t dir = e.stride < 0 ? -1 : 1;
+        issueStride(addr, dir, params_.gsDegree, IpcpClass::GS);
+        break;
+      }
+      case MetaClass::NL:
+        if (params_.enableNL && nlEnabled_)
+            issueStride(addr, 1, 1, IpcpClass::NL);
+        break;
+      case MetaClass::None:
+        break;
+    }
+}
+
+} // namespace bouquet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * IPCP at the L2 (Section V, "Multilevel Holistic IPCP"): a 155-byte
+ * bookkeeping IP table populated from the 9-bit metadata the L1 sends
+ * with its prefetch requests. On L2 demand accesses it prefetches
+ * deeper (CS degree 4) in the recorded class/stride; CPLX is
+ * deliberately absent (the paper found it useless or harmful at L2).
+ */
+
+#ifndef BOUQUET_IPCP_IPCP_L2_HH
+#define BOUQUET_IPCP_IPCP_L2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "ipcp/metadata.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Tunables of the L2 IPCP (defaults are the paper's). */
+struct IpcpL2Params
+{
+    unsigned ipEntries = 64;
+    unsigned ipTagBits = 9;
+    unsigned csDegree = 4;   //!< deeper than L1 (more PQ/MSHR at L2)
+    unsigned gsDegree = 4;
+    unsigned mpkiThreshold = 40;  //!< L2 tentative-NL gate
+    bool enableNL = true;
+};
+
+/** The L2 IPCP prefetcher. */
+class IpcpL2 : public Prefetcher
+{
+  public:
+    explicit IpcpL2(IpcpL2Params p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "ipcp-l2"; }
+
+    /** Table I: 19 x 64 + 21 = 1237 bits (155 bytes). */
+    std::size_t storageBits() const override;
+
+    bool nlEnabled() const { return nlEnabled_; }
+
+  private:
+    struct IpEntry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        MetaClass cls = MetaClass::None;
+        int stride = 0;  //!< 7-bit stride or stream direction
+    };
+
+    void updateMpkiGate();
+    void issueStride(Addr addr, std::int64_t stride, unsigned degree,
+                     IpcpClass attribution);
+
+    IpcpL2Params params_;
+    std::vector<IpEntry> table_;
+
+    bool nlEnabled_ = true;
+    std::uint64_t epochStartInstr_ = 0;
+    std::uint64_t epochStartMisses_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_IPCP_IPCP_L2_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * IPCP class identifiers and the 9-bit L1→L2 metadata channel
+ * (Section V, "Metadata Decoding at L2"): 2 bits of class type plus a
+ * 7-bit stride or stream direction, carried with every prefetch request
+ * the L1 issues.
+ */
+
+#ifndef BOUQUET_IPCP_METADATA_HH
+#define BOUQUET_IPCP_METADATA_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+/**
+ * IPCP class of an IP (also used as the per-line attribution id the
+ * cache records, enabling the per-class coverage breakdown of Fig. 12).
+ */
+enum class IpcpClass : std::uint8_t
+{
+    None = 0,
+    CS = 1,    //!< constant stride
+    CPLX = 2,  //!< complex stride
+    GS = 3,    //!< global stream
+    NL = 4,    //!< tentative next-line
+};
+
+/** Number of IPCP class slots (for per-class stat arrays). */
+inline constexpr unsigned kIpcpClassCount = 5;
+
+/** Readable class name. */
+constexpr const char *
+ipcpClassName(IpcpClass c)
+{
+    switch (c) {
+      case IpcpClass::None:
+        return "none";
+      case IpcpClass::CS:
+        return "cs";
+      case IpcpClass::CPLX:
+        return "cplx";
+      case IpcpClass::GS:
+        return "gs";
+      case IpcpClass::NL:
+        return "nl";
+    }
+    return "?";
+}
+
+/**
+ * The 2-bit class field of the metadata channel. The L2 consumes only
+ * CS, GS and NL (CPLX is not used at the L2, Section V), so the
+ * four encodable values are none/CS/GS/NL.
+ */
+enum class MetaClass : std::uint8_t
+{
+    None = 0,
+    CS = 1,
+    GS = 2,
+    NL = 3,
+};
+
+/**
+ * Encode the 9-bit metadata word: bits [1:0] class, bits [8:2] stride
+ * (7-bit two's complement) or stream direction (+1/-1 encoded as a
+ * stride of +1/-1).
+ */
+constexpr std::uint32_t
+encodeMetadata(MetaClass cls, std::int64_t stride)
+{
+    return static_cast<std::uint32_t>(cls) |
+           (static_cast<std::uint32_t>(encodeSigned(stride, 7)) << 2);
+}
+
+/** Decode the class field. */
+constexpr MetaClass
+metadataClass(std::uint32_t meta)
+{
+    return static_cast<MetaClass>(meta & 0x3);
+}
+
+/** Decode the stride/direction field. */
+constexpr std::int64_t
+metadataStride(std::uint32_t meta)
+{
+    return signExtend((meta >> 2) & 0x7F, 7);
+}
+
+} // namespace bouquet
+
+#endif // BOUQUET_IPCP_METADATA_HH

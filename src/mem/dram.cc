@@ -1,0 +1,139 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+Dram::Dram(DramConfig cfg) : config_(cfg)
+{
+    assert(config_.channels >= 1);
+    channels_.resize(config_.channels);
+    for (auto &ch : channels_)
+        ch.banks.resize(config_.banksPerChannel);
+}
+
+unsigned
+Dram::channelOf(LineAddr line) const
+{
+    // Channel interleaving at line granularity spreads bandwidth.
+    return static_cast<unsigned>(line % config_.channels);
+}
+
+unsigned
+Dram::bankOf(LineAddr line) const
+{
+    const std::uint64_t lines_per_row = config_.rowBytes / kLineSize;
+    return static_cast<unsigned>((line / config_.channels /
+                                  lines_per_row) %
+                                 config_.banksPerChannel);
+}
+
+std::uint64_t
+Dram::rowOf(LineAddr line) const
+{
+    const std::uint64_t lines_per_row = config_.rowBytes / kLineSize;
+    return line / config_.channels / lines_per_row /
+           config_.banksPerChannel;
+}
+
+bool
+Dram::acceptRequest(const MemRequest &req)
+{
+    Channel &ch = channels_[channelOf(req.line)];
+    if (ch.queue.size() >= config_.queueSize) {
+        ++stats_.busyRejects;
+        return false;
+    }
+    ch.queue.push_back(req);
+    return true;
+}
+
+void
+Dram::schedule(Channel &ch, Cycle now)
+{
+    // Issue commands ahead so bank activations overlap with other
+    // banks' data transfers: the bus serializes only the data beats.
+    // Cap the command-issue window so latency stays realistic.
+    const Cycle window = now + 8 * config_.busCyclesPerLine;
+    unsigned started = 0;
+
+    while (!ch.queue.empty() && started < 4 && ch.busFreeAt < window) {
+        // FR-FCFS: the oldest row-hit whose bank is ready; else the
+        // oldest request with a ready bank.
+        std::size_t pick = ch.queue.size();
+        for (std::size_t i = 0; i < ch.queue.size(); ++i) {
+            const Bank &b = ch.banks[bankOf(ch.queue[i].line)];
+            if (b.readyAt <= now &&
+                b.openRow == rowOf(ch.queue[i].line)) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == ch.queue.size()) {
+            for (std::size_t i = 0; i < ch.queue.size(); ++i) {
+                if (ch.banks[bankOf(ch.queue[i].line)].readyAt <= now) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        if (pick == ch.queue.size())
+            return;  // all banks busy
+
+        MemRequest req = ch.queue[pick];
+        ch.queue.erase(ch.queue.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+
+        Bank &bank = ch.banks[bankOf(req.line)];
+        const bool row_hit = bank.openRow == rowOf(req.line);
+        const Cycle access = row_hit ? config_.rowHitLatency
+                                     : config_.rowMissLatency;
+        row_hit ? ++stats_.rowHits : ++stats_.rowMisses;
+
+        const Cycle data_start = std::max(now + access, ch.busFreeAt);
+        const Cycle done = data_start + config_.busCyclesPerLine;
+        ch.busFreeAt = done;
+        stats_.dataCycles += config_.busCyclesPerLine;
+        bank.openRow = rowOf(req.line);
+        // Same-row reads pipeline at tCCD; a row miss occupies the bank
+        // for the precharge/activate window. The bus gate serializes
+        // the data beats either way.
+        bank.readyAt = row_hit ? now + 4 : now + access;
+
+        if (req.type == AccessType::Writeback) {
+            ++stats_.writes;
+            // Writes complete silently.
+        } else {
+            ++stats_.reads;
+            ch.inflight.push_back({req, done + config_.controllerLatency});
+        }
+        ++started;
+    }
+}
+
+void
+Dram::tick(Cycle cycle)
+{
+    for (Channel &ch : channels_) {
+        // Complete transfers whose data has arrived.
+        for (std::size_t i = 0; i < ch.inflight.size();) {
+            if (ch.inflight[i].readyAt <= cycle) {
+                const MemRequest req = ch.inflight[i].req;
+                ch.inflight[i] = ch.inflight.back();
+                ch.inflight.pop_back();
+                if (req.requester != nullptr)
+                    req.requester->onResponse(req);
+            } else {
+                ++i;
+            }
+        }
+        // Start new accesses while the bus has room this cycle.
+        schedule(ch, cycle);
+    }
+}
+
+} // namespace bouquet

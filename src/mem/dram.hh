@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DRAM model: multiple channels, per-channel banks with open-row
+ * tracking, FR-FCFS-style scheduling, and a bandwidth-limited data bus.
+ *
+ * Calibrated to the paper's Table II: DDR4-1600 (12.8 GB/s/channel at a
+ * 4 GHz core clock), 1 channel for single-core and 2 channels for
+ * multi-core runs. The §VI-C bandwidth sensitivity study (3.2 GB/s and
+ * 25 GB/s) is expressed by scaling `busCyclesPerLine`.
+ */
+
+#ifndef BOUQUET_MEM_DRAM_HH
+#define BOUQUET_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace bouquet
+{
+
+/** DRAM timing/geometry configuration (all times in core cycles). */
+struct DramConfig
+{
+    unsigned channels = 1;
+    unsigned banksPerChannel = 8;
+    unsigned rowBytes = 8192;       //!< open-row granularity
+    Cycle rowHitLatency = 56;       //!< tCAS at 4 GHz (~14 ns)
+    Cycle rowMissLatency = 160;     //!< tRP+tRCD+tCAS (~40 ns)
+    Cycle busCyclesPerLine = 20;    //!< 64 B / 12.8 GB/s at 4 GHz
+    /**
+     * Pipelined controller/PHY/on-chip-network latency added to every
+     * completion (~60 ns): end-to-end loaded DRAM latency is
+     * 80-100 ns on real parts, far above the bare tCAS+transfer.
+     */
+    Cycle controllerLatency = 240;
+    unsigned queueSize = 64;        //!< per-channel request queue
+};
+
+/**
+ * The memory controller + DRAM devices.
+ *
+ * Requests complete after queueing, bank-activation and bus-transfer
+ * delays; the caller's RespTarget is invoked at completion. Writes
+ * (writebacks) consume bank and bus time but produce no response.
+ */
+class Dram : public ReqSink, public Clocked
+{
+  public:
+    /** Aggregate DRAM statistics. */
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        std::uint64_t busyRejects = 0;  //!< acceptRequest refusals
+        std::uint64_t dataCycles = 0;   //!< bus-occupied cycles
+
+        void reset() { *this = Stats{}; }
+    };
+
+    explicit Dram(DramConfig cfg);
+
+    bool acceptRequest(const MemRequest &req) override;
+
+    void tick(Cycle cycle) override;
+
+    const Stats &stats() const { return stats_; }
+    Stats &stats() { return stats_; }
+
+    const DramConfig &config() const { return config_; }
+
+    /** Total bytes moved since the last stats reset. */
+    std::uint64_t
+    bytesTransferred() const
+    {
+        return (stats_.reads + stats_.writes) * kLineSize;
+    }
+
+  private:
+    struct Pending
+    {
+        MemRequest req;
+        Cycle readyAt;  //!< when the data transfer completes
+    };
+
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        Cycle readyAt = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<MemRequest> queue;
+        std::vector<Bank> banks;
+        Cycle busFreeAt = 0;
+        std::vector<Pending> inflight;
+    };
+
+    unsigned channelOf(LineAddr line) const;
+    unsigned bankOf(LineAddr line) const;
+    std::uint64_t rowOf(LineAddr line) const;
+
+    void schedule(Channel &ch, Cycle now);
+
+    DramConfig config_;
+    std::vector<Channel> channels_;
+    Stats stats_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_MEM_DRAM_HH

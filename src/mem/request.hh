@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The memory request/response plumbing shared by caches, DRAM, and the
+ * core: request records, the downstream sink interface and the upstream
+ * response-target interface.
+ */
+
+#ifndef BOUQUET_MEM_REQUEST_HH
+#define BOUQUET_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+class RespTarget;
+
+/**
+ * A memory request travelling down the hierarchy.
+ *
+ * `vaddr` is preserved alongside the physical line address because L1
+ * prefetchers (IPCP among them) train on virtual addresses in a
+ * virtually-indexed physically-tagged L1.
+ */
+struct MemRequest
+{
+    LineAddr line = 0;            //!< physical cache-line address
+    Addr vaddr = 0;               //!< virtual byte address (0 if n/a)
+    Ip ip = 0;                    //!< requesting instruction pointer
+    AccessType type = AccessType::Load;
+    CoreId core = 0;
+    std::uint32_t metadata = 0;   //!< prefetcher metadata channel
+    std::uint8_t pfClass = 0;     //!< prefetch-class attribution id
+    CacheLevel fillLevel = CacheLevel::L1D;  //!< deepest fill target
+    std::uint64_t id = 0;         //!< core-side completion token
+    RespTarget *requester = nullptr;  //!< where the response goes
+};
+
+/** Downstream interface: something requests can be sent to. */
+class ReqSink
+{
+  public:
+    virtual ~ReqSink() = default;
+
+    /**
+     * Try to accept a request. Returns false when the device cannot
+     * take it this cycle (queue full); the caller must retry later.
+     */
+    virtual bool acceptRequest(const MemRequest &req) = 0;
+};
+
+/** Upstream interface: receives a response (fill/completion). */
+class RespTarget
+{
+  public:
+    virtual ~RespTarget() = default;
+
+    /** Called when the data for `req` is available at the lower level. */
+    virtual void onResponse(const MemRequest &req) = 0;
+};
+
+/** A component advanced once per core clock cycle. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance internal state to `cycle`. */
+    virtual void tick(Cycle cycle) = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_MEM_REQUEST_HH

@@ -1,0 +1,50 @@
+#include "mem/vmem.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+VirtualMemory::VirtualMemory(unsigned frame_bits, std::uint64_t seed)
+    : frameBits_(frame_bits), seed_(seed)
+{
+}
+
+std::uint64_t
+VirtualMemory::frameFor(std::uint32_t process, Addr vpn)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(process) << 52) ^ vpn;
+    auto it = pageTable_.find(key);
+    if (it != pageTable_.end())
+        return it->second;
+
+    // Multiplying an allocation counter by an odd constant modulo the
+    // frame count is a bijection: every frame is used exactly once
+    // before any repeats, and successive allocations land in unrelated
+    // cache sets. The seed perturbs the starting point.
+    const std::uint64_t mask = (1ull << frameBits_) - 1;
+    const std::uint64_t pfn =
+        ((nextIndex_ + mix64(seed_)) * 0x9E3779B1ull + 0x5A5A5Aull) & mask;
+    ++nextIndex_;
+    pageTable_.emplace(key, pfn);
+    return pfn;
+}
+
+Addr
+VirtualMemory::translate(std::uint32_t process, Addr vaddr)
+{
+    const Addr vpn = pageNumber(vaddr);
+    const std::uint64_t pfn = frameFor(process, vpn);
+    return (pfn << kPageBits) | (vaddr & (kPageSize - 1));
+}
+
+bool
+VirtualMemory::isMapped(std::uint32_t process, Addr vaddr) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(process) << 52) ^ pageNumber(vaddr);
+    return pageTable_.find(key) != pageTable_.end();
+}
+
+} // namespace bouquet

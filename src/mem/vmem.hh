@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Virtual memory: per-process page tables with randomized frame
+ * allocation.
+ *
+ * ChampSim (the paper's substrate) models the virtual memory system and
+ * allocates physical frames pseudo-randomly; contiguity in the virtual
+ * space therefore does not imply contiguity in the physical space. This
+ * matters for prefetching studies: L2/LLC are physically indexed, and a
+ * prefetcher that crosses a virtual page boundary would fetch an
+ * unrelated physical line — which is exactly why IPCP never prefetches
+ * across a page.
+ */
+
+#ifndef BOUQUET_MEM_VMEM_HH
+#define BOUQUET_MEM_VMEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+/**
+ * A per-system page-table set mapping (process, virtual page) to a
+ * physical frame. Frames are assigned by a bijective hash of an
+ * allocation counter so that (i) no two virtual pages share a frame and
+ * (ii) physically-indexed caches see decorrelated set indices.
+ */
+class VirtualMemory
+{
+  public:
+    /**
+     * @param frame_bits log2 of the number of physical frames
+     *        (default 20 => 4 GB of 4 KB frames, per Table II).
+     * @param seed deterministic allocation seed
+     */
+    explicit VirtualMemory(unsigned frame_bits = 20,
+                           std::uint64_t seed = 1);
+
+    /**
+     * Translate a virtual byte address of a process to a physical byte
+     * address, allocating a frame on first touch.
+     */
+    Addr translate(std::uint32_t process, Addr vaddr);
+
+    /** Number of pages allocated so far (all processes). */
+    std::uint64_t pagesAllocated() const { return nextIndex_; }
+
+    /** True if the page is already mapped (no allocation side effect). */
+    bool isMapped(std::uint32_t process, Addr vaddr) const;
+
+  private:
+    std::uint64_t frameFor(std::uint32_t process, Addr vpn);
+
+    unsigned frameBits_;
+    std::uint64_t seed_;
+    std::uint64_t nextIndex_ = 0;
+    /** Key: (process << 52) ^ vpn. 52 bits of VPN is ample here. */
+    std::unordered_map<std::uint64_t, std::uint64_t> pageTable_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_MEM_VMEM_HH

@@ -1,0 +1,141 @@
+#include "prefetch/bop.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+/** The HPCA'16 offset list: 2^i * 3^j * 5^k up to 256, descending use. */
+std::vector<int>
+makeOffsetList()
+{
+    std::vector<int> v;
+    for (int n = 1; n <= 256; ++n) {
+        int m = n;
+        for (int f : {2, 3, 5}) {
+            while (m % f == 0)
+                m /= f;
+        }
+        if (m == 1)
+            v.push_back(n);
+    }
+    return v;
+}
+
+} // namespace
+
+BopPrefetcher::BopPrefetcher(BopParams p)
+    : params_(p), offsets_(makeOffsetList()),
+      rr_(p.rrEntries, ~0u), scores_(offsets_.size(), 0)
+{
+}
+
+std::size_t
+BopPrefetcher::storageBits() const
+{
+    return params_.rrEntries * 12 +
+           static_cast<std::size_t>(offsets_.size()) * 5 + 64;
+}
+
+bool
+BopPrefetcher::rrProbe(LineAddr line) const
+{
+    const std::size_t idx = line & (params_.rrEntries - 1);
+    return rr_[idx] == static_cast<std::uint32_t>(
+        foldXor(line >> log2Exact(params_.rrEntries), 12));
+}
+
+void
+BopPrefetcher::rrInsert(LineAddr line)
+{
+    const std::size_t idx = line & (params_.rrEntries - 1);
+    rr_[idx] = static_cast<std::uint32_t>(
+        foldXor(line >> log2Exact(params_.rrEntries), 12));
+}
+
+void
+BopPrefetcher::endRound()
+{
+    const auto best_it =
+        std::max_element(scores_.begin(), scores_.end());
+    const std::size_t best = static_cast<std::size_t>(
+        best_it - scores_.begin());
+    bestScoreSeen_ = scores_[best];
+    prefetchOn_ = bestScoreSeen_ > params_.badScore;
+    if (prefetchOn_)
+        bestOffset_ = offsets_[best];
+    std::fill(scores_.begin(), scores_.end(), 0);
+    roundCount_ = 0;
+    testIndex_ = 0;
+}
+
+void
+BopPrefetcher::operate(Addr addr, Ip, bool cache_hit, AccessType type,
+                       std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+    // BOP trains on misses here; prefetched hits (the other trigger in
+    // the HPCA'16 design) arrive through onPrefetchUseful.
+    if (cache_hit)
+        return;
+    trainAndPrefetch(addr);
+}
+
+void
+BopPrefetcher::onPrefetchUseful(Addr addr, std::uint8_t)
+{
+    trainAndPrefetch(addr);
+}
+
+void
+BopPrefetcher::trainAndPrefetch(Addr addr)
+{
+    const LineAddr line = lineAddr(addr);
+
+    // Learning: test one candidate offset per training event.
+    const int d = offsets_[testIndex_];
+    const LineAddr base = line - static_cast<LineAddr>(d);
+    if (pageOfLine(base) == pageOfLine(line) && rrProbe(base)) {
+        if (++scores_[testIndex_] >= params_.scoreMax) {
+            endRound();
+        }
+    }
+    if (!scores_.empty()) {
+        ++testIndex_;
+        if (testIndex_ >= offsets_.size()) {
+            testIndex_ = 0;
+            if (++roundCount_ >= params_.roundMax)
+                endRound();
+        }
+    }
+
+    // Prefetching with the current best offset.
+    if (prefetchOn_) {
+        for (unsigned k = 1; k <= params_.degree; ++k) {
+            const Addr target =
+                addr + static_cast<Addr>(k) *
+                           static_cast<Addr>(bestOffset_) * kLineSize;
+            if (pageNumber(target) != pageNumber(addr))
+                break;
+            host_->issuePrefetch(target, host_->level(), 0, 0);
+        }
+    }
+}
+
+void
+BopPrefetcher::onFill(Addr addr, bool, std::uint8_t)
+{
+    // Insert the *base* address X of a completed fill of X+D so that a
+    // later access to X+D scores offset D; inserting X itself (as the
+    // paper does with X - D at issue of X) approximates timeliness.
+    rrInsert(lineAddr(addr));
+}
+
+} // namespace bouquet

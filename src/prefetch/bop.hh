@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Best-Offset Prefetcher (BOP) [Michaud, HPCA 2016]: evaluates a fixed
+ * list of candidate offsets against a recent-requests table and locks
+ * onto the offset with the best timeliness-aware score.
+ */
+
+#ifndef BOUQUET_PREFETCH_BOP_HH
+#define BOUQUET_PREFETCH_BOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** BOP configuration (defaults are the HPCA'16 values). */
+struct BopParams
+{
+    unsigned rrEntries = 256;
+    unsigned scoreMax = 31;    //!< early round termination
+    unsigned roundMax = 100;   //!< tests per offset per round
+    unsigned badScore = 1;     //!< below: prefetch off
+    unsigned degree = 1;
+};
+
+/** The BOP prefetcher. */
+class BopPrefetcher : public Prefetcher
+{
+  public:
+    explicit BopPrefetcher(BopParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+    void onFill(Addr addr, bool was_prefetch,
+                std::uint8_t pf_class) override;
+    void onPrefetchUseful(Addr addr, std::uint8_t pf_class) override;
+
+    std::string name() const override { return "bop"; }
+
+    std::size_t storageBits() const override;
+
+    /** Currently selected offset (0 when prefetching is off). */
+    int bestOffset() const { return bestOffset_; }
+
+  private:
+    bool rrProbe(LineAddr line) const;
+    void rrInsert(LineAddr line);
+    void endRound();
+    /** One BOP training + prefetch event (miss or prefetched hit). */
+    void trainAndPrefetch(Addr addr);
+
+    BopParams params_;
+    std::vector<int> offsets_;       //!< candidate offset list
+    std::vector<std::uint32_t> rr_;  //!< recent requests (hashed tags)
+    std::vector<unsigned> scores_;
+
+    int bestOffset_ = 1;
+    bool prefetchOn_ = true;
+    std::size_t testIndex_ = 0;   //!< next offset to test
+    unsigned roundCount_ = 0;
+    unsigned bestScoreSeen_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_BOP_HH

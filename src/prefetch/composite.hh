@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CompositePrefetcher: runs several prefetchers side by side in one
+ * cache (e.g. the "SPP + PPF + DSPatch" L2 engine of Table III). All
+ * hooks fan out to every child; storage is the sum.
+ */
+
+#ifndef BOUQUET_PREFETCH_COMPOSITE_HH
+#define BOUQUET_PREFETCH_COMPOSITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Fan-out wrapper over a set of child prefetchers. */
+class CompositePrefetcher : public Prefetcher
+{
+  public:
+    explicit CompositePrefetcher(
+        std::vector<std::unique_ptr<Prefetcher>> children)
+        : children_(std::move(children))
+    {
+    }
+
+    void
+    setHost(PrefetchHost *host) override
+    {
+        Prefetcher::setHost(host);
+        for (auto &c : children_)
+            c->setHost(host);
+    }
+
+    void
+    operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+            std::uint32_t meta_in) override
+    {
+        for (auto &c : children_)
+            c->operate(addr, ip, cache_hit, type, meta_in);
+    }
+
+    void
+    onFill(Addr addr, bool was_prefetch, std::uint8_t pf_class) override
+    {
+        for (auto &c : children_)
+            c->onFill(addr, was_prefetch, pf_class);
+    }
+
+    void
+    onPrefetchUseful(Addr addr, std::uint8_t pf_class) override
+    {
+        for (auto &c : children_)
+            c->onPrefetchUseful(addr, pf_class);
+    }
+
+    void
+    cycle() override
+    {
+        for (auto &c : children_)
+            c->cycle();
+    }
+
+    std::string
+    name() const override
+    {
+        std::string n;
+        for (const auto &c : children_) {
+            if (!n.empty())
+                n += "+";
+            n += c->name();
+        }
+        return n;
+    }
+
+    std::size_t
+    storageBits() const override
+    {
+        std::size_t total = 0;
+        for (const auto &c : children_)
+            total += c->storageBits();
+        return total;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Prefetcher>> children_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_COMPOSITE_HH

@@ -1,0 +1,119 @@
+#include "prefetch/dol.hh"
+
+namespace bouquet
+{
+
+DolPrefetcher::DolPrefetcher(DolParams p)
+    : params_(p), strides_(p.strideEntries), regions_(p.regionEntries)
+{
+}
+
+std::size_t
+DolPrefetcher::storageBits() const
+{
+    return params_.strideEntries * (16 + 16 + 7 + 2) +
+           params_.regionEntries * (16 + 32 + 6 + 1 + 8);
+}
+
+void
+DolPrefetcher::operate(Addr addr, Ip ip, bool, AccessType type,
+                       std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store)
+        return;
+
+    ++clock_;
+    const LineAddr line = lineAddr(addr);
+
+    // --- stride component: unbounded degree ---------------------------
+    const std::uint64_t key = ip >> 2;
+    StrideEntry &s = strides_[key % strides_.size()];
+    const std::uint64_t tag = key / strides_.size();
+    if (!s.valid || s.tag != tag) {
+        s = StrideEntry{};
+        s.valid = true;
+        s.tag = tag;
+        s.lastLine = line;
+    } else {
+        const std::int64_t stride = static_cast<std::int64_t>(line) -
+                                    static_cast<std::int64_t>(
+                                        s.lastLine);
+        s.lastLine = line;
+        if (stride != 0) {
+            if (stride == s.stride) {
+                s.confidence.increment();
+            } else {
+                s.confidence.decrement();
+                if (s.confidence.value() == 0)
+                    s.stride = static_cast<int>(stride);
+            }
+            if (s.confidence.value() >= 2 && s.stride != 0) {
+                // No degree cap: push until the page ends or the PQ
+                // refuses (the paper's DOL criticism).
+                for (unsigned k = 1;; ++k) {
+                    const Addr target = addr +
+                        static_cast<Addr>(
+                            static_cast<std::int64_t>(k) * s.stride *
+                            static_cast<std::int64_t>(kLineSize));
+                    if (pageNumber(target) != pageNumber(addr))
+                        break;
+                    if (!host_->issuePrefetch(target, host_->level(),
+                                              0, 0))
+                        break;
+                }
+            }
+        }
+    }
+
+    // --- C1-like stream component --------------------------------------
+    const Addr region = addr >> 11;
+    RegionEntry *r = nullptr;
+    for (RegionEntry &e : regions_) {
+        if (e.valid && e.region == region) {
+            r = &e;
+            break;
+        }
+    }
+    if (r == nullptr) {
+        RegionEntry *victim = &regions_[0];
+        for (RegionEntry &e : regions_) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        *victim = RegionEntry{};
+        victim->valid = true;
+        victim->region = region;
+        r = victim;
+    }
+    r->lastUse = clock_;
+    const unsigned off = static_cast<unsigned>(line & 31);
+    if ((r->bitmap & (1u << off)) == 0) {
+        r->bitmap |= 1u << off;
+        ++r->count;
+    }
+    if (!r->streamed && r->count >= params_.denseThreshold) {
+        r->streamed = true;
+        // Prefetch every untouched line of the region into the L2, in
+        // bitmap (not stream) order — DOL does not learn direction.
+        const Addr region_base = region << 11;
+        unsigned pushed = 0;
+        for (unsigned b = 0; b < 32 && pushed < params_.maxBurst; ++b) {
+            if ((r->bitmap >> b) & 1)
+                continue;
+            const CacheLevel fill =
+                host_->level() == CacheLevel::L1D ? CacheLevel::L2
+                                                  : host_->level();
+            if (host_->issuePrefetch(region_base +
+                                         static_cast<Addr>(b) *
+                                             kLineSize,
+                                     fill, 0, 0))
+                ++pushed;
+        }
+    }
+}
+
+} // namespace bouquet

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DOL proxy (Division of Labor [Kondguli & Huang, ISCA 2018]).
+ *
+ * The real DOL couples component prefetchers to core internals (a
+ * 256-entry loop predictor, the register file, the RAS and a 192-entry
+ * ROB) that a memory-side prefetcher cannot see. This proxy models the
+ * two spatial components the paper contrasts with IPCP, *including the
+ * weaknesses the paper calls out in Section V-A*:
+ *
+ *  - a stride component with no upper bound on prefetch degree (it
+ *    runs until the PQ refuses), and
+ *  - a C1-like stream component that, once a region looks dense,
+ *    prefetches ALL remaining lines of the region into the L2 in
+ *    arbitrary order and never declassifies a stream IP.
+ *
+ * Substitution documented in DESIGN.md §4.
+ */
+
+#ifndef BOUQUET_PREFETCH_DOL_HH
+#define BOUQUET_PREFETCH_DOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** DOL proxy configuration. */
+struct DolParams
+{
+    unsigned strideEntries = 256;  //!< sized like DOL's loop predictor
+    unsigned regionEntries = 16;
+    unsigned denseThreshold = 8;   //!< accesses before a region streams
+    unsigned maxBurst = 32;        //!< lines pushed per stream trigger
+};
+
+/** The DOL proxy prefetcher. */
+class DolPrefetcher : public Prefetcher
+{
+  public:
+    explicit DolPrefetcher(DolParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "dol"; }
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct StrideEntry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        LineAddr lastLine = 0;
+        int stride = 0;
+        SatCounter<2> confidence;
+    };
+
+    struct RegionEntry
+    {
+        bool valid = false;
+        Addr region = 0;         //!< 2 KB region number
+        std::uint32_t bitmap = 0;
+        unsigned count = 0;
+        bool streamed = false;   //!< never declassified (DOL weakness)
+        std::uint64_t lastUse = 0;
+    };
+
+    DolParams params_;
+    std::vector<StrideEntry> strides_;
+    std::vector<RegionEntry> regions_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_DOL_HH

@@ -1,0 +1,125 @@
+#include "prefetch/dspatch.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+DspatchPrefetcher::DspatchPrefetcher(DspatchParams p)
+    : params_(p), pages_(p.pageBufferEntries), spt_(p.sptEntries)
+{
+}
+
+std::size_t
+DspatchPrefetcher::storageBits() const
+{
+    // PB: tag(16)+pc(10)+trigger(6)+bitmap(64); SPT: tag(10)+2x64+2.
+    return params_.pageBufferEntries * (16 + 10 + 6 + 64) +
+           params_.sptEntries * (10 + 64 + 64 + 2) + 32;
+}
+
+void
+DspatchPrefetcher::evictPage(PageEntry &e)
+{
+    if (!e.valid)
+        return;
+    SptEntry &s = spt_[e.triggerPc & (params_.sptEntries - 1)];
+    const std::uint64_t pattern = anchor(e.bitmap, e.triggerOffset);
+    if (!s.valid || s.pcTag != e.triggerPc) {
+        s.valid = true;
+        s.pcTag = e.triggerPc;
+        s.covP = pattern;
+        s.accP = pattern;
+        s.trained = 1;
+    } else {
+        s.covP |= pattern;   // coverage-biased: grow
+        s.accP &= pattern;   // accuracy-biased: shrink to the stable core
+        if (s.trained < 3)
+            ++s.trained;
+    }
+    e.valid = false;
+}
+
+void
+DspatchPrefetcher::predict(Addr page_base, unsigned trigger_offset,
+                           std::uint32_t pc_hash)
+{
+    const SptEntry &s = spt_[pc_hash & (params_.sptEntries - 1)];
+    if (!s.valid || s.pcTag != pc_hash || s.trained < 2)
+        return;
+    const std::uint64_t pattern =
+        accuracy_ < params_.accuracySwitch ? s.accP : s.covP;
+    for (unsigned bit = 1; bit < 64; ++bit) {
+        if ((pattern >> bit) & 1) {
+            const unsigned off = (trigger_offset + bit) & 63;
+            host_->issuePrefetch(page_base +
+                                     static_cast<Addr>(off) * kLineSize,
+                                 host_->level(), 0, 0);
+        }
+    }
+}
+
+void
+DspatchPrefetcher::operate(Addr addr, Ip ip, bool, AccessType type,
+                           std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    ++clock_;
+    const Addr page = pageNumber(addr);
+    const unsigned offset = lineOffsetInPage(addr);
+    const std::uint32_t pc_hash =
+        static_cast<std::uint32_t>(foldXor(ip >> 2, 10));
+
+    for (PageEntry &e : pages_) {
+        if (e.valid && e.page == page) {
+            e.bitmap |= 1ull << offset;
+            e.lastUse = clock_;
+            return;
+        }
+    }
+
+    // First access to this page: learn from the LRU victim, allocate,
+    // and predict from the trigger PC's stored patterns.
+    PageEntry *victim = &pages_[0];
+    for (PageEntry &e : pages_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    evictPage(*victim);
+    victim->valid = true;
+    victim->page = page;
+    victim->triggerPc = pc_hash;
+    victim->triggerOffset = static_cast<std::uint8_t>(offset);
+    victim->bitmap = 1ull << offset;
+    victim->lastUse = clock_;
+
+    predict(page << kPageBits, offset, pc_hash);
+}
+
+void
+DspatchPrefetcher::onFill(Addr, bool was_prefetch, std::uint8_t)
+{
+    if (!was_prefetch)
+        return;
+    if (++fills_ >= 256) {
+        accuracy_ = static_cast<double>(useful_) /
+                    static_cast<double>(fills_);
+        fills_ = 0;
+        useful_ = 0;
+    }
+}
+
+void
+DspatchPrefetcher::onPrefetchUseful(Addr, std::uint8_t)
+{
+    ++useful_;
+}
+
+} // namespace bouquet

@@ -1,0 +1,125 @@
+#include "prefetch/mlop.hh"
+
+#include <algorithm>
+
+namespace bouquet
+{
+
+MlopPrefetcher::MlopPrefetcher(MlopParams p)
+    : params_(p), maps_(p.amtEntries),
+      scores_(2 * static_cast<unsigned>(p.maxOffset) + 1, 0)
+{
+    selected_.push_back(1);  // start as a conservative next-line
+}
+
+std::size_t
+MlopPrefetcher::storageBits() const
+{
+    // AMT: tag(16)+bitmap(64); score table: 10-bit counters.
+    return params_.amtEntries * (16 + 64) +
+           static_cast<std::size_t>(scores_.size()) * 10 +
+           params_.lookaheads * 6;
+}
+
+MlopPrefetcher::MapEntry *
+MlopPrefetcher::findMap(Addr page)
+{
+    for (MapEntry &m : maps_) {
+        if (m.valid && m.page == page)
+            return &m;
+    }
+    return nullptr;
+}
+
+void
+MlopPrefetcher::endEpoch()
+{
+    // Select up to `lookaheads` offsets: best first, each must carry at
+    // least selectFraction of the top score — MLOP's per-lookahead
+    // best-offset selection collapsed onto one score table per epoch.
+    selected_.clear();
+    std::vector<std::size_t> order(scores_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return scores_[a] > scores_[b];
+              });
+    const unsigned top = scores_[order[0]];
+    if (top > 0) {
+        for (std::size_t i = 0;
+             i < order.size() && selected_.size() < params_.lookaheads;
+             ++i) {
+            const int offset =
+                static_cast<int>(order[i]) - params_.maxOffset;
+            if (offset == 0)
+                continue;
+            if (static_cast<double>(scores_[order[i]]) <
+                params_.selectFraction * static_cast<double>(top))
+                break;
+            selected_.push_back(offset);
+        }
+    }
+    std::fill(scores_.begin(), scores_.end(), 0);
+    events_ = 0;
+}
+
+void
+MlopPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
+                        std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    ++clock_;
+    const Addr page = pageNumber(addr);
+    const int offset = static_cast<int>(lineOffsetInPage(addr));
+
+    MapEntry *m = findMap(page);
+    if (m == nullptr) {
+        MapEntry *victim = &maps_[0];
+        for (MapEntry &e : maps_) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->page = page;
+        victim->bitmap = 0;
+        m = victim;
+    }
+    m->lastUse = clock_;
+
+    // Score every candidate offset: does the line `d` behind this one
+    // appear in the access map? If so, prefetching with offset d from
+    // that earlier access would have covered this access.
+    for (int d = -params_.maxOffset; d <= params_.maxOffset; ++d) {
+        if (d == 0)
+            continue;
+        const int src = offset - d;
+        if (src < 0 || src >= static_cast<int>(kLinesPerPage))
+            continue;
+        if ((m->bitmap >> src) & 1)
+            ++scores_[static_cast<std::size_t>(d + params_.maxOffset)];
+    }
+    m->bitmap |= 1ull << offset;
+
+    if (++events_ >= params_.epochEvents)
+        endEpoch();
+
+    for (int d : selected_) {
+        const Addr target =
+            addr + static_cast<Addr>(static_cast<std::int64_t>(d) *
+                                     static_cast<std::int64_t>(
+                                         kLineSize));
+        if (pageNumber(target) != pageNumber(addr))
+            continue;
+        host_->issuePrefetch(target, host_->level(), 0, 0);
+    }
+}
+
+} // namespace bouquet

@@ -1,0 +1,197 @@
+#include "prefetch/ppf.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+PpfPrefetcher::PpfPrefetcher(PpfParams p)
+    : params_(p),
+      spp_(std::make_unique<SppPrefetcher>(p.spp)),
+      issued_(p.issuedTableEntries),
+      rejected_(p.rejectTableEntries)
+{
+    for (auto &t : weights_)
+        t.assign(params_.weightTableEntries, 0);
+    spp_->setCandidateGate(&PpfPrefetcher::gateTramp, this);
+}
+
+void
+PpfPrefetcher::setHost(PrefetchHost *host)
+{
+    Prefetcher::setHost(host);
+    spp_->setHost(host);
+}
+
+std::size_t
+PpfPrefetcher::storageBits() const
+{
+    // 6 weight tables of 5-bit weights + the two record tables
+    // (tag 10 + 6 feature indexes of 10 bits + used bit).
+    const std::size_t records =
+        (issued_.size() + rejected_.size()) *
+        (10 + kPpfFeatures * 10 + 1);
+    return spp_->storageBits() +
+           kPpfFeatures * params_.weightTableEntries * 5 + records;
+}
+
+void
+PpfPrefetcher::computeFeatures(
+    Addr target, Addr trigger, int delta, double confidence,
+    std::uint32_t signature,
+    std::array<std::uint16_t, kPpfFeatures> &out) const
+{
+    const std::uint32_t mask = params_.weightTableEntries - 1;
+    const unsigned off = lineOffsetInPage(target);
+    const unsigned trig_off = lineOffsetInPage(trigger);
+    const unsigned conf_q =
+        confidence >= 0.75 ? 3 : confidence >= 0.5 ? 2
+                                 : confidence >= 0.25 ? 1 : 0;
+    out[0] = static_cast<std::uint16_t>(off & mask);
+    out[1] = static_cast<std::uint16_t>(
+        mix64(pageNumber(target)) & mask);
+    out[2] = static_cast<std::uint16_t>(signature & mask);
+    out[3] = static_cast<std::uint16_t>(((conf_q << 6) ^ off) & mask);
+    out[4] = static_cast<std::uint16_t>(
+        static_cast<std::uint32_t>(delta + 64) & mask);
+    out[5] = static_cast<std::uint16_t>(
+        ((trig_off << 4) ^ static_cast<std::uint32_t>(delta + 64)) &
+        mask);
+}
+
+int
+PpfPrefetcher::sumWeights(
+    const std::array<std::uint16_t, kPpfFeatures> &f) const
+{
+    int sum = 0;
+    for (unsigned i = 0; i < kPpfFeatures; ++i)
+        sum += weights_[i][f[i]];
+    return sum;
+}
+
+void
+PpfPrefetcher::train(const std::array<std::uint16_t, kPpfFeatures> &f,
+                     bool positive)
+{
+    for (unsigned i = 0; i < kPpfFeatures; ++i) {
+        int &w = weights_[i][f[i]];
+        w += positive ? 1 : -1;
+        if (w > params_.weightMax)
+            w = params_.weightMax;
+        if (w < params_.weightMin)
+            w = params_.weightMin;
+    }
+}
+
+PpfPrefetcher::Record *
+PpfPrefetcher::findRecord(std::vector<Record> &table, LineAddr line)
+{
+    const std::size_t idx = line & (table.size() - 1);
+    const std::uint32_t tag = static_cast<std::uint32_t>(
+        foldXor(line >> log2Exact(static_cast<std::uint64_t>(
+                    table.size())), 10));
+    Record &r = table[idx];
+    if (r.valid && r.tag == tag)
+        return &r;
+    return nullptr;
+}
+
+void
+PpfPrefetcher::insertRecord(
+    std::vector<Record> &table, LineAddr line,
+    const std::array<std::uint16_t, kPpfFeatures> &f,
+    bool train_negative_on_evict)
+{
+    const std::size_t idx = line & (table.size() - 1);
+    Record &r = table[idx];
+    if (r.valid && !r.used && train_negative_on_evict) {
+        // Conflict-evicted issued record that was never used: the
+        // prefetch was (as far as we can tell) useless.
+        train(r.features, false);
+    }
+    r.valid = true;
+    r.tag = static_cast<std::uint32_t>(
+        foldXor(line >> log2Exact(static_cast<std::uint64_t>(
+                    table.size())), 10));
+    r.features = f;
+    r.used = false;
+}
+
+bool
+PpfPrefetcher::gateTramp(void *ctx, Addr target, Addr trigger,
+                         int delta, double confidence,
+                         std::uint32_t signature)
+{
+    return static_cast<PpfPrefetcher *>(ctx)->gate(
+        target, trigger, delta, confidence, signature);
+}
+
+bool
+PpfPrefetcher::gate(Addr target, Addr trigger, int delta,
+                    double confidence, std::uint32_t signature)
+{
+    std::array<std::uint16_t, kPpfFeatures> f;
+    computeFeatures(target, trigger, delta, confidence, signature, f);
+    const int sum = sumWeights(f);
+    const LineAddr line = lineAddr(target);
+
+    if (sum >= params_.tauHigh) {
+        if (findRecord(issued_, line) == nullptr) {
+            host_->issuePrefetch(target, host_->level(), 0, 0);
+            insertRecord(issued_, line, f, true);
+        }
+    } else if (sum >= params_.tauLow) {
+        if (findRecord(issued_, line) == nullptr) {
+            host_->issuePrefetch(target, CacheLevel::LLC, 0, 0);
+            insertRecord(issued_, line, f, true);
+        }
+    } else {
+        insertRecord(rejected_, line, f, false);
+    }
+    // PPF performs the issue itself; veto SPP's own path.
+    return false;
+}
+
+void
+PpfPrefetcher::operate(Addr addr, Ip ip, bool cache_hit,
+                       AccessType type, std::uint32_t meta_in)
+{
+    if (type == AccessType::Load || type == AccessType::Store ||
+        type == AccessType::InstFetch) {
+        const LineAddr line = lineAddr(addr);
+        if (Record *r = findRecord(issued_, line)) {
+            if (!r->used) {
+                r->used = true;
+                const int sum = sumWeights(r->features);
+                if (sum < params_.trainTheta)
+                    train(r->features, true);
+            }
+        } else if (Record *rej = findRecord(rejected_, line)) {
+            // We rejected a prefetch that demand wanted: train up.
+            train(rej->features, true);
+            rej->valid = false;
+        }
+    }
+    spp_->operate(addr, ip, cache_hit, type, meta_in);
+}
+
+void
+PpfPrefetcher::onFill(Addr, bool, std::uint8_t)
+{
+}
+
+void
+PpfPrefetcher::onPrefetchUseful(Addr addr, std::uint8_t)
+{
+    const LineAddr line = lineAddr(addr);
+    if (Record *r = findRecord(issued_, line)) {
+        if (!r->used) {
+            r->used = true;
+            const int sum = sumWeights(r->features);
+            if (sum < params_.trainTheta)
+                train(r->features, true);
+        }
+    }
+}
+
+} // namespace bouquet

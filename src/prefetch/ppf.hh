@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Perceptron-based Prefetch Filtering (PPF) [Bhatia et al., ISCA 2019]
+ * wrapped around SPP — the L2 engine of the paper's strongest
+ * competitor combination (Table III).
+ *
+ * Every candidate SPP proposes is scored by a perceptron: a sum of
+ * signed weights read from feature-indexed tables. High sums prefetch
+ * into the L2, middling sums are demoted to the LLC, low sums are
+ * rejected. Issued and rejected candidates are recorded; a demand
+ * access to a recorded line trains the weights toward the observed
+ * outcome (including recovering prefetches that were wrongly rejected).
+ */
+
+#ifndef BOUQUET_PREFETCH_PPF_HH
+#define BOUQUET_PREFETCH_PPF_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/spp.hh"
+
+namespace bouquet
+{
+
+/** PPF configuration. */
+struct PpfParams
+{
+    SppParams spp;            //!< the underlying proposer
+    unsigned weightTableEntries = 1024;
+    int weightMin = -16;      //!< 5-bit weights
+    int weightMax = 15;
+    int tauHigh = 8;          //!< >=: prefetch into this level
+    int tauLow = -20;         //!< >=: demote to LLC; below: reject
+    int trainTheta = 50;      //!< train while |sum| < theta
+    unsigned issuedTableEntries = 1024;
+    unsigned rejectTableEntries = 512;
+};
+
+/** Number of perceptron features. */
+inline constexpr unsigned kPpfFeatures = 6;
+
+/** SPP filtered by a perceptron. */
+class PpfPrefetcher : public Prefetcher
+{
+  public:
+    explicit PpfPrefetcher(PpfParams p = {});
+
+    void setHost(PrefetchHost *host) override;
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+    void onFill(Addr addr, bool was_prefetch,
+                std::uint8_t pf_class) override;
+    void onPrefetchUseful(Addr addr, std::uint8_t pf_class) override;
+
+    std::string name() const override { return "spp+ppf"; }
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct Record
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::array<std::uint16_t, kPpfFeatures> features{};
+        bool used = false;
+    };
+
+    static bool gateTramp(void *ctx, Addr target, Addr trigger,
+                          int delta, double confidence,
+                          std::uint32_t signature);
+    bool gate(Addr target, Addr trigger, int delta, double confidence,
+              std::uint32_t signature);
+
+    void computeFeatures(Addr target, Addr trigger, int delta,
+                         double confidence, std::uint32_t signature,
+                         std::array<std::uint16_t, kPpfFeatures> &out)
+        const;
+    int sumWeights(
+        const std::array<std::uint16_t, kPpfFeatures> &f) const;
+    void train(const std::array<std::uint16_t, kPpfFeatures> &f,
+               bool positive);
+
+    Record *findRecord(std::vector<Record> &table, LineAddr line);
+    void insertRecord(std::vector<Record> &table, LineAddr line,
+                      const std::array<std::uint16_t, kPpfFeatures> &f,
+                      bool train_negative_on_evict);
+
+    PpfParams params_;
+    std::unique_ptr<SppPrefetcher> spp_;
+    /** weights_[feature][index] */
+    std::array<std::vector<int>, kPpfFeatures> weights_;
+    std::vector<Record> issued_;
+    std::vector<Record> rejected_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_PPF_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The prefetcher framework: the interface every prefetcher implements
+ * and the host interface a cache exposes to its prefetcher.
+ *
+ * The hook set mirrors the DPC-3 ChampSim API the paper's artifact was
+ * written against: `operate` on each demand (and incoming prefetch)
+ * access, `onFill` when a line is installed, plus an explicit
+ * `onPrefetchUseful` callback when a demand hits a prefetched line —
+ * the event IPCP's per-class accuracy throttling is built on.
+ */
+
+#ifndef BOUQUET_PREFETCH_PREFETCHER_HH
+#define BOUQUET_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+/**
+ * Services a cache provides to its prefetcher.
+ */
+class PrefetchHost
+{
+  public:
+    virtual ~PrefetchHost() = default;
+
+    /**
+     * Queue a prefetch for `byte_addr` (same address space the
+     * prefetcher was trained in: virtual at the L1-D, physical below).
+     *
+     * @param byte_addr  target address
+     * @param fill_level deepest level the returned line is installed in;
+     *                   must be this cache's level or deeper
+     * @param metadata   opaque bits carried with the request and handed
+     *                   to lower-level prefetchers (IPCP's 9-bit class +
+     *                   stride channel)
+     * @param pf_class   attribution id recorded on the filled line
+     * @return false when the prefetch queue is full (request dropped)
+     */
+    virtual bool issuePrefetch(Addr byte_addr, CacheLevel fill_level,
+                               std::uint32_t metadata,
+                               std::uint8_t pf_class) = 0;
+
+    /** The level of the hosting cache. */
+    virtual CacheLevel level() const = 0;
+
+    /** Current simulation cycle. */
+    virtual Cycle now() const = 0;
+
+    /** Demand misses at this cache since stats reset (for MPKI gates). */
+    virtual std::uint64_t demandMisses() const = 0;
+
+    /** Instructions retired by the owning core since stats reset. */
+    virtual std::uint64_t retiredInstructions() const = 0;
+};
+
+/**
+ * Base class of every hardware prefetcher.
+ *
+ * Addresses passed to `operate`/`onFill` are byte addresses in the
+ * address space of the hosting cache (virtual at a VIPT L1-D, physical
+ * at L2/LLC).
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Attach to the hosting cache; called once during system wiring. */
+    virtual void setHost(PrefetchHost *host) { host_ = host; }
+
+    /**
+     * Called for every access the cache observes: demand loads/stores/
+     * instruction fetches, and prefetch requests arriving from the
+     * level above (which carry `meta_in`, the metadata channel).
+     */
+    virtual void operate(Addr addr, Ip ip, bool cache_hit,
+                         AccessType type, std::uint32_t meta_in) = 0;
+
+    /**
+     * Called when a line is installed in the cache.
+     * @param addr          byte address of the filled line
+     * @param was_prefetch  the fill was triggered by a prefetch
+     * @param pf_class      attribution id from the prefetch request
+     */
+    virtual void
+    onFill(Addr addr, bool was_prefetch, std::uint8_t pf_class)
+    {
+        (void)addr;
+        (void)was_prefetch;
+        (void)pf_class;
+    }
+
+    /** Called when a demand access first hits a prefetched line. */
+    virtual void
+    onPrefetchUseful(Addr addr, std::uint8_t pf_class)
+    {
+        (void)addr;
+        (void)pf_class;
+    }
+
+    /** Per-cycle housekeeping (most prefetchers need none). */
+    virtual void cycle() {}
+
+    /** Human-readable name used in reports. */
+    virtual std::string name() const = 0;
+
+    /** Modeled hardware budget in bits (Table I accounting). */
+    virtual std::size_t storageBits() const = 0;
+
+  protected:
+    PrefetchHost *host_ = nullptr;
+};
+
+/** The trivial no-prefetching placeholder. */
+class NoPrefetcher : public Prefetcher
+{
+  public:
+    void
+    operate(Addr, Ip, bool, AccessType, std::uint32_t) override
+    {
+    }
+
+    std::string name() const override { return "none"; }
+
+    std::size_t storageBits() const override { return 0; }
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,127 @@
+#include "prefetch/sandbox.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+SandboxPrefetcher::SandboxPrefetcher(SandboxParams p)
+    : params_(p), bloom_(p.bloomBits, false)
+{
+    // The HPCA'14 candidate set: +/-1 .. +/-8, then +/-16.
+    for (int d = 1; d <= 8; ++d) {
+        candidates_.push_back(d);
+        candidates_.push_back(-d);
+    }
+    candidates_.push_back(16);
+    candidates_.push_back(-16);
+}
+
+std::size_t
+SandboxPrefetcher::storageBits() const
+{
+    return params_.bloomBits +
+           candidates_.size() * 10 +  // per-candidate score latches
+           params_.maxActive * (6 + 3);
+}
+
+void
+SandboxPrefetcher::bloomInsert(LineAddr line)
+{
+    bloom_[mix64(line) % bloom_.size()] = true;
+    bloom_[mix64(line * 0x9E3779B97F4A7C15ull) % bloom_.size()] = true;
+}
+
+bool
+SandboxPrefetcher::bloomTest(LineAddr line) const
+{
+    return bloom_[mix64(line) % bloom_.size()] &&
+           bloom_[mix64(line * 0x9E3779B97F4A7C15ull) % bloom_.size()];
+}
+
+void
+SandboxPrefetcher::endTrial()
+{
+    const int offset = candidates_[trialIndex_];
+    if (trialScore_ >= params_.minScore) {
+        const unsigned degree = std::min(
+            4u, 1 + trialScore_ / params_.degreeThreshold);
+        // Replace an existing entry for this offset or displace the
+        // weakest-scoring active offset if this one beats it.
+        Active *slot = nullptr;
+        for (Active &a : active_) {
+            if (a.offset == offset) {
+                slot = &a;
+                break;
+            }
+        }
+        if (slot == nullptr && active_.size() < params_.maxActive) {
+            active_.push_back({offset, degree, trialScore_});
+        } else if (slot == nullptr) {
+            Active *weakest = &active_[0];
+            for (Active &a : active_) {
+                if (a.score < weakest->score)
+                    weakest = &a;
+            }
+            if (trialScore_ > weakest->score)
+                *weakest = {offset, degree, trialScore_};
+        } else {
+            *slot = {offset, degree, trialScore_};
+        }
+    } else {
+        // Demote a failing offset.
+        active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                     [&](const Active &a) {
+                                         return a.offset == offset;
+                                     }),
+                      active_.end());
+    }
+    trialIndex_ = (trialIndex_ + 1) % candidates_.size();
+    trialAccesses_ = 0;
+    trialScore_ = 0;
+    std::fill(bloom_.begin(), bloom_.end(), false);
+}
+
+void
+SandboxPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
+                           std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    const LineAddr line = lineAddr(addr);
+    const int candidate = candidates_[trialIndex_];
+
+    // Score: would the candidate's earlier fake prefetch have covered
+    // this access?
+    if (bloomTest(line))
+        ++trialScore_;
+
+    // Fake-prefetch into the sandbox (stay in page).
+    const Addr target =
+        addr + static_cast<Addr>(static_cast<std::int64_t>(candidate) *
+                                 static_cast<std::int64_t>(kLineSize));
+    if (pageNumber(target) == pageNumber(addr))
+        bloomInsert(lineAddr(target));
+
+    if (++trialAccesses_ >= params_.evaluationPeriod)
+        endTrial();
+
+    // Real prefetching with the promoted offsets.
+    for (const Active &a : active_) {
+        for (unsigned k = 1; k <= a.degree; ++k) {
+            const Addr t = addr +
+                static_cast<Addr>(static_cast<std::int64_t>(a.offset) *
+                                  static_cast<std::int64_t>(k) *
+                                  static_cast<std::int64_t>(kLineSize));
+            if (pageNumber(t) != pageNumber(addr))
+                break;
+            host_->issuePrefetch(t, host_->level(), 0, 0);
+        }
+    }
+}
+
+} // namespace bouquet

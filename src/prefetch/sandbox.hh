@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sandbox prefetcher [Pugsley et al., HPCA 2014]: candidate offsets
+ * are evaluated in a Bloom-filter "sandbox" — fake prefetches are
+ * inserted into the filter and scored when later demand accesses hit
+ * them — and only offsets that prove themselves get to issue real
+ * prefetches. One of the offset-prefetcher baselines of Section II.
+ */
+
+#ifndef BOUQUET_PREFETCH_SANDBOX_HH
+#define BOUQUET_PREFETCH_SANDBOX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Sandbox configuration (defaults follow the HPCA'14 description). */
+struct SandboxParams
+{
+    unsigned evaluationPeriod = 256;  //!< accesses per candidate trial
+    unsigned bloomBits = 2048;
+    unsigned degreeThreshold = 64;    //!< score per extra degree step
+    unsigned minScore = 32;           //!< below: candidate rejected
+    unsigned maxActive = 4;           //!< concurrently active offsets
+};
+
+/** The Sandbox prefetcher. */
+class SandboxPrefetcher : public Prefetcher
+{
+  public:
+    explicit SandboxPrefetcher(SandboxParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "sandbox"; }
+
+    std::size_t storageBits() const override;
+
+    /** A promoted offset. */
+    struct Active
+    {
+        int offset;
+        unsigned degree;
+        unsigned score;
+    };
+
+    /** Currently promoted offsets with their degrees (for tests). */
+    const std::vector<Active> &activeOffsets() const { return active_; }
+
+  private:
+    void bloomInsert(LineAddr line);
+    bool bloomTest(LineAddr line) const;
+    void endTrial();
+
+    SandboxParams params_;
+    std::vector<int> candidates_;
+    std::size_t trialIndex_ = 0;   //!< candidate under evaluation
+    unsigned trialAccesses_ = 0;
+    unsigned trialScore_ = 0;
+    std::vector<bool> bloom_;
+    std::vector<Active> active_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_SANDBOX_HH

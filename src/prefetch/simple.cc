@@ -1,0 +1,257 @@
+#include "prefetch/simple.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+bool
+demandType(AccessType t)
+{
+    return t == AccessType::Load || t == AccessType::Store ||
+           t == AccessType::InstFetch;
+}
+
+/** Issue a prefetch `delta` lines away iff it stays within the page. */
+void
+issueInPage(PrefetchHost *host, Addr addr, std::int64_t delta_lines,
+            std::uint8_t pf_class = 0, std::uint32_t metadata = 0)
+{
+    const Addr target = addr + static_cast<Addr>(delta_lines *
+                                                 static_cast<std::int64_t>(
+                                                     kLineSize));
+    if (pageNumber(target) != pageNumber(addr))
+        return;
+    host->issuePrefetch(target, host->level(), metadata, pf_class);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// NextLinePrefetcher
+// ---------------------------------------------------------------------
+
+void
+NextLinePrefetcher::operate(Addr addr, Ip, bool cache_hit,
+                            AccessType type, std::uint32_t)
+{
+    const bool qualifies =
+        demandType(type) ||
+        (params_.triggerOnPrefetch && type == AccessType::Prefetch);
+    if (!qualifies)
+        return;
+    if (params_.onlyOnMiss && cache_hit)
+        return;
+    for (unsigned k = 1; k <= params_.degree; ++k)
+        issueInPage(host_, addr, static_cast<std::int64_t>(k));
+}
+
+// ---------------------------------------------------------------------
+// ThrottledNextLine
+// ---------------------------------------------------------------------
+
+void
+ThrottledNextLine::operate(Addr addr, Ip, bool cache_hit,
+                           AccessType type, std::uint32_t)
+{
+    if (!demandType(type) || cache_hit)
+        return;
+    if (!enabled_) {
+        // While off, wait out a cooldown of demand misses before
+        // probing again — otherwise a disabled prefetcher can never
+        // re-measure its accuracy.
+        if (++disabledMisses_ >= 2048) {
+            disabledMisses_ = 0;
+            enabled_ = true;
+        }
+        return;
+    }
+    issueInPage(host_, addr, 1);
+}
+
+void
+ThrottledNextLine::onFill(Addr, bool was_prefetch, std::uint8_t)
+{
+    if (!was_prefetch)
+        return;
+    ++fills_;
+    if (fills_ >= 256) {
+        enabled_ = useful_ * 5 >= fills_;  // accuracy >= 20%
+        fills_ = 0;
+        useful_ = 0;
+        disabledMisses_ = 0;
+    }
+}
+
+void
+ThrottledNextLine::onPrefetchUseful(Addr, std::uint8_t)
+{
+    ++useful_;
+}
+
+// ---------------------------------------------------------------------
+// IpStridePrefetcher
+// ---------------------------------------------------------------------
+
+IpStridePrefetcher::IpStridePrefetcher(IpStrideParams p)
+    : params_(p), table_(p.tableEntries)
+{
+}
+
+std::size_t
+IpStridePrefetcher::storageBits() const
+{
+    // tag(10) + last line(16 folded) + stride(7) + confidence(2)
+    return params_.tableEntries * (10 + 16 + 7 + 2);
+}
+
+void
+IpStridePrefetcher::operate(Addr addr, Ip ip, bool, AccessType type,
+                            std::uint32_t)
+{
+    if (!demandType(type))
+        return;
+
+    const LineAddr line = lineAddr(addr);
+    const std::size_t idx = (ip >> 2) % table_.size();
+    Entry &e = table_[idx];
+    const std::uint64_t tag = (ip >> 2) / table_.size();
+
+    if (!e.valid || e.tag != tag) {
+        e.valid = true;
+        e.tag = tag;
+        e.lastLine = line;
+        e.stride = 0;
+        e.confidence.reset();
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(e.lastLine);
+    if (stride == 0)
+        return;  // same line: nothing to learn
+    if (stride == e.stride) {
+        e.confidence.increment();
+    } else {
+        e.confidence.decrement();
+        if (e.confidence.value() == 0)
+            e.stride = static_cast<int>(stride);
+    }
+    e.lastLine = line;
+
+    if (e.confidence.value() >= params_.confThreshold && e.stride != 0) {
+        for (unsigned k = 1; k <= params_.degree; ++k) {
+            const std::int64_t delta =
+                static_cast<std::int64_t>(k) * e.stride;
+            if (params_.stayInPage) {
+                issueInPage(host_, addr, delta);
+            } else {
+                host_->issuePrefetch(
+                    addr + static_cast<Addr>(delta *
+                                             static_cast<std::int64_t>(
+                                                 kLineSize)),
+                    host_->level(), 0, 0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// StreamPrefetcher
+// ---------------------------------------------------------------------
+
+StreamPrefetcher::StreamPrefetcher(StreamParams p)
+    : params_(p), streams_(p.streams)
+{
+}
+
+std::size_t
+StreamPrefetcher::storageBits() const
+{
+    // last line(16) + direction(1) + train(2) + valid/trained(2) + LRU(8)
+    return params_.streams * (16 + 1 + 2 + 2 + 8);
+}
+
+void
+StreamPrefetcher::operate(Addr addr, Ip, bool cache_hit,
+                          AccessType type, std::uint32_t)
+{
+    if (!demandType(type))
+        return;
+    const LineAddr line = lineAddr(addr);
+    ++clock_;
+
+    // Find a stream this access extends (within +/-2 lines of the head).
+    Stream *found = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t d = static_cast<std::int64_t>(line) -
+                               static_cast<std::int64_t>(s.lastLine);
+        if (d != 0 && d * s.direction > 0 && d * s.direction <= 2) {
+            found = &s;
+            break;
+        }
+    }
+
+    if (found != nullptr) {
+        Stream &s = *found;
+        s.lastLine = line;
+        s.lastUse = clock_;
+        if (!s.trained) {
+            if (++s.trainHits >= params_.trainLength)
+                s.trained = true;
+        }
+        if (s.trained) {
+            for (unsigned k = 0; k < params_.degree; ++k) {
+                const std::int64_t delta =
+                    s.direction *
+                    static_cast<std::int64_t>(params_.distance + k);
+                issueInPage(host_, addr, delta);
+            }
+        }
+        return;
+    }
+
+    // Allocate a new tentative stream on a miss (either direction).
+    if (cache_hit)
+        return;
+    Stream *victim = &streams_[0];
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->trained = false;
+    victim->trainHits = 0;
+    victim->lastLine = line;
+    victim->direction = 1;
+    victim->lastUse = clock_;
+
+    // A second detector entry for the descending direction.
+    Stream *victim2 = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim2 = &s;
+            break;
+        }
+    }
+    if (victim2 != nullptr) {
+        victim2->valid = true;
+        victim2->trained = false;
+        victim2->trainHits = 0;
+        victim2->lastLine = line;
+        victim2->direction = -1;
+        victim2->lastUse = clock_;
+    }
+}
+
+} // namespace bouquet

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The simple prefetcher family: next-line (NL), the DPC-3 "throttled
+ * NL" used at the L1 under SPP-based combos, the classic IP-stride
+ * prefetcher, and a POWER4-style stream prefetcher. These are both
+ * baselines in their own right (Fig. 7) and the L2/LLC companions of
+ * the multi-level combinations in Table III.
+ */
+
+#ifndef BOUQUET_PREFETCH_SIMPLE_HH
+#define BOUQUET_PREFETCH_SIMPLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Next-line prefetcher configuration. */
+struct NextLineParams
+{
+    unsigned degree = 1;
+    bool onlyOnMiss = false;      //!< restrictive NL (demand misses only)
+    bool triggerOnPrefetch = false;  //!< also react to arriving prefetches
+};
+
+/** Prefetch the next `degree` lines after each qualifying access. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(NextLineParams p = {}) : params_(p) {}
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "next-line"; }
+
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    NextLineParams params_;
+};
+
+/**
+ * The DPC-3 "throttled NL": next-line on demand misses only, gated by
+ * a global accuracy estimate so it backs off when its prefetches are
+ * not being used (the L1 component of the SPP+Perceptron+DSPatch
+ * combination, Table III).
+ */
+class ThrottledNextLine : public Prefetcher
+{
+  public:
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+    void onFill(Addr addr, bool was_prefetch,
+                std::uint8_t pf_class) override;
+    void onPrefetchUseful(Addr addr, std::uint8_t pf_class) override;
+
+    std::string name() const override { return "throttled-nl"; }
+
+    /** Two 16-bit counters. */
+    std::size_t storageBits() const override { return 32; }
+
+  private:
+    std::uint64_t fills_ = 0;
+    std::uint64_t useful_ = 0;
+    std::uint64_t disabledMisses_ = 0;
+    bool enabled_ = true;
+};
+
+/** IP-stride prefetcher configuration. */
+struct IpStrideParams
+{
+    unsigned tableEntries = 64;
+    unsigned degree = 3;
+    unsigned confThreshold = 2;  //!< 2-bit confidence to prefetch
+    bool stayInPage = true;
+};
+
+/**
+ * The classic per-IP constant-stride prefetcher [18]: a direct-mapped
+ * table of (tag, last line, stride, confidence).
+ */
+class IpStridePrefetcher : public Prefetcher
+{
+  public:
+    explicit IpStridePrefetcher(IpStrideParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "ip-stride"; }
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        LineAddr lastLine = 0;
+        int stride = 0;
+        SatCounter<2> confidence;
+    };
+
+    IpStrideParams params_;
+    std::vector<Entry> table_;
+};
+
+/** Stream prefetcher configuration. */
+struct StreamParams
+{
+    unsigned streams = 16;
+    unsigned distance = 6;   //!< how far ahead of the head to run
+    unsigned degree = 2;
+    unsigned trainLength = 2;  //!< sequential misses before streaming
+};
+
+/**
+ * POWER4-style hardware stream prefetcher [51]: detects ascending or
+ * descending sequential miss streams and runs a prefetch head a fixed
+ * distance ahead of the demand stream.
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(StreamParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "stream"; }
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        bool trained = false;
+        int direction = 1;
+        LineAddr lastLine = 0;
+        unsigned trainHits = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    StreamParams params_;
+    std::vector<Stream> streams_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_SIMPLE_HH

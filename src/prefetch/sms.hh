@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Spatial pattern prefetchers over regions: SMS [Somogyi et al., ISCA
+ * 2006] and Bingo [Bakhshalipour et al., HPCA 2019].
+ *
+ * Both learn per-region footprints (bit patterns) in an accumulation
+ * table and replay them when a trigger access recurs. SMS indexes its
+ * pattern history by (PC, first offset); Bingo looks up the long
+ * (PC + region address) event first and falls back to the short
+ * (PC + offset) event — its "multiple signatures in one table" design.
+ * The paper evaluates Bingo at two budgets (48 KB and 119 KB), which
+ * map to the `historyEntries` knob here.
+ */
+
+#ifndef BOUQUET_PREFETCH_SMS_HH
+#define BOUQUET_PREFETCH_SMS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** Shared region geometry for SMS/Bingo. */
+struct SpatialParams
+{
+    unsigned regionBytes = 2048;   //!< spatial region size
+    unsigned accumEntries = 64;    //!< active-region accumulation table
+    unsigned historyEntries = 2048;  //!< pattern history table
+    CacheLevel fillLevel = CacheLevel::L1D;
+};
+
+/** Common machinery: accumulation of active-region footprints. */
+class SpatialPatternBase : public Prefetcher
+{
+  public:
+    explicit SpatialPatternBase(SpatialParams p);
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+  protected:
+    struct ActiveRegion
+    {
+        bool valid = false;
+        Addr region = 0;
+        std::uint32_t triggerPc = 0;
+        std::uint8_t triggerOffset = 0;
+        std::uint64_t bitmap = 0;
+        std::uint64_t pending = 0;  //!< predicted lines not yet issued
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Store a finished region's pattern into the history. */
+    virtual void recordPattern(const ActiveRegion &r) = 0;
+
+    /**
+     * Predict the footprint for a fresh trigger access; returns an
+     * absolute-offset bitmap of lines to prefetch (0 = no prediction).
+     */
+    virtual std::uint64_t predict(unsigned trigger_offset,
+                                  std::uint32_t pc_hash, Addr region) = 0;
+
+    unsigned linesPerRegion() const { return params_.regionBytes / kLineSize; }
+
+    /** Issue up to `maxIssue` pending lines of a region. */
+    void drainPending(ActiveRegion &r, unsigned max_issue);
+
+    SpatialParams params_;
+
+  private:
+    std::vector<ActiveRegion> regions_;
+    std::uint64_t clock_ = 0;
+};
+
+/** SMS: history keyed by (PC ^ trigger offset). */
+class SmsPrefetcher : public SpatialPatternBase
+{
+  public:
+    explicit SmsPrefetcher(SpatialParams p = {});
+
+    std::string name() const override { return "sms"; }
+    std::size_t storageBits() const override;
+
+  protected:
+    void recordPattern(const ActiveRegion &r) override;
+    std::uint64_t predict(unsigned trigger_offset,
+                          std::uint32_t pc_hash, Addr region) override;
+
+  private:
+    struct PhtEntry
+    {
+        bool valid = false;
+        std::uint32_t key = 0;
+        std::uint64_t pattern = 0;
+    };
+
+    std::vector<PhtEntry> pht_;
+};
+
+/** Bingo: long (PC+address) lookup with short (PC+offset) fallback. */
+class BingoPrefetcher : public SpatialPatternBase
+{
+  public:
+    explicit BingoPrefetcher(SpatialParams p = {});
+
+    std::string name() const override { return "bingo"; }
+    std::size_t storageBits() const override;
+
+  protected:
+    void recordPattern(const ActiveRegion &r) override;
+    std::uint64_t predict(unsigned trigger_offset,
+                          std::uint32_t pc_hash, Addr region) override;
+
+  private:
+    struct PhtEntry
+    {
+        bool valid = false;
+        std::uint32_t longKey = 0;   //!< hash of PC + region address
+        std::uint32_t shortKey = 0;  //!< hash of PC + offset
+        std::uint64_t pattern = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    static std::uint32_t longKeyOf(std::uint32_t pc_hash, Addr region);
+    static std::uint32_t shortKeyOf(std::uint32_t pc_hash,
+                                    unsigned offset);
+
+    std::vector<PhtEntry> pht_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_SMS_HH

@@ -1,0 +1,173 @@
+#include "prefetch/spp.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+SppPrefetcher::SppPrefetcher(SppParams p)
+    : params_(p), st_(p.stEntries), pt_(p.ptEntries),
+      ghr_(p.ghrEntries), filter_(p.filterEntries, ~0u)
+{
+    for (auto &e : pt_)
+        e.deltas.resize(params_.deltasPerEntry);
+}
+
+std::size_t
+SppPrefetcher::storageBits() const
+{
+    // ST: tag(16)+offset(6)+sig(12); PT: sigcount(4)+4x(delta 7 +
+    // count 4); GHR: sig(12)+conf(8)+offset(6)+delta(7); filter tag(10).
+    return params_.stEntries * (16 + 6 + 12) +
+           params_.ptEntries * (4 + params_.deltasPerEntry * (7 + 4)) +
+           params_.ghrEntries * (12 + 8 + 6 + 7) +
+           params_.filterEntries * 10;
+}
+
+bool
+SppPrefetcher::filterProbe(LineAddr line)
+{
+    const std::size_t idx = line & (params_.filterEntries - 1);
+    const std::uint32_t tag = static_cast<std::uint32_t>(
+        foldXor(line >> log2Exact(params_.filterEntries), 10));
+    if (filter_[idx] == tag)
+        return true;
+    filter_[idx] = tag;
+    return false;
+}
+
+void
+SppPrefetcher::trainPattern(std::uint16_t sig, int delta)
+{
+    PtEntry &e = pt_[sig & (params_.ptEntries - 1)];
+    if (e.sigCount >= 15) {
+        // Counter saturation: halve everything to keep ratios.
+        e.sigCount >>= 1;
+        for (auto &d : e.deltas)
+            d.count >>= 1;
+    }
+    ++e.sigCount;
+    PtDelta *slot = nullptr;
+    PtDelta *weakest = &e.deltas[0];
+    for (auto &d : e.deltas) {
+        if (d.count > 0 && d.delta == delta) {
+            slot = &d;
+            break;
+        }
+        if (d.count < weakest->count)
+            weakest = &d;
+    }
+    if (slot == nullptr) {
+        weakest->delta = delta;
+        weakest->count = 0;
+        slot = weakest;
+    }
+    if (slot->count < 15)
+        ++slot->count;
+}
+
+void
+SppPrefetcher::lookahead(Addr page_base, unsigned start_offset,
+                         std::uint16_t sig, Addr trigger)
+{
+    double path_conf = 1.0;
+    int offset = static_cast<int>(start_offset);
+    std::uint16_t s = sig;
+
+    for (unsigned depth = 0; depth < params_.maxLookahead; ++depth) {
+        const PtEntry &e = pt_[s & (params_.ptEntries - 1)];
+        if (e.sigCount == 0)
+            return;
+        // Best delta under this signature.
+        const PtDelta *best = nullptr;
+        for (const auto &d : e.deltas) {
+            if (d.count > 0 && (best == nullptr || d.count > best->count))
+                best = &d;
+        }
+        if (best == nullptr || best->delta == 0)
+            return;
+
+        const double conf =
+            path_conf * static_cast<double>(best->count) /
+            static_cast<double>(e.sigCount);
+        if (conf < params_.pfThreshold)
+            return;
+
+        offset += best->delta;
+        if (offset < 0 || offset >= static_cast<int>(kLinesPerPage)) {
+            // Crossing the page: remember the stream in the GHR so the
+            // next page can be bootstrapped.
+            GhrEntry &g = ghr_[s & (params_.ghrEntries - 1)];
+            g.valid = true;
+            g.signature = s;
+            g.confidence = conf;
+            g.lastOffset = static_cast<std::uint8_t>(
+                (offset + kLinesPerPage) % kLinesPerPage);
+            g.delta = best->delta;
+            return;
+        }
+
+        const Addr target =
+            page_base + static_cast<Addr>(offset) * kLineSize;
+        if (gate_ == nullptr ||
+            gate_(gateCtx_, target, trigger, best->delta, conf, s)) {
+            if (!filterProbe(lineAddr(target))) {
+                const CacheLevel fill =
+                    (conf >= params_.fillThreshold ||
+                     !params_.lowConfToLlc)
+                        ? host_->level()
+                        : CacheLevel::LLC;
+                host_->issuePrefetch(target, fill, 0, 0);
+            }
+        }
+
+        s = nextSignature(s, best->delta);
+        path_conf = conf;
+    }
+}
+
+void
+SppPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
+                       std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    const Addr page = pageNumber(addr);
+    const unsigned offset = lineOffsetInPage(addr);
+    const Addr page_base = page << kPageBits;
+
+    const std::size_t idx = page & (params_.stEntries - 1);
+    const std::uint32_t tag = static_cast<std::uint32_t>(
+        foldXor(page >> log2Exact(params_.stEntries), 16));
+    StEntry &st = st_[idx];
+
+    if (st.valid && st.pageTag == tag) {
+        const int delta = static_cast<int>(offset) -
+                          static_cast<int>(st.lastOffset);
+        if (delta == 0)
+            return;
+        trainPattern(st.signature, delta);
+        st.signature = nextSignature(st.signature, delta);
+        st.lastOffset = static_cast<std::uint8_t>(offset);
+        lookahead(page_base, offset, st.signature, addr);
+        return;
+    }
+
+    // New page: bootstrap from the GHR when a cross-page stream
+    // predicted this offset.
+    st.valid = true;
+    st.pageTag = tag;
+    st.lastOffset = static_cast<std::uint8_t>(offset);
+    st.signature = 0;
+    for (const GhrEntry &g : ghr_) {
+        if (g.valid && g.lastOffset == offset) {
+            st.signature = nextSignature(g.signature, g.delta);
+            lookahead(page_base, offset, st.signature, addr);
+            break;
+        }
+    }
+}
+
+} // namespace bouquet

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Signature Path Prefetcher (SPP) [Kim et al., MICRO 2016]: the
+ * state-of-the-art lookahead delta prefetcher the paper compares
+ * against at the L2 (Table III, "SPP+Perceptron+DSPatch").
+ *
+ * Structures: a page-tagged Signature Table (ST) tracking a 12-bit
+ * compressed delta history per page, a Pattern Table (PT) of delta
+ * candidates with confidence counters indexed by signature, a global
+ * history register (GHR) that bootstraps new pages from cross-page
+ * streams, and a small prefetch filter. Path confidence multiplies
+ * down the speculation chain; low-confidence prefetches fill the LLC
+ * instead of the L2.
+ */
+
+#ifndef BOUQUET_PREFETCH_SPP_HH
+#define BOUQUET_PREFETCH_SPP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** SPP configuration (defaults follow the MICRO'16 artifact). */
+struct SppParams
+{
+    unsigned stEntries = 256;     //!< signature table
+    unsigned ptEntries = 512;     //!< pattern table
+    unsigned deltasPerEntry = 4;
+    unsigned ghrEntries = 8;
+    unsigned filterEntries = 1024;
+    double fillThreshold = 0.90;  //!< >= : fill at this level
+    double pfThreshold = 0.25;    //!< >= : prefetch at all (else stop)
+    unsigned maxLookahead = 8;
+    /** Fill level for low-confidence prefetches (LLC in the paper). */
+    bool lowConfToLlc = true;
+};
+
+/** The SPP prefetcher. */
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    explicit SppPrefetcher(SppParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "spp"; }
+
+    std::size_t storageBits() const override;
+
+    /**
+     * Hook used by the PPF wrapper: called for every candidate SPP
+     * would issue, before the filter; returning false vetoes it.
+     * Default accepts everything.
+     */
+    using CandidateGate = bool (*)(void *ctx, Addr target, Addr trigger,
+                                   int delta, double confidence,
+                                   std::uint32_t signature);
+    void
+    setCandidateGate(CandidateGate gate, void *ctx)
+    {
+        gate_ = gate;
+        gateCtx_ = ctx;
+    }
+
+  private:
+    struct StEntry
+    {
+        bool valid = false;
+        std::uint32_t pageTag = 0;
+        std::uint8_t lastOffset = 0;
+        std::uint16_t signature = 0;  //!< 12 bits
+    };
+
+    struct PtDelta
+    {
+        int delta = 0;
+        std::uint8_t count = 0;  //!< 4-bit
+    };
+
+    struct PtEntry
+    {
+        std::uint8_t sigCount = 0;  //!< 4-bit
+        std::vector<PtDelta> deltas;
+    };
+
+    struct GhrEntry
+    {
+        bool valid = false;
+        std::uint16_t signature = 0;
+        double confidence = 0;
+        std::uint8_t lastOffset = 0;
+        int delta = 0;
+    };
+
+    static std::uint16_t
+    nextSignature(std::uint16_t sig, int delta)
+    {
+        const std::uint16_t d =
+            static_cast<std::uint16_t>(delta & 0x7F);
+        return static_cast<std::uint16_t>(((sig << 3) ^ d) & 0xFFF);
+    }
+
+    void trainPattern(std::uint16_t sig, int delta);
+    void lookahead(Addr page_base, unsigned start_offset,
+                   std::uint16_t sig, Addr trigger);
+    bool filterProbe(LineAddr line);
+
+    SppParams params_;
+    std::vector<StEntry> st_;
+    std::vector<PtEntry> pt_;
+    std::vector<GhrEntry> ghr_;
+    std::vector<std::uint32_t> filter_;
+    CandidateGate gate_ = nullptr;
+    void *gateCtx_ = nullptr;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_SPP_HH

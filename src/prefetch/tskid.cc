@@ -1,0 +1,155 @@
+#include "prefetch/tskid.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+TskidPrefetcher::TskidPrefetcher(TskidParams p)
+    : params_(p), table_(p.tableEntries), samples_(256)
+{
+}
+
+std::size_t
+TskidPrefetcher::storageBits() const
+{
+    // Large per-IP table: tag(16)+line(16)+stride(7)+conf(2)+
+    // lookahead(5)+lru(8), plus the timing sample buffer.
+    return params_.tableEntries * (16 + 16 + 7 + 2 + 5 + 8) +
+           samples_.size() * (12 + 10 + 32 + 2);
+}
+
+TskidPrefetcher::Entry *
+TskidPrefetcher::lookup(Ip ip, std::uint32_t &idx_out)
+{
+    const std::uint64_t key = ip >> 2;
+    const std::size_t sets = table_.size() / params_.ways;
+    const std::size_t set = key % sets;
+    const std::uint64_t tag = key / sets;
+    Entry *base = &table_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            idx_out = static_cast<std::uint32_t>(
+                set * params_.ways + w);
+            return &base[w];
+        }
+    }
+    Entry *victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->tag = tag;
+    idx_out = static_cast<std::uint32_t>(victim - table_.data());
+    return victim;
+}
+
+void
+TskidPrefetcher::operate(Addr addr, Ip ip, bool, AccessType type,
+                         std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store)
+        return;
+
+    ++clock_;
+    const LineAddr line = lineAddr(addr);
+    std::uint32_t idx = 0;
+    Entry *e = lookup(ip, idx);
+    const bool fresh = e->lastUse == 0;
+    const LineAddr prev = e->lastLine;
+    e->lastUse = clock_;
+    if (fresh) {
+        e->lastLine = line;
+        return;
+    }
+
+    const std::int64_t stride = static_cast<std::int64_t>(line) -
+                                static_cast<std::int64_t>(prev);
+    e->lastLine = line;
+    if (stride == 0)
+        return;
+    if (stride == e->stride) {
+        e->confidence.increment();
+    } else {
+        e->confidence.decrement();
+        if (e->confidence.value() == 0)
+            e->stride = static_cast<int>(stride);
+    }
+    if (e->confidence.value() < 2 || e->stride == 0)
+        return;
+
+    // Issue `degree` prefetches starting at the learned lookahead: the
+    // timing mechanism — don't prefetch the next stride, prefetch the
+    // one that will be needed `lookahead` accesses from now.
+    for (unsigned k = 0; k < params_.degree; ++k) {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(e->lookahead + k) * e->stride;
+        const Addr target =
+            addr + static_cast<Addr>(delta *
+                                     static_cast<std::int64_t>(
+                                         kLineSize));
+        if (pageNumber(target) != pageNumber(addr))
+            break;
+        if (host_->issuePrefetch(target, host_->level(), 0, 0)) {
+            // Sample this prefetch for timing feedback.
+            InflightSample &s =
+                samples_[lineAddr(target) & (samples_.size() - 1)];
+            s.valid = true;
+            s.lineTag = static_cast<std::uint32_t>(
+                foldXor(lineAddr(target), 20));
+            s.entryIdx = idx;
+            s.filled = false;
+            s.fillCycle = 0;
+        }
+    }
+}
+
+void
+TskidPrefetcher::onFill(Addr addr, bool was_prefetch, std::uint8_t)
+{
+    if (!was_prefetch)
+        return;
+    InflightSample &s =
+        samples_[lineAddr(addr) & (samples_.size() - 1)];
+    if (s.valid &&
+        s.lineTag == static_cast<std::uint32_t>(
+                         foldXor(lineAddr(addr), 20))) {
+        s.filled = true;
+        s.fillCycle = host_->now();
+    }
+}
+
+void
+TskidPrefetcher::onPrefetchUseful(Addr addr, std::uint8_t)
+{
+    InflightSample &s =
+        samples_[lineAddr(addr) & (samples_.size() - 1)];
+    if (!s.valid ||
+        s.lineTag != static_cast<std::uint32_t>(
+                         foldXor(lineAddr(addr), 20)))
+        return;
+    Entry &e = table_[s.entryIdx];
+    if (!s.filled) {
+        // Used before the fill completed: too late — look further ahead.
+        if (e.lookahead < params_.maxLookahead)
+            ++e.lookahead;
+    } else {
+        const Cycle idle = host_->now() - s.fillCycle;
+        // Sat long in the cache before use: too early — pull back so the
+        // line is less exposed to eviction (the paper's cactuBSSN
+        // observation about early prefetches).
+        if (idle > 2000 && e.lookahead > params_.minLookahead)
+            --e.lookahead;
+        else if (idle < 200 && e.lookahead < params_.maxLookahead)
+            ++e.lookahead;
+    }
+    s.valid = false;
+}
+
+} // namespace bouquet

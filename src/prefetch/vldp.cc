@@ -1,0 +1,179 @@
+#include "prefetch/vldp.hh"
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+VldpPrefetcher::VldpPrefetcher(VldpParams p)
+    : params_(p), dhb_(p.dhbEntries)
+{
+    for (auto &t : dpt_)
+        t.resize(params_.dptEntries);
+}
+
+std::size_t
+VldpPrefetcher::storageBits() const
+{
+    // DHB: tag(16)+offset(6)+3 deltas(7)+count(2); DPT: key(12)+
+    // prediction(7)+conf(2); OPT: delta(7)+conf(2).
+    return params_.dhbEntries * (16 + 6 + 21 + 2) +
+           kVldpTables * params_.dptEntries * (12 + 7 + 2) +
+           64 * (7 + 2);
+}
+
+std::uint32_t
+VldpPrefetcher::hashDeltas(const int *deltas, unsigned n)
+{
+    std::uint64_t h = n;
+    for (unsigned i = 0; i < n; ++i)
+        h = (h << 7) ^ static_cast<std::uint32_t>(deltas[i] + 64);
+    return static_cast<std::uint32_t>(foldXor(h, 12));
+}
+
+VldpPrefetcher::DhbEntry *
+VldpPrefetcher::findPage(Addr page)
+{
+    for (DhbEntry &e : dhb_) {
+        if (e.valid && e.page == page)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+VldpPrefetcher::predict(const DhbEntry &e, int &delta_out) const
+{
+    // Longest history first: a match in a longer table overrides.
+    for (unsigned len = std::min(e.numDeltas, kVldpTables); len >= 1;
+         --len) {
+        const std::uint32_t key = hashDeltas(e.deltas.data(), len);
+        const DptEntry &d =
+            dpt_[len - 1][key & (params_.dptEntries - 1)];
+        if (d.valid && d.key == key && d.confidence.value() >= 1 &&
+            d.prediction != 0) {
+            delta_out = d.prediction;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VldpPrefetcher::train(const DhbEntry &e, int observed)
+{
+    for (unsigned len = 1; len <= std::min(e.numDeltas, kVldpTables);
+         ++len) {
+        const std::uint32_t key = hashDeltas(e.deltas.data(), len);
+        DptEntry &d = dpt_[len - 1][key & (params_.dptEntries - 1)];
+        if (!d.valid || d.key != key) {
+            d.valid = true;
+            d.key = key;
+            d.prediction = observed;
+            d.confidence.reset();
+            continue;
+        }
+        if (d.prediction == observed) {
+            d.confidence.increment();
+        } else {
+            d.confidence.decrement();
+            if (d.confidence.value() == 0)
+                d.prediction = observed;
+        }
+    }
+}
+
+void
+VldpPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
+                        std::uint32_t)
+{
+    if (type != AccessType::Load && type != AccessType::Store &&
+        type != AccessType::InstFetch)
+        return;
+
+    ++clock_;
+    const Addr page = pageNumber(addr);
+    const int offset = static_cast<int>(lineOffsetInPage(addr));
+
+    DhbEntry *e = findPage(page);
+    if (e == nullptr) {
+        DhbEntry *victim = &dhb_[0];
+        for (DhbEntry &d : dhb_) {
+            if (!d.valid) {
+                victim = &d;
+                break;
+            }
+            if (d.lastUse < victim->lastUse)
+                victim = &d;
+        }
+        *victim = DhbEntry{};
+        victim->valid = true;
+        victim->page = page;
+        victim->lastOffset = static_cast<std::uint8_t>(offset);
+        victim->lastUse = clock_;
+
+        // First access to a page: the OPT predicts the first delta.
+        const OptEntry &o = opt_[static_cast<std::size_t>(offset)];
+        if (o.confidence.value() >= 1 && o.delta != 0) {
+            const Addr target =
+                addr + static_cast<Addr>(
+                           static_cast<std::int64_t>(o.delta) *
+                           static_cast<std::int64_t>(kLineSize));
+            if (pageNumber(target) == pageNumber(addr))
+                host_->issuePrefetch(target, host_->level(), 0, 0);
+        }
+        return;
+    }
+
+    const int delta = offset - static_cast<int>(e->lastOffset);
+    e->lastUse = clock_;
+    if (delta == 0)
+        return;
+
+    // Train the OPT with the page's first observed delta.
+    if (e->numDeltas == 0) {
+        OptEntry &o = opt_[e->lastOffset];
+        if (o.delta == delta) {
+            o.confidence.increment();
+        } else {
+            o.confidence.decrement();
+            if (o.confidence.value() == 0)
+                o.delta = delta;
+        }
+    }
+
+    // Train the DPT cascade with the delta that actually followed the
+    // recorded history, then push the new delta into the history.
+    if (e->numDeltas > 0)
+        train(*e, delta);
+    for (unsigned i = kVldpTables - 1; i >= 1; --i)
+        e->deltas[i] = e->deltas[i - 1];
+    e->deltas[0] = delta;
+    if (e->numDeltas < kVldpTables)
+        ++e->numDeltas;
+    e->lastOffset = static_cast<std::uint8_t>(offset);
+
+    // Multi-degree lookahead: walk predicted deltas.
+    DhbEntry walk = *e;
+    Addr cursor = addr;
+    for (unsigned k = 0; k < params_.degree; ++k) {
+        int next = 0;
+        if (!predict(walk, next))
+            break;
+        const Addr target =
+            cursor + static_cast<Addr>(static_cast<std::int64_t>(next) *
+                                       static_cast<std::int64_t>(
+                                           kLineSize));
+        if (pageNumber(target) != pageNumber(cursor))
+            break;
+        host_->issuePrefetch(target, host_->level(), 0, 0);
+        cursor = target;
+        for (unsigned i = kVldpTables - 1; i >= 1; --i)
+            walk.deltas[i] = walk.deltas[i - 1];
+        walk.deltas[0] = next;
+        if (walk.numDeltas < kVldpTables)
+            ++walk.numDeltas;
+    }
+}
+
+} // namespace bouquet

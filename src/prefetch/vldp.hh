@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Variable Length Delta Prefetcher (VLDP) [Shevgoor et al., MICRO
+ * 2015]: per-page delta histories feed a cascade of Delta Prediction
+ * Tables keyed by progressively longer delta sequences; longer matches
+ * win. An Offset Prediction Table predicts the first delta of a page
+ * from its first-access offset.
+ */
+
+#ifndef BOUQUET_PREFETCH_VLDP_HH
+#define BOUQUET_PREFETCH_VLDP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bouquet
+{
+
+/** VLDP configuration (defaults follow the MICRO'15 artifact). */
+struct VldpParams
+{
+    unsigned dhbEntries = 16;   //!< delta history buffer (pages)
+    unsigned dptEntries = 64;   //!< per delta-prediction table
+    unsigned degree = 4;        //!< lookahead depth
+};
+
+/** Number of cascaded DPTs (history lengths 1..3). */
+inline constexpr unsigned kVldpTables = 3;
+
+/** The VLDP prefetcher. */
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    explicit VldpPrefetcher(VldpParams p = {});
+
+    void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
+                 std::uint32_t meta_in) override;
+
+    std::string name() const override { return "vldp"; }
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct DhbEntry
+    {
+        bool valid = false;
+        Addr page = 0;
+        std::uint8_t lastOffset = 0;
+        std::array<int, kVldpTables> deltas{};  //!< newest first
+        unsigned numDeltas = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct DptEntry
+    {
+        bool valid = false;
+        std::uint32_t key = 0;
+        int prediction = 0;
+        SatCounter<2> confidence;
+    };
+
+    struct OptEntry
+    {
+        int delta = 0;
+        SatCounter<2> confidence;
+    };
+
+    static std::uint32_t hashDeltas(const int *deltas, unsigned n);
+
+    DhbEntry *findPage(Addr page);
+    /** Predict the next delta from the longest matching history. */
+    bool predict(const DhbEntry &e, int &delta_out) const;
+    void train(const DhbEntry &e, int observed);
+
+    VldpParams params_;
+    std::vector<DhbEntry> dhb_;
+    std::array<std::vector<DptEntry>, kVldpTables> dpt_;
+    std::array<OptEntry, 64> opt_;  //!< first-offset -> first delta
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_PREFETCH_VLDP_HH

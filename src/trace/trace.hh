@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace record format and the workload-generator interface.
+ *
+ * The paper drives ChampSim with DPC-3 sim-point traces of SPEC CPU
+ * 2017. Those traces are not redistributable and are unavailable
+ * offline, so this reproduction substitutes deterministic synthetic
+ * generators that emit the same *taxonomy* of access patterns the paper
+ * motivates in Section III (constant stride, complex stride, global
+ * stream, irregular), calibrated to comparable memory intensity. See
+ * DESIGN.md §4 for the substitution argument.
+ */
+
+#ifndef BOUQUET_TRACE_TRACE_HH
+#define BOUQUET_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+/**
+ * One memory instruction in a workload's dynamic instruction stream.
+ *
+ * `bubble` is the number of non-memory instructions that retire between
+ * the previous memory instruction and this one; it sets the workload's
+ * memory intensity. `serialize` marks a load whose address depends on
+ * the previous load's data (pointer chasing) — the core will not issue
+ * it until the previous load completes, which removes memory-level
+ * parallelism exactly as a dependent chain does.
+ */
+struct TraceRecord
+{
+    Ip ip = 0;                        //!< program counter of this access
+    Addr vaddr = 0;                   //!< virtual byte address
+    AccessType type = AccessType::Load;
+    std::uint16_t bubble = 0;         //!< preceding non-memory instrs
+    bool serialize = false;           //!< depends on previous load
+};
+
+/**
+ * An endless, deterministic stream of trace records.
+ *
+ * Generators are infinite: the simulator decides how many instructions
+ * to consume (warmup + measured region), mirroring sim-point replay.
+ * `reset()` rewinds to the initial state so the same object can be
+ * replayed (used by multi-core mixes where a fast benchmark is
+ * restarted until every core finishes, per the paper's methodology).
+ */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /** Produce the next record of the stream. */
+    virtual void next(TraceRecord &out) = 0;
+
+    /** Rewind the generator to its initial state. */
+    virtual void reset() = 0;
+
+    /** Human-readable workload name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+using GeneratorPtr = std::unique_ptr<WorkloadGenerator>;
+
+} // namespace bouquet
+
+#endif // BOUQUET_TRACE_TRACE_HH

@@ -1,0 +1,103 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace bouquet
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x42515452'43455631ull;  // "BQTRCEV1"
+constexpr std::size_t kRecordBytes = 20;
+
+void
+encode(const TraceRecord &r, unsigned char *buf)
+{
+    std::memcpy(buf, &r.ip, 8);
+    std::memcpy(buf + 8, &r.vaddr, 8);
+    buf[16] = static_cast<unsigned char>(r.type);
+    buf[17] = static_cast<unsigned char>(r.bubble & 0xFF);
+    buf[18] = static_cast<unsigned char>(r.bubble >> 8);
+    buf[19] = r.serialize ? 1 : 0;
+}
+
+void
+decode(const unsigned char *buf, TraceRecord &r)
+{
+    std::memcpy(&r.ip, buf, 8);
+    std::memcpy(&r.vaddr, buf + 8, 8);
+    r.type = static_cast<AccessType>(buf[16]);
+    r.bubble = static_cast<std::uint16_t>(buf[17] |
+                                          (buf[18] << 8));
+    r.serialize = buf[19] != 0;
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path, WorkloadGenerator &gen,
+               std::uint64_t count)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        throw std::runtime_error("cannot open trace file for writing: " +
+                                 path);
+    if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+        throw std::runtime_error("trace header write failed: " + path);
+
+    unsigned char buf[kRecordBytes];
+    TraceRecord r;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        gen.next(r);
+        encode(r, buf);
+        if (std::fwrite(buf, 1, kRecordBytes, f.get()) != kRecordBytes)
+            throw std::runtime_error("trace record write failed: " +
+                                     path);
+    }
+}
+
+TraceFileGenerator::TraceFileGenerator(const std::string &path)
+    : name_(path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        magic != kMagic)
+        throw std::runtime_error("not a bouquet trace file: " + path);
+    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        throw std::runtime_error("truncated trace header: " + path);
+
+    records_.resize(count);
+    unsigned char buf[kRecordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buf, 1, kRecordBytes, f.get()) != kRecordBytes)
+            throw std::runtime_error("truncated trace file: " + path);
+        decode(buf, records_[i]);
+    }
+    if (records_.empty())
+        throw std::runtime_error("empty trace file: " + path);
+}
+
+void
+TraceFileGenerator::next(TraceRecord &out)
+{
+    out = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+}
+
+} // namespace bouquet

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binary trace file I/O: capture any WorkloadGenerator's stream to a
+ * file and replay it later (ChampSim-style trace-driven workflow).
+ * The format is a fixed 20-byte little-endian record with a versioned
+ * header; files loop on replay, mirroring sim-point methodology.
+ */
+
+#ifndef BOUQUET_TRACE_TRACE_IO_HH
+#define BOUQUET_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace bouquet
+{
+
+/**
+ * Capture `count` records from `gen` into a trace file.
+ * Throws std::runtime_error on I/O failure.
+ */
+void writeTraceFile(const std::string &path, WorkloadGenerator &gen,
+                    std::uint64_t count);
+
+/**
+ * A workload generator replaying a trace file. The whole trace is
+ * loaded into memory (records are 20 bytes; a 10M-record sim-point is
+ * 200 MB — the files this library writes are far smaller). Replay
+ * wraps at the end of file.
+ */
+class TraceFileGenerator : public WorkloadGenerator
+{
+  public:
+    /** Load a trace file; throws std::runtime_error on failure. */
+    explicit TraceFileGenerator(const std::string &path);
+
+    void next(TraceRecord &out) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_TRACE_TRACE_IO_HH

@@ -1,0 +1,556 @@
+#include "trace/workloads.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+/** Nominal text segment base for synthesized IPs. */
+constexpr Addr kCodeBase = 0x00400000;
+
+/** Nominal heap base; streams are laid out above this. */
+constexpr Addr kHeapBase = 0x10000000;
+
+/** Gap between per-stream slabs so streams never alias. */
+constexpr Addr kSlabGap = 4ull << 30;
+
+/**
+ * Synthesize a plausible load IP: 4-byte spaced, spread across the
+ * low index bits so direct-mapped IP tables see realistic conflicts.
+ */
+Ip
+makeIp(Rng &rng, unsigned idx)
+{
+    return kCodeBase + idx * 4 + (rng.below(1024) * 4);
+}
+
+Addr
+slabBase(unsigned idx)
+{
+    return kHeapBase + kSlabGap * idx;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ConstantStrideGen
+// ---------------------------------------------------------------------
+
+ConstantStrideGen::ConstantStrideGen(std::string name, std::uint64_t seed,
+                                     ConstantStrideParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+ConstantStrideGen::onReset()
+{
+    streams_.clear();
+    turn_ = 0;
+    for (unsigned i = 0; i < params_.numIps; ++i) {
+        Stream s;
+        s.ip = makeIp(rng_, i);
+        s.base = slabBase(i);
+        s.cursorLine = rng_.below(64);
+        int stride = static_cast<int>(
+            rng_.range(params_.minStride, params_.maxStride));
+        if (params_.negativeToo && rng_.chance(0.5))
+            stride = -stride;
+        if (stride == 0)
+            stride = 1;
+        s.stride = stride;
+        s.repeatLeft = 0;
+        streams_.push_back(s);
+    }
+}
+
+void
+ConstantStrideGen::next(TraceRecord &out)
+{
+    Stream &s = streams_[turn_];
+
+    const std::uint64_t footprint_lines = params_.footprint / kLineSize;
+    if (s.repeatLeft == 0) {
+        s.cursorLine = (s.cursorLine +
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(footprint_lines) +
+                            s.stride)) % footprint_lines;
+        s.repeatLeft = params_.accessesPerLine;
+    }
+    --s.repeatLeft;
+
+    out.ip = s.ip;
+    out.vaddr = s.base + s.cursorLine * kLineSize + rng_.below(kLineSize);
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+    if (s.repeatLeft == 0)
+        turn_ = (turn_ + 1) % streams_.size();
+}
+
+// ---------------------------------------------------------------------
+// ComplexStrideGen
+// ---------------------------------------------------------------------
+
+ComplexStrideGen::ComplexStrideGen(std::string name, std::uint64_t seed,
+                                   ComplexStrideParams p)
+    : BaseGenerator(std::move(name), seed), params_(std::move(p))
+{
+    assert(!params_.patterns.empty());
+    onReset();
+}
+
+void
+ComplexStrideGen::onReset()
+{
+    streams_.clear();
+    turn_ = 0;
+    for (unsigned i = 0; i < params_.numIps; ++i) {
+        Stream s;
+        s.ip = makeIp(rng_, i);
+        s.base = slabBase(i);
+        s.cursorLine = rng_.below(64);
+        s.pattern = &params_.patterns[i % params_.patterns.size()];
+        s.patternPos = 0;
+        s.repeatLeft = 0;
+        streams_.push_back(s);
+    }
+}
+
+void
+ComplexStrideGen::next(TraceRecord &out)
+{
+    Stream &s = streams_[turn_];
+
+    const std::uint64_t footprint_lines = params_.footprint / kLineSize;
+    if (s.repeatLeft == 0) {
+        const int stride = (*s.pattern)[s.patternPos];
+        s.patternPos = (s.patternPos + 1) % s.pattern->size();
+        s.cursorLine = (s.cursorLine +
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(footprint_lines) +
+                            stride)) % footprint_lines;
+        s.repeatLeft = params_.accessesPerLine;
+    }
+    --s.repeatLeft;
+
+    out.ip = s.ip;
+    out.vaddr = s.base + s.cursorLine * kLineSize + rng_.below(kLineSize);
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+    if (s.repeatLeft == 0)
+        turn_ = (turn_ + 1) % streams_.size();
+}
+
+// ---------------------------------------------------------------------
+// GlobalStreamGen
+// ---------------------------------------------------------------------
+
+GlobalStreamGen::GlobalStreamGen(std::string name, std::uint64_t seed,
+                                 GlobalStreamParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+GlobalStreamGen::onReset()
+{
+    ips_.clear();
+    for (unsigned i = 0; i < params_.numIps; ++i)
+        ips_.push_back(makeIp(rng_, i));
+    // Regions advance from the middle of the slab so a negative-direction
+    // stream has room to run.
+    const std::uint64_t footprint_lines = params_.footprint / kLineSize;
+    regionLine_ = (slabBase(0) / kLineSize) + footprint_lines / 2;
+    regionLine_ &= ~std::uint64_t{31};  // align to 2 KB region
+    ipTurn_ = 0;
+    runLeft_ = 0;
+    order_.clear();
+    orderPos_ = 0;
+    refillRegion();
+}
+
+void
+GlobalStreamGen::refillRegion()
+{
+    // Visit `density` of the 32 lines of the region, mostly in stream
+    // order but locally jumbled within a small window — the pattern the
+    // paper attributes to lbm/gcc.
+    constexpr unsigned kRegionLines = 32;
+    order_.clear();
+    for (unsigned i = 0; i < kRegionLines; ++i) {
+        if (rng_.uniform() < params_.regionDensity)
+            order_.push_back(params_.negativeDirection
+                                 ? kRegionLines - 1 - i
+                                 : i);
+    }
+    if (order_.empty())
+        order_.push_back(0);
+    for (std::size_t i = 0; i + 1 < order_.size(); ++i) {
+        const std::size_t limit =
+            std::min(order_.size() - 1, i + params_.jumbleWindow);
+        const std::size_t j =
+            i + rng_.below(limit - i + 1);
+        std::swap(order_[i], order_[j]);
+    }
+    orderPos_ = 0;
+}
+
+void
+GlobalStreamGen::next(TraceRecord &out)
+{
+    if (repeatLeft_ == 0) {
+        ++orderPos_;
+        repeatLeft_ = params_.accessesPerLine;
+        if (orderPos_ >= order_.size()) {
+            const std::int64_t step =
+                params_.negativeDirection ? -32 : 32;
+            regionLine_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(regionLine_) + step);
+            refillRegion();
+        }
+    }
+    --repeatLeft_;
+    if (runLeft_ == 0) {
+        ipTurn_ = (ipTurn_ + 1) % ips_.size();
+        runLeft_ = static_cast<unsigned>(
+            rng_.range(params_.runLenMin, params_.runLenMax));
+    }
+    --runLeft_;
+
+    const unsigned offset = order_[orderPos_];
+    out.ip = ips_[ipTurn_];
+    out.vaddr = (regionLine_ + offset) * kLineSize + rng_.below(kLineSize);
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+}
+
+// ---------------------------------------------------------------------
+// PointerChaseGen
+// ---------------------------------------------------------------------
+
+PointerChaseGen::PointerChaseGen(std::string name, std::uint64_t seed,
+                                 PointerChaseParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+PointerChaseGen::onReset()
+{
+    chaseIps_.clear();
+    for (unsigned i = 0; i < params_.numChaseIps; ++i)
+        chaseIps_.push_back(makeIp(rng_, i));
+    regularIp_ = makeIp(rng_, params_.numChaseIps);
+    chaseCursor_ = rng_.next();
+    regularCursor_ = 0;
+    turn_ = 0;
+}
+
+void
+PointerChaseGen::next(TraceRecord &out)
+{
+    const std::uint64_t footprint_lines = params_.footprint / kLineSize;
+    if (repeatLeft_ > 0) {
+        // Re-access the current node's line (key, payload, next ptr).
+        --repeatLeft_;
+        out.ip = chaseIps_[turn_];
+        out.vaddr = slabBase(0) +
+                    (chaseCursor_ % footprint_lines) * kLineSize +
+                    rng_.below(kLineSize);
+        out.serialize = false;
+        out.type = drawType(params_.storeFraction);
+        out.bubble = static_cast<std::uint16_t>(params_.bubble);
+        return;
+    }
+    if (rng_.chance(params_.regularFraction)) {
+        regularCursor_ = (regularCursor_ + 1) % footprint_lines;
+        out.ip = regularIp_;
+        out.vaddr = slabBase(8) + regularCursor_ * kLineSize;
+        out.serialize = false;
+    } else {
+        // A pointer dereference: the next node is a hash of the current
+        // cursor — uniformly scattered, exactly what a cold linked
+        // structure traversal looks like to the memory system.
+        chaseCursor_ = mix64(chaseCursor_ + 0x9e3779b97f4a7c15ull);
+        const std::uint64_t line = chaseCursor_ % footprint_lines;
+        turn_ = (turn_ + 1) % chaseIps_.size();
+        out.ip = chaseIps_[turn_];
+        out.vaddr = slabBase(0) + line * kLineSize + rng_.below(kLineSize);
+        out.serialize = true;
+        if (params_.nodeAccesses > 1)
+            repeatLeft_ = params_.nodeAccesses - 1;
+    }
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+}
+
+// ---------------------------------------------------------------------
+// ManyIpGen
+// ---------------------------------------------------------------------
+
+ManyIpGen::ManyIpGen(std::string name, std::uint64_t seed, ManyIpParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+ManyIpGen::onReset()
+{
+    ips_.clear();
+    cursors_.clear();
+    turn_ = 0;
+    for (unsigned i = 0; i < params_.numIps; ++i) {
+        ips_.push_back(kCodeBase + i * 4);
+        cursors_.push_back(rng_.below(64));
+    }
+}
+
+void
+ManyIpGen::next(TraceRecord &out)
+{
+    const std::uint64_t footprint_lines =
+        params_.footprintPerIp / kLineSize;
+    const std::size_t i = turn_;
+    if (repeatLeft_ == 0) {
+        cursors_[i] = (cursors_[i] + params_.stride) % footprint_lines;
+        repeatLeft_ = params_.accessesPerLine;
+    }
+    --repeatLeft_;
+    if (repeatLeft_ == 0)
+        turn_ = (turn_ + 1) % ips_.size();
+    out.ip = ips_[i];
+    // Pack per-IP arrays contiguously; slabs would exceed the address
+    // space with thousands of IPs.
+    out.vaddr = kHeapBase + (i * footprint_lines + cursors_[i]) * kLineSize;
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+}
+
+// ---------------------------------------------------------------------
+// ComputeBoundGen
+// ---------------------------------------------------------------------
+
+ComputeBoundGen::ComputeBoundGen(std::string name, std::uint64_t seed,
+                                 ComputeBoundParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+ComputeBoundGen::onReset()
+{
+    ips_.clear();
+    for (unsigned i = 0; i < params_.numIps; ++i)
+        ips_.push_back(makeIp(rng_, i));
+    cursor_ = 0;
+}
+
+void
+ComputeBoundGen::next(TraceRecord &out)
+{
+    // A cache-resident working set touched in a cyclic sweep: it warms
+    // in one pass and then hits everywhere, so the workload's IPC is
+    // bounded by compute — the defining property of the paper's
+    // non-memory-intensive traces.
+    const std::uint64_t footprint_lines = params_.footprint / kLineSize;
+    cursor_ = (cursor_ + 1) % footprint_lines;
+    out.ip = ips_[rng_.below(ips_.size())];
+    out.vaddr = kHeapBase + cursor_ * kLineSize + rng_.below(kLineSize);
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+}
+
+// ---------------------------------------------------------------------
+// ServerGen
+// ---------------------------------------------------------------------
+
+ServerGen::ServerGen(std::string name, std::uint64_t seed, ServerParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+ServerGen::onReset()
+{
+    streamLeft_ = 0;
+    streamCursor_ = 0;
+    streamIp_ = 0;
+}
+
+void
+ServerGen::next(TraceRecord &out)
+{
+    const std::uint64_t data_lines = params_.dataFootprint / kLineSize;
+    if (streamLeft_ > 0) {
+        --streamLeft_;
+        ++streamCursor_;
+        out.ip = streamIp_;
+        out.vaddr = kHeapBase + (streamCursor_ % data_lines) * kLineSize;
+        out.serialize = false;
+    } else if (rng_.chance(params_.spatialFraction)) {
+        // Start a short stream (a request buffer scan).
+        streamLeft_ = 4 + rng_.below(12);
+        streamCursor_ = rng_.below(data_lines);
+        streamIp_ = kCodeBase + rng_.below(params_.codeFootprint / 4) * 4;
+        out.ip = streamIp_;
+        out.vaddr = kHeapBase + streamCursor_ * kLineSize;
+        out.serialize = false;
+    } else {
+        // Irregular dereference from a large, flat code footprint.
+        out.ip = kCodeBase + rng_.below(params_.codeFootprint / 4) * 4;
+        out.vaddr = kHeapBase + rng_.below(data_lines) * kLineSize +
+                    rng_.below(kLineSize);
+        out.serialize = rng_.chance(0.5);
+    }
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+}
+
+// ---------------------------------------------------------------------
+// TiledStreamGen
+// ---------------------------------------------------------------------
+
+TiledStreamGen::TiledStreamGen(std::string name, std::uint64_t seed,
+                               TiledStreamParams p)
+    : BaseGenerator(std::move(name), seed), params_(p)
+{
+    onReset();
+}
+
+void
+TiledStreamGen::onReset()
+{
+    tensors_.clear();
+    turn_ = 0;
+    for (unsigned i = 0; i < params_.numTensors; ++i) {
+        Tensor t;
+        t.ip = makeIp(rng_, i);
+        t.base = slabBase(i);
+        t.tileStartLine = rng_.below(params_.tensorBytes / kLineSize);
+        t.cursorLine = t.tileStartLine;
+        t.repeatLeft = 0;
+        tensors_.push_back(t);
+    }
+}
+
+void
+TiledStreamGen::next(TraceRecord &out)
+{
+    Tensor &t = tensors_[turn_];
+
+    const std::uint64_t tensor_lines = params_.tensorBytes / kLineSize;
+    if (t.repeatLeft == 0) {
+        ++t.cursorLine;
+        if (t.cursorLine - t.tileStartLine >= params_.tileLines) {
+            // Jump to the next tile: skip the row remainder.
+            t.tileStartLine =
+                (t.tileStartLine + params_.tileLines * 4) % tensor_lines;
+            t.cursorLine = t.tileStartLine;
+        }
+        t.repeatLeft = params_.accessesPerLine;
+    }
+    --t.repeatLeft;
+    out.ip = t.ip;
+    out.vaddr = t.base + (t.cursorLine % tensor_lines) * kLineSize +
+                rng_.below(kLineSize);
+    out.type = drawType(params_.storeFraction);
+    out.bubble = static_cast<std::uint16_t>(params_.bubble);
+    out.serialize = false;
+    if (t.repeatLeft == 0)
+        turn_ = (turn_ + 1) % tensors_.size();
+}
+
+// ---------------------------------------------------------------------
+// PhaseGen
+// ---------------------------------------------------------------------
+
+PhaseGen::PhaseGen(std::string name, std::vector<GeneratorPtr> children,
+                   std::uint64_t phase_length)
+    : name_(std::move(name)), children_(std::move(children)),
+      phaseLength_(phase_length)
+{
+    assert(!children_.empty());
+    assert(phaseLength_ > 0);
+}
+
+void
+PhaseGen::next(TraceRecord &out)
+{
+    if (posInPhase_ >= phaseLength_) {
+        posInPhase_ = 0;
+        active_ = (active_ + 1) % children_.size();
+    }
+    ++posInPhase_;
+    children_[active_]->next(out);
+}
+
+void
+PhaseGen::reset()
+{
+    posInPhase_ = 0;
+    active_ = 0;
+    for (auto &c : children_)
+        c->reset();
+}
+
+// ---------------------------------------------------------------------
+// InterleaveGen
+// ---------------------------------------------------------------------
+
+InterleaveGen::InterleaveGen(std::string name, std::uint64_t seed,
+                             std::vector<GeneratorPtr> children,
+                             std::vector<double> weights)
+    : name_(std::move(name)), seed_(seed), rng_(seed),
+      children_(std::move(children))
+{
+    assert(children_.size() == weights.size());
+    assert(!children_.empty());
+    double sum = 0;
+    for (double w : weights) {
+        sum += w;
+        cumulative_.push_back(sum);
+    }
+    for (double &c : cumulative_)
+        c /= sum;
+}
+
+void
+InterleaveGen::next(TraceRecord &out)
+{
+    const double u = rng_.uniform();
+    std::size_t pick = cumulative_.size() - 1;
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i]) {
+            pick = i;
+            break;
+        }
+    }
+    children_[pick]->next(out);
+}
+
+void
+InterleaveGen::reset()
+{
+    rng_ = Rng(seed_);
+    for (auto &c : children_)
+        c->reset();
+}
+
+} // namespace bouquet

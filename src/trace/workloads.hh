@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Synthetic workload generators covering the access-pattern taxonomy of
+ * the IPCP paper (Section III):
+ *
+ *  - ConstantStrideGen    : per-IP constant strides (bwaves-like)
+ *  - ComplexStrideGen     : per-IP repeating stride patterns such as
+ *                           3,3,4 and 1,2,1,2 (paper Section IV-B)
+ *  - GlobalStreamGen      : bursty, jumbled dense-region streams shared
+ *                           by several IPs (lbm/gcc-like)
+ *  - PointerChaseGen      : dependent irregular accesses (mcf-like)
+ *  - ManyIpGen            : thousands of live IPs with reuse distance
+ *                           beyond any small IP table (cactuBSSN-like)
+ *  - ComputeBoundGen      : low memory intensity (xalancbmk-like)
+ *  - ServerGen            : large code footprint + irregular data
+ *                           (CloudSuite-like)
+ *  - TiledStreamGen       : tiled tensor streaming (CNN/RNN-like)
+ *  - PhaseGen             : phase-switching combinator (mcf phases)
+ *  - InterleaveGen        : weighted round-robin combinator
+ *
+ * All generators are deterministic functions of their seed.
+ */
+
+#ifndef BOUQUET_TRACE_WORKLOADS_HH
+#define BOUQUET_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace bouquet
+{
+
+/** Base class holding name/seed plumbing common to every generator. */
+class BaseGenerator : public WorkloadGenerator
+{
+  public:
+    BaseGenerator(std::string name, std::uint64_t seed)
+        : name_(std::move(name)), seed_(seed), rng_(seed)
+    {}
+
+    std::string name() const override { return name_; }
+
+    void reset() override { rng_ = Rng(seed_); onReset(); }
+
+  protected:
+    /** Subclass state re-initialisation hook for reset(). */
+    virtual void onReset() = 0;
+
+    /** Draw a store/load decision with the given store fraction. */
+    AccessType
+    drawType(double store_fraction)
+    {
+        return rng_.chance(store_fraction) ? AccessType::Store
+                                           : AccessType::Load;
+    }
+
+    std::string name_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/** Parameters for ConstantStrideGen. */
+struct ConstantStrideParams
+{
+    unsigned numIps = 8;            //!< concurrent striding IPs
+    int minStride = 1;              //!< min stride in cache lines
+    int maxStride = 4;              //!< max stride in cache lines
+    std::uint64_t footprint = 256ull << 20;  //!< bytes per IP's array
+    unsigned bubble = 4;            //!< non-memory instrs per access
+    double storeFraction = 0.1;
+    bool negativeToo = false;       //!< allow negative strides
+    /**
+     * Consecutive accesses to each cache line before advancing: real
+     * code loads every element of a line, not one byte per line.
+     */
+    unsigned accessesPerLine = 4;
+};
+
+/** Per-IP constant-stride streams (the CS class's home turf). */
+class ConstantStrideGen : public BaseGenerator
+{
+  public:
+    ConstantStrideGen(std::string name, std::uint64_t seed,
+                      ConstantStrideParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    struct Stream
+    {
+        Ip ip;
+        Addr base;
+        std::uint64_t cursorLine;
+        int stride;
+        unsigned repeatLeft;  //!< remaining accesses to the cursor line
+    };
+
+    ConstantStrideParams params_;
+    std::vector<Stream> streams_;
+    std::size_t turn_ = 0;
+};
+
+/** Parameters for ComplexStrideGen. */
+struct ComplexStrideParams
+{
+    /** Stride patterns, one per IP (cycled if fewer than numIps). */
+    std::vector<std::vector<int>> patterns = {{3, 3, 4}, {1, 2}};
+    unsigned numIps = 4;
+    std::uint64_t footprint = 128ull << 20;
+    unsigned bubble = 4;
+    double storeFraction = 0.1;
+    unsigned accessesPerLine = 4;  //!< see ConstantStrideParams
+};
+
+/** Per-IP repeating complex-stride patterns (the CPLX class). */
+class ComplexStrideGen : public BaseGenerator
+{
+  public:
+    ComplexStrideGen(std::string name, std::uint64_t seed,
+                     ComplexStrideParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    struct Stream
+    {
+        Ip ip;
+        Addr base;
+        std::uint64_t cursorLine;
+        const std::vector<int> *pattern;
+        std::size_t patternPos;
+        unsigned repeatLeft;
+    };
+
+    ComplexStrideParams params_;
+    std::vector<Stream> streams_;
+    std::size_t turn_ = 0;
+};
+
+/** Parameters for GlobalStreamGen. */
+struct GlobalStreamParams
+{
+    unsigned numIps = 6;          //!< IPs sharing the stream
+    unsigned runLenMin = 2;       //!< consecutive accesses per IP turn
+    unsigned runLenMax = 5;
+    unsigned jumbleWindow = 3;    //!< local shuffle window within region
+    double regionDensity = 0.95;  //!< fraction of the 32 lines touched
+    bool negativeDirection = false;
+    unsigned bubble = 2;          //!< bursty: low bubble
+    double storeFraction = 0.05;
+    std::uint64_t footprint = 512ull << 20;
+    unsigned accessesPerLine = 4;  //!< see ConstantStrideParams
+};
+
+/**
+ * A global stream: contiguous 2 KB regions visited densely but in a
+ * locally jumbled order, with consecutive runs attributed to rotating
+ * IPs — exactly the IP_C/IP_D/IP_E example of paper Section III.
+ */
+class GlobalStreamGen : public BaseGenerator
+{
+  public:
+    GlobalStreamGen(std::string name, std::uint64_t seed,
+                    GlobalStreamParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    void refillRegion();
+
+    GlobalStreamParams params_;
+    std::vector<Ip> ips_;
+    std::vector<unsigned> order_;   //!< line offsets of current region
+    std::size_t orderPos_ = 0;
+    unsigned repeatLeft_ = 0;
+    std::uint64_t regionLine_ = 0;  //!< first line of current region
+    std::size_t ipTurn_ = 0;
+    unsigned runLeft_ = 0;
+};
+
+/** Parameters for PointerChaseGen. */
+struct PointerChaseParams
+{
+    std::uint64_t footprint = 1ull << 30;  //!< bytes of chased heap
+    double regularFraction = 0.15;  //!< share of regular stride accesses
+    unsigned bubble = 6;
+    double storeFraction = 0.15;
+    unsigned numChaseIps = 4;
+    unsigned nodeAccesses = 2;  //!< loads per visited node line
+};
+
+/** Dependent irregular walks over a large footprint (mcf-like). */
+class PointerChaseGen : public BaseGenerator
+{
+  public:
+    PointerChaseGen(std::string name, std::uint64_t seed,
+                    PointerChaseParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    PointerChaseParams params_;
+    std::vector<Ip> chaseIps_;
+    Ip regularIp_;
+    std::uint64_t chaseCursor_ = 0;
+    std::uint64_t regularCursor_ = 0;
+    std::size_t turn_ = 0;
+    unsigned repeatLeft_ = 0;
+};
+
+/** Parameters for ManyIpGen. */
+struct ManyIpParams
+{
+    unsigned numIps = 2048;     //!< enough to thrash a 64-entry table
+    int stride = 1;
+    std::uint64_t footprintPerIp = 4ull << 20;
+    unsigned bubble = 3;
+    double storeFraction = 0.1;
+    unsigned accessesPerLine = 4;  //!< see ConstantStrideParams
+};
+
+/**
+ * Very many live IPs, each individually regular but with per-IP reuse
+ * distance far beyond any small associative table (cactuBSSN-like; the
+ * paper notes IPCP's tables are too small for this outlier).
+ */
+class ManyIpGen : public BaseGenerator
+{
+  public:
+    ManyIpGen(std::string name, std::uint64_t seed, ManyIpParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    ManyIpParams params_;
+    std::vector<std::uint64_t> cursors_;
+    std::vector<Ip> ips_;
+    std::size_t turn_ = 0;
+    unsigned repeatLeft_ = 0;
+};
+
+/** Parameters for ComputeBoundGen. */
+struct ComputeBoundParams
+{
+    std::uint64_t footprint = 96ull << 10;  //!< fits in L1/L2
+    unsigned bubble = 40;
+    double storeFraction = 0.2;
+    unsigned numIps = 12;
+};
+
+/** Cache-resident, compute-bound workload (low MPKI). */
+class ComputeBoundGen : public BaseGenerator
+{
+  public:
+    ComputeBoundGen(std::string name, std::uint64_t seed,
+                    ComputeBoundParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    ComputeBoundParams params_;
+    std::vector<Ip> ips_;
+    std::uint64_t cursor_ = 0;
+};
+
+/** Parameters for ServerGen. */
+struct ServerParams
+{
+    std::uint64_t codeFootprint = 8ull << 20;  //!< instruction bytes
+    std::uint64_t dataFootprint = 512ull << 20;
+    double spatialFraction = 0.25;  //!< share of short-stream accesses
+    unsigned bubble = 8;
+    double storeFraction = 0.2;
+};
+
+/**
+ * Server-like workload: huge instruction footprint (front-end pressure)
+ * and mostly-irregular data with occasional short streams. Spatial
+ * prefetchers are expected to do little here (paper Fig. 14a).
+ */
+class ServerGen : public BaseGenerator
+{
+  public:
+    ServerGen(std::string name, std::uint64_t seed, ServerParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    ServerParams params_;
+    std::uint64_t streamLeft_ = 0;
+    std::uint64_t streamCursor_ = 0;
+    Ip streamIp_ = 0;
+};
+
+/** Parameters for TiledStreamGen. */
+struct TiledStreamParams
+{
+    unsigned numTensors = 3;
+    unsigned tileLines = 64;     //!< lines per tile before a jump
+    std::uint64_t tensorBytes = 64ull << 20;
+    unsigned bubble = 3;
+    double storeFraction = 0.15;
+    unsigned accessesPerLine = 4;  //!< see ConstantStrideParams
+};
+
+/** Tiled tensor streaming (CNN/RNN-like; heavily GS-friendly). */
+class TiledStreamGen : public BaseGenerator
+{
+  public:
+    TiledStreamGen(std::string name, std::uint64_t seed,
+                   TiledStreamParams p);
+
+    void next(TraceRecord &out) override;
+
+  protected:
+    void onReset() override;
+
+  private:
+    struct Tensor
+    {
+        Ip ip;
+        Addr base;
+        std::uint64_t cursorLine;
+        std::uint64_t tileStartLine;
+        unsigned repeatLeft;
+    };
+
+    TiledStreamParams params_;
+    std::vector<Tensor> tensors_;
+    std::size_t turn_ = 0;
+};
+
+/** Switches between child generators every `phaseLength` records. */
+class PhaseGen : public WorkloadGenerator
+{
+  public:
+    PhaseGen(std::string name, std::vector<GeneratorPtr> children,
+             std::uint64_t phase_length);
+
+    void next(TraceRecord &out) override;
+    void reset() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<GeneratorPtr> children_;
+    std::uint64_t phaseLength_;
+    std::uint64_t posInPhase_ = 0;
+    std::size_t active_ = 0;
+};
+
+/** Weighted interleaving of child generators (per-record choice). */
+class InterleaveGen : public WorkloadGenerator
+{
+  public:
+    InterleaveGen(std::string name, std::uint64_t seed,
+                  std::vector<GeneratorPtr> children,
+                  std::vector<double> weights);
+
+    void next(TraceRecord &out) override;
+    void reset() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::vector<GeneratorPtr> children_;
+    std::vector<double> cumulative_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_TRACE_WORKLOADS_HH

@@ -1,0 +1,73 @@
+/** @file Tests for the bench plumbing: disk cache and fingerprints. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/bench_util.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+using namespace bouquet::bench;
+
+TEST(BenchUtil, FingerprintSeparatesConfigs)
+{
+    SystemConfig a;
+    SystemConfig b;
+    EXPECT_EQ(systemFingerprint(a), systemFingerprint(b));
+    b.dram.busCyclesPerLine = 80;
+    EXPECT_NE(systemFingerprint(a), systemFingerprint(b));
+    SystemConfig c;
+    c.l1d.mshrs = 4;
+    EXPECT_NE(systemFingerprint(a), systemFingerprint(c));
+    SystemConfig d;
+    d.llcPerCore.repl = ReplPolicy::SHiP;
+    EXPECT_NE(systemFingerprint(a), systemFingerprint(d));
+}
+
+TEST(BenchUtil, NamedComboLabelsMatch)
+{
+    const Combo c = namedCombo("ipcp");
+    EXPECT_EQ(c.label, "ipcp");
+    EXPECT_TRUE(static_cast<bool>(c.attach));
+}
+
+TEST(BenchUtil, TableIIISetEndsWithIpcp)
+{
+    const auto combos = tableIIIComboSet();
+    ASSERT_EQ(combos.size(), 5u);
+    EXPECT_EQ(combos.back().label, "ipcp");
+}
+
+TEST(BenchUtil, RunIsDiskCachedAndStable)
+{
+    // Point the cache at a scratch file so this test is hermetic.
+    setenv("IPCP_CACHE_FILE", "/tmp/bouquet_test_cache.bin", 1);
+    std::remove("/tmp/bouquet_test_cache.bin");
+
+    ExperimentConfig cfg;
+    cfg.simInstrs = 30'000;
+    cfg.warmupInstrs = 5'000;
+    const TraceSpec &spec = findTrace("641.leela_s-149B");
+    const Combo none = namedCombo("none");
+
+    const Outcome a = run(spec, none.label, none.attach, cfg);
+    const Outcome b = run(spec, none.label, none.attach, cfg);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.instructions, b.instructions);
+    std::remove("/tmp/bouquet_test_cache.bin");
+}
+
+TEST(BenchUtil, SensitivitySubsetIsValid)
+{
+    const auto subset = sensitivitySubset();
+    EXPECT_EQ(subset.size(), 12u);
+    for (const TraceSpec &t : subset)
+        EXPECT_NO_THROW(findTrace(t.name));
+}
+
+} // namespace
+} // namespace bouquet

@@ -1,0 +1,328 @@
+/** @file Tests for the cache: hits, misses, MSHRs, writebacks, PQ. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "prefetch/simple.hh"
+#include "tests/test_support.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+using test::CaptureTarget;
+using test::StubMemory;
+
+struct CacheRig
+{
+    explicit CacheRig(CacheConfig cfg = smallConfig(), Cycle mem_lat = 50)
+        : cache(cfg), memory(mem_lat)
+    {
+        cache.setLower(&memory);
+    }
+
+    static CacheConfig
+    smallConfig()
+    {
+        CacheConfig cfg;
+        cfg.name = "test";
+        cfg.level = CacheLevel::L2;  // physical addressing, no translator
+        cfg.sets = 16;
+        cfg.ways = 4;
+        cfg.latency = 4;
+        cfg.mshrs = 4;
+        cfg.pqSize = 4;
+        cfg.rqSize = 16;
+        cfg.ports = 2;
+        return cfg;
+    }
+
+    void
+    spin(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i) {
+            memory.tick(clock);
+            cache.tick(clock);
+            ++clock;
+        }
+    }
+
+    MemRequest
+    load(LineAddr line, std::uint64_t id = 1)
+    {
+        MemRequest r;
+        r.line = line;
+        r.type = AccessType::Load;
+        r.requester = &core;
+        r.id = id;
+        return r;
+    }
+
+    Cache cache;
+    StubMemory memory;
+    CaptureTarget core;
+    Cycle clock = 0;
+};
+
+TEST(Cache, MissFetchesAndFills)
+{
+    CacheRig rig;
+    ASSERT_TRUE(rig.cache.acceptRequest(rig.load(100)));
+    rig.spin(100);
+    EXPECT_EQ(rig.core.responses.size(), 1u);
+    EXPECT_TRUE(rig.cache.probe(100));
+    EXPECT_EQ(rig.cache.stats().demandMisses(), 1u);
+}
+
+TEST(Cache, HitRespondsAtHitLatency)
+{
+    CacheRig rig;
+    rig.cache.acceptRequest(rig.load(100, 1));
+    rig.spin(100);
+    rig.core.responses.clear();
+
+    const Cycle start = rig.clock;
+    rig.cache.acceptRequest(rig.load(100, 2));
+    while (rig.core.responses.empty() && rig.clock < start + 50)
+        rig.spin(1);
+    ASSERT_EQ(rig.core.responses.size(), 1u);
+    // Hit latency = config latency (+1 tick granularity).
+    EXPECT_LE(rig.clock - start, rig.cache.config().latency + 2);
+    EXPECT_EQ(rig.cache.stats().demandHits(), 1u);
+}
+
+TEST(Cache, MissLatencyIncludesMemory)
+{
+    CacheRig rig(CacheRig::smallConfig(), 80);
+    const Cycle start = rig.clock;
+    rig.cache.acceptRequest(rig.load(7));
+    while (rig.core.responses.empty() && rig.clock < start + 500)
+        rig.spin(1);
+    EXPECT_GE(rig.clock - start, 80u);
+}
+
+TEST(Cache, MshrMergesSameLine)
+{
+    CacheRig rig;
+    rig.cache.acceptRequest(rig.load(42, 1));
+    rig.cache.acceptRequest(rig.load(42, 2));
+    rig.spin(100);
+    // Both requesters answered by one memory fetch.
+    EXPECT_TRUE(rig.core.sawId(1));
+    EXPECT_TRUE(rig.core.sawId(2));
+    EXPECT_EQ(rig.memory.requests, 1u);
+    EXPECT_EQ(rig.cache.stats().mshrMerges, 1u);
+    EXPECT_EQ(rig.cache.stats().demandMisses(), 1u);
+}
+
+TEST(Cache, MshrFullStallsButRecovers)
+{
+    CacheRig rig;  // 4 MSHRs
+    for (std::uint64_t i = 0; i < 8; ++i)
+        rig.cache.acceptRequest(rig.load(100 + i * 16, i));
+    rig.spin(400);
+    EXPECT_EQ(rig.core.responses.size(), 8u);
+    EXPECT_GT(rig.cache.stats().mshrFullStalls, 0u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    CacheRig rig;
+    // Store to line 0 (set 0), then displace it with 4 more lines in
+    // the same set (4 ways).
+    MemRequest st;
+    st.line = 0;
+    st.type = AccessType::Store;
+    rig.cache.acceptRequest(st);
+    rig.spin(100);
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        rig.cache.acceptRequest(rig.load(i * 16, i));  // same set 0
+    rig.spin(300);
+    EXPECT_EQ(rig.cache.stats().writebacks, 1u);
+    EXPECT_GE(rig.memory.writebacks, 1u);
+    EXPECT_FALSE(rig.cache.probe(0));
+}
+
+TEST(Cache, WritebackFromAboveAllocates)
+{
+    CacheRig rig;
+    MemRequest wb;
+    wb.line = 77;
+    wb.type = AccessType::Writeback;
+    ASSERT_TRUE(rig.cache.acceptRequest(wb));
+    rig.spin(20);
+    EXPECT_TRUE(rig.cache.probe(77));
+    // No fetch from memory: the writeback carries the data.
+    EXPECT_EQ(rig.memory.requests, 0u);
+}
+
+TEST(Cache, PrefetchFillsAndIsCounted)
+{
+    CacheRig rig;
+    rig.cache.issuePrefetch(77 << kLineBits, CacheLevel::L2, 0, 3);
+    rig.spin(200);
+    EXPECT_TRUE(rig.cache.probe(77));
+    EXPECT_EQ(rig.cache.stats().pfFills, 1u);
+    EXPECT_EQ(rig.cache.stats().pfClassFills[3], 1u);
+}
+
+TEST(Cache, PrefetchUsefulOnFirstDemandTouch)
+{
+    CacheRig rig;
+    rig.cache.issuePrefetch(77 << kLineBits, CacheLevel::L2, 0, 3);
+    rig.spin(200);
+    rig.cache.acceptRequest(rig.load(77, 1));
+    rig.spin(20);
+    EXPECT_EQ(rig.cache.stats().pfUseful, 1u);
+    EXPECT_EQ(rig.cache.stats().pfClassUseful[3], 1u);
+    // Second touch must not double count.
+    rig.cache.acceptRequest(rig.load(77, 2));
+    rig.spin(20);
+    EXPECT_EQ(rig.cache.stats().pfUseful, 1u);
+}
+
+TEST(Cache, LatePrefetchCountsWhenDemandMerges)
+{
+    CacheRig rig(CacheRig::smallConfig(), 100);
+    rig.cache.issuePrefetch(88 << kLineBits, CacheLevel::L2, 0, 1);
+    rig.spin(10);  // prefetch in flight
+    rig.cache.acceptRequest(rig.load(88, 1));
+    rig.spin(300);
+    EXPECT_EQ(rig.cache.stats().latePrefetches, 1u);
+    EXPECT_EQ(rig.cache.stats().pfUseful, 1u);
+    EXPECT_TRUE(rig.core.sawId(1));
+}
+
+TEST(Cache, PrefetchDroppedWhenResident)
+{
+    CacheRig rig;
+    rig.cache.acceptRequest(rig.load(55, 1));
+    rig.spin(200);
+    rig.cache.issuePrefetch(55 << kLineBits, CacheLevel::L2, 0, 0);
+    rig.spin(20);
+    EXPECT_EQ(rig.cache.stats().pfDroppedHitCache, 1u);
+    EXPECT_EQ(rig.cache.stats().pfIssued, 0u);
+}
+
+TEST(Cache, PrefetchQueueFullDrops)
+{
+    CacheRig rig;  // pqSize 4
+    unsigned requested = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        rig.cache.issuePrefetch((200 + i) << kLineBits, CacheLevel::L2,
+                                0, 0);
+        ++requested;
+    }
+    EXPECT_EQ(rig.cache.stats().pfRequested, 8u);
+    EXPECT_EQ(rig.cache.stats().pfDroppedFull, 4u);
+}
+
+TEST(Cache, UnusedPrefetchCountedOnEviction)
+{
+    CacheRig rig;
+    rig.cache.issuePrefetch(0, CacheLevel::L2, 0, 2);  // line 0, set 0
+    rig.spin(200);
+    // Displace set 0 with 4 demand lines.
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        rig.cache.acceptRequest(rig.load(i * 16, i));
+    rig.spin(400);
+    EXPECT_EQ(rig.cache.stats().pfUnused, 1u);
+    EXPECT_EQ(rig.cache.stats().pfClassUnused[2], 1u);
+}
+
+TEST(Cache, PortLimitThrottlesLookups)
+{
+    CacheConfig cfg = CacheRig::smallConfig();
+    cfg.ports = 1;
+    CacheRig rig(cfg);
+    // Warm two lines.
+    rig.cache.acceptRequest(rig.load(1, 1));
+    rig.cache.acceptRequest(rig.load(2, 2));
+    rig.spin(200);
+    rig.core.responses.clear();
+    // Two hits submitted in the same cycle: with 1 port, the second
+    // completes a cycle after the first.
+    rig.cache.acceptRequest(rig.load(1, 3));
+    rig.cache.acceptRequest(rig.load(2, 4));
+    Cycle first = 0, second = 0;
+    const Cycle start = rig.clock;
+    while (rig.core.responses.size() < 2 && rig.clock < start + 50) {
+        rig.spin(1);
+        if (rig.core.responses.size() == 1 && first == 0)
+            first = rig.clock;
+    }
+    second = rig.clock;
+    EXPECT_GT(second, first);
+}
+
+TEST(Cache, StatsResetClearsCounters)
+{
+    CacheRig rig;
+    rig.cache.acceptRequest(rig.load(9));
+    rig.spin(100);
+    EXPECT_GT(rig.cache.stats().demandAccesses(), 0u);
+    rig.cache.resetStats();
+    EXPECT_EQ(rig.cache.stats().demandAccesses(), 0u);
+    EXPECT_EQ(rig.cache.stats().demandMisses(), 0u);
+    // The data itself survives the reset.
+    EXPECT_TRUE(rig.cache.probe(9));
+}
+
+TEST(Cache, FillLevelDeeperForwardsWithoutLocalFill)
+{
+    // Two-level rig: upper forwards a prefetch with fillLevel = lower.
+    CacheConfig upper_cfg = CacheRig::smallConfig();
+    upper_cfg.level = CacheLevel::L1D;
+    CacheConfig lower_cfg = CacheRig::smallConfig();
+    lower_cfg.level = CacheLevel::L2;
+
+    Cache upper(upper_cfg);
+    Cache lower(lower_cfg);
+    StubMemory memory(30);
+    upper.setLower(&lower);
+    lower.setLower(&memory);
+
+    upper.issuePrefetch(123 << kLineBits, CacheLevel::L2, 0, 0);
+    Cycle clock = 0;
+    for (int i = 0; i < 300; ++i) {
+        memory.tick(clock);
+        lower.tick(clock);
+        upper.tick(clock);
+        ++clock;
+    }
+    EXPECT_FALSE(upper.probe(123));
+    EXPECT_TRUE(lower.probe(123));
+    EXPECT_EQ(lower.stats().pfFills, 1u);
+}
+
+TEST(Cache, PrefetcherSeesDemandAccesses)
+{
+    CacheConfig cfg = CacheRig::smallConfig();
+    CacheRig rig(cfg);
+    NextLineParams np;
+    np.degree = 1;
+    rig.cache.setPrefetcher(std::make_unique<NextLinePrefetcher>(np));
+    rig.cache.acceptRequest(rig.load(10, 1));
+    rig.spin(300);
+    // The next-line prefetcher should have pulled in line 11.
+    EXPECT_TRUE(rig.cache.probe(11));
+}
+
+TEST(Cache, IncomingPrefetchBackpressureWhenPqFull)
+{
+    CacheRig rig;  // pqSize 4
+    MemRequest pf;
+    pf.type = AccessType::Prefetch;
+    pf.fillLevel = CacheLevel::L2;
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        pf.line = 500 + i;
+        if (rig.cache.acceptRequest(pf))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 4u);  // the rest must be retried by the sender
+}
+
+} // namespace
+} // namespace bouquet

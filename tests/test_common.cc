@@ -1,0 +1,280 @@
+/** @file Unit tests for the common foundation (counters, RNG, bitops). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+TEST(SatCounter, StartsAtZero)
+{
+    SatCounter<2> c;
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesAtMax)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesAtZero)
+{
+    SatCounter<2> c;
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, IncrementDecrementSymmetry)
+{
+    SatCounter<3> c;
+    c.increment();
+    c.increment();
+    c.decrement();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(SatCounter, MsbThreshold)
+{
+    SatCounter<2> c;
+    EXPECT_FALSE(c.msb());
+    c.increment();
+    EXPECT_FALSE(c.msb());
+    c.increment();
+    EXPECT_TRUE(c.msb());  // value 2 of 0..3
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter<2> c;
+    c.set(100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(BiasedCounter, StartsAtMidpointPositive)
+{
+    BiasedCounter<6> c;
+    EXPECT_EQ(c.value(), 32u);
+    EXPECT_TRUE(c.positive());
+}
+
+TEST(BiasedCounter, GoesNegative)
+{
+    BiasedCounter<6> c;
+    c.down();
+    EXPECT_FALSE(c.positive());
+}
+
+TEST(BiasedCounter, SaturatesBothEnds)
+{
+    BiasedCounter<2> c;
+    for (int i = 0; i < 10; ++i)
+        c.up();
+    EXPECT_EQ(c.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.down();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(BiasedCounter, ResetRestoresMidpoint)
+{
+    BiasedCounter<4> c;
+    c.down();
+    c.down();
+    c.reset();
+    EXPECT_TRUE(c.positive());
+    EXPECT_EQ(c.value(), 8u);
+}
+
+TEST(SignedSatCounter, ClampsAtBounds)
+{
+    SignedSatCounter c(-16, 15);
+    c.add(100);
+    EXPECT_EQ(c.value(), 15);
+    c.add(-200);
+    EXPECT_EQ(c.value(), -16);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit eventually
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(64), 6u);
+    EXPECT_EQ(log2Exact(1ull << 40), 40u);
+}
+
+TEST(Bitops, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xABCDull, 4, 8), 0xBCull);
+    EXPECT_EQ(lowBits(0xFFFFull, 4), 0xFull);
+}
+
+TEST(Bitops, SignExtendNegative)
+{
+    // 7-bit field: 0x7F is -1, 0x40 is -64.
+    EXPECT_EQ(signExtend(0x7F, 7), -1);
+    EXPECT_EQ(signExtend(0x40, 7), -64);
+    EXPECT_EQ(signExtend(0x3F, 7), 63);
+}
+
+TEST(Bitops, EncodeSignedRoundTrips)
+{
+    for (int v = -64; v <= 63; ++v)
+        EXPECT_EQ(signExtend(encodeSigned(v, 7), 7), v);
+}
+
+TEST(Bitops, EncodeSignedSaturates)
+{
+    EXPECT_EQ(signExtend(encodeSigned(1000, 7), 7), 63);
+    EXPECT_EQ(signExtend(encodeSigned(-1000, 7), 7), -64);
+}
+
+TEST(Bitops, FoldXorCoversAllBits)
+{
+    // Changing a high bit changes the folded value.
+    EXPECT_NE(foldXor(1ull << 60, 12), foldXor(0, 12));
+    EXPECT_LT(foldXor(0xDEADBEEFCAFEull, 12), 1ull << 12);
+}
+
+TEST(Types, LineAndPageGeometry)
+{
+    EXPECT_EQ(lineAddr(0x1000), 0x40u);
+    EXPECT_EQ(lineToByte(lineAddr(0x1040)), 0x1040u);
+    EXPECT_EQ(pageNumber(0x3FFF), 3u);
+    EXPECT_EQ(lineOffsetInPage(0x1FC0), 63u);
+    EXPECT_EQ(lineOffsetInPage(0x2000), 0u);
+    EXPECT_EQ(pageOfLine(lineAddr(0x5123)), pageNumber(0x5123));
+}
+
+TEST(Stats, Ratio)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+}
+
+TEST(Stats, PerKiloInstr)
+{
+    EXPECT_DOUBLE_EQ(perKiloInstr(50, 1000), 50.0);
+    EXPECT_DOUBLE_EQ(perKiloInstr(50, 0), 0.0);
+}
+
+TEST(Stats, ArithmeticMean)
+{
+    MeanAccumulator m;
+    m.add(1.0);
+    m.add(3.0);
+    EXPECT_DOUBLE_EQ(m.arithmeticMean(), 2.0);
+}
+
+TEST(Stats, GeometricMean)
+{
+    MeanAccumulator m;
+    m.add(1.0);
+    m.add(4.0);
+    EXPECT_DOUBLE_EQ(m.geometricMean(), 2.0);
+}
+
+TEST(Stats, EmptyMeansAreZero)
+{
+    MeanAccumulator m;
+    EXPECT_DOUBLE_EQ(m.arithmeticMean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.geometricMean(), 0.0);
+}
+
+TEST(Stats, SmallHistogram)
+{
+    SmallHistogram h(4);
+    h.add(0);
+    h.add(1, 5);
+    h.add(9);  // out of range: ignored
+    EXPECT_EQ(h.at(0), 1u);
+    EXPECT_EQ(h.at(1), 5u);
+    EXPECT_EQ(h.total(), 6u);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+} // namespace
+} // namespace bouquet

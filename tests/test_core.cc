@@ -1,0 +1,204 @@
+/** @file Core-model tests: ROB, stores, fetch stream, TLB charging. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "core/core.hh"
+#include "mem/vmem.hh"
+#include "tests/test_support.hh"
+#include "trace/trace.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+using test::StubMemory;
+
+/** A scripted workload emitting a fixed list of records, then looping. */
+class ScriptedGen : public WorkloadGenerator
+{
+  public:
+    explicit ScriptedGen(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {}
+
+    void
+    next(TraceRecord &out) override
+    {
+        out = records_[pos_];
+        pos_ = (pos_ + 1) % records_.size();
+    }
+
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return "scripted"; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/** Minimal single-core rig: core + L1I/L1D + stub memory. */
+struct CoreRig
+{
+    explicit CoreRig(std::vector<TraceRecord> records,
+                     Cycle mem_latency = 60,
+                     CoreConfig core_cfg = CoreConfig{})
+        : gen(std::move(records)), memory(mem_latency),
+          l1i(makeCacheCfg("L1I", CacheLevel::L1I)),
+          l1d(makeCacheCfg("L1D", CacheLevel::L1D)),
+          vmem(20, 1),
+          core(0, core_cfg, TlbConfig{}, &l1i, &l1d, &vmem, &gen)
+    {
+        l1i.setLower(&memory);
+        l1d.setLower(&memory);
+        Core *c = &core;
+        l1d.setTranslator([c](Addr va) { return c->translateData(va); });
+        l1i.setTranslator([c](Addr va) { return c->translateData(va); });
+    }
+
+    static CacheConfig
+    makeCacheCfg(const char *name, CacheLevel level)
+    {
+        CacheConfig cfg;
+        cfg.name = name;
+        cfg.level = level;
+        cfg.sets = 64;
+        cfg.ways = 8;
+        cfg.latency = 3;
+        cfg.mshrs = 8;
+        cfg.ports = 4;
+        return cfg;
+    }
+
+    /** Run until the core retires `n` instructions (bounded). */
+    Cycle
+    runUntilRetired(std::uint64_t n, Cycle limit = 2'000'000)
+    {
+        while (core.retired() < n && clock < limit) {
+            memory.tick(clock);
+            l1d.tick(clock);
+            l1i.tick(clock);
+            core.tick(clock);
+            ++clock;
+        }
+        return clock;
+    }
+
+    ScriptedGen gen;
+    StubMemory memory;
+    Cache l1i;
+    Cache l1d;
+    VirtualMemory vmem;
+    Core core;
+    Cycle clock = 0;
+};
+
+TraceRecord
+load(Addr vaddr, std::uint16_t bubble = 4, bool serialize = false)
+{
+    TraceRecord r;
+    r.ip = 0x401000;
+    r.vaddr = vaddr;
+    r.type = AccessType::Load;
+    r.bubble = bubble;
+    r.serialize = serialize;
+    return r;
+}
+
+TEST(Core, RetiresBubblesAtFullWidth)
+{
+    // All-hit loads with big bubbles: IPC approaches the 4-wide limit.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 4; ++i)
+        recs.push_back(load(0x10000000, 60));
+    CoreRig rig(recs);
+    const Cycle cycles = rig.runUntilRetired(50'000);
+    const double ipc = 50'000.0 / static_cast<double>(cycles);
+    EXPECT_GT(ipc, 3.0);
+}
+
+TEST(Core, MissLatencyThrottlesIpc)
+{
+    // Every load a fresh line: IPC collapses toward bubble/latency.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 256; ++i)
+        recs.push_back(load(0x10000000 + static_cast<Addr>(i) *
+                                             (1 << 20),
+                            4));
+    CoreRig rig(recs, 200);
+    const Cycle cycles = rig.runUntilRetired(20'000);
+    const double ipc = 20'000.0 / static_cast<double>(cycles);
+    EXPECT_LT(ipc, 1.0);
+}
+
+TEST(Core, SerializedChainKillsMlp)
+{
+    auto mk = [](bool serialize) {
+        std::vector<TraceRecord> recs;
+        for (int i = 0; i < 64; ++i)
+            recs.push_back(load(0x10000000 + static_cast<Addr>(i) *
+                                                 (1 << 20),
+                                2, serialize));
+        return recs;
+    };
+    CoreRig parallel_rig(mk(false), 100);
+    CoreRig serial_rig(mk(true), 100);
+    const Cycle par = parallel_rig.runUntilRetired(10'000);
+    const Cycle ser = serial_rig.runUntilRetired(10'000);
+    EXPECT_GT(ser, par * 2);
+}
+
+TEST(Core, StoresDoNotBlockRetirement)
+{
+    // Stores to fresh lines miss, but the core must not stall on them.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 256; ++i) {
+        TraceRecord r = load(0x10000000 + static_cast<Addr>(i) *
+                                              (1 << 20),
+                             4);
+        r.type = AccessType::Store;
+        recs.push_back(r);
+    }
+    CoreRig rig(recs, 200);
+    const Cycle cycles = rig.runUntilRetired(20'000);
+    const double ipc = 20'000.0 / static_cast<double>(cycles);
+    EXPECT_GT(ipc, 2.0);
+    EXPECT_GT(rig.core.stats().stores, 1000u);
+}
+
+TEST(Core, InstructionFetchWarmsItlbAndL1i)
+{
+    std::vector<TraceRecord> recs{load(0x10000000, 8)};
+    CoreRig rig(recs);
+    rig.runUntilRetired(5'000);
+    EXPECT_GT(rig.l1i.stats().demandAccesses(), 0u);
+    EXPECT_GT(rig.core.tlbs().itlb().stats().accesses, 0u);
+}
+
+TEST(Core, RetiredSinceResetTracksDelta)
+{
+    std::vector<TraceRecord> recs{load(0x10000000, 8)};
+    CoreRig rig(recs);
+    rig.runUntilRetired(1'000);
+    rig.core.markStatsReset(rig.clock);
+    EXPECT_EQ(rig.core.retiredSinceReset(), 0u);
+    const std::uint64_t before = rig.core.retired();
+    rig.runUntilRetired(before + 500);
+    EXPECT_GE(rig.core.retiredSinceReset(), 500u);
+}
+
+TEST(Core, RobFullStallsAccumulateUnderMisses)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 256; ++i)
+        recs.push_back(load(0x10000000 + static_cast<Addr>(i) *
+                                             (1 << 20),
+                            0));
+    CoreRig rig(recs, 300);
+    rig.runUntilRetired(5'000);
+    EXPECT_GT(rig.core.stats().robFullStalls, 0u);
+}
+
+} // namespace
+} // namespace bouquet

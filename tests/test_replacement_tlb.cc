@@ -1,0 +1,221 @@
+/** @file Tests for replacement policies and the TLB stack. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+#include "cache/tlb.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+// ---- replacement --------------------------------------------------------
+
+TEST(Replacement, ParseNames)
+{
+    EXPECT_EQ(parseReplPolicy("lru"), ReplPolicy::LRU);
+    EXPECT_EQ(parseReplPolicy("random"), ReplPolicy::Random);
+    EXPECT_EQ(parseReplPolicy("srrip"), ReplPolicy::SRRIP);
+    EXPECT_EQ(parseReplPolicy("drrip"), ReplPolicy::DRRIP);
+    EXPECT_EQ(parseReplPolicy("ship"), ReplPolicy::SHiP);
+    EXPECT_THROW(parseReplPolicy("belady"), std::invalid_argument);
+}
+
+/** Parameterized sanity checks every policy must satisfy. */
+class AnyPolicy : public ::testing::TestWithParam<ReplPolicy>
+{
+  protected:
+    static constexpr std::uint32_t kSets = 8;
+    static constexpr std::uint32_t kWays = 4;
+
+    std::unique_ptr<Replacement>
+    make()
+    {
+        return makeReplacement(GetParam(), kSets, kWays);
+    }
+};
+
+TEST_P(AnyPolicy, PrefersInvalidWays)
+{
+    auto r = make();
+    std::vector<bool> valid{true, false, true, true};
+    EXPECT_EQ(r->victim(0, valid), 1u);
+}
+
+TEST_P(AnyPolicy, VictimIsInRange)
+{
+    auto r = make();
+    std::vector<bool> valid{true, true, true, true};
+    for (std::uint32_t s = 0; s < kSets; ++s) {
+        for (int i = 0; i < 20; ++i) {
+            r->fill(s, static_cast<std::uint32_t>(i % kWays), 0x400, false);
+            EXPECT_LT(r->victim(s, valid), kWays);
+        }
+    }
+}
+
+TEST_P(AnyPolicy, TouchDoesNotCrash)
+{
+    auto r = make();
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        r->fill(3, w, 0x400 + w * 4, w % 2 == 0);
+        r->touch(3, w, 0x400 + w * 4);
+    }
+    std::vector<bool> valid(kWays, true);
+    EXPECT_LT(r->victim(3, valid), kWays);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AnyPolicy,
+    ::testing::Values(ReplPolicy::LRU, ReplPolicy::Random,
+                      ReplPolicy::SRRIP, ReplPolicy::DRRIP,
+                      ReplPolicy::SHiP),
+    [](const ::testing::TestParamInfo<ReplPolicy> &info) {
+        switch (info.param) {
+          case ReplPolicy::LRU:
+            return "lru";
+          case ReplPolicy::Random:
+            return "random";
+          case ReplPolicy::SRRIP:
+            return "srrip";
+          case ReplPolicy::DRRIP:
+            return "drrip";
+          case ReplPolicy::SHiP:
+            return "ship";
+        }
+        return "unknown";
+    });
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed)
+{
+    auto r = makeReplacement(ReplPolicy::LRU, 4, 4);
+    std::vector<bool> valid(4, true);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        r->fill(0, w, 0, false);
+    // Touch all but way 2.
+    r->touch(0, 0, 0);
+    r->touch(0, 1, 0);
+    r->touch(0, 3, 0);
+    EXPECT_EQ(r->victim(0, valid), 2u);
+}
+
+TEST(LruPolicy, TouchOrderIsExact)
+{
+    auto r = makeReplacement(ReplPolicy::LRU, 1, 4);
+    std::vector<bool> valid(4, true);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        r->fill(0, w, 0, false);
+    r->touch(0, 2, 0);
+    r->touch(0, 0, 0);
+    r->touch(0, 3, 0);
+    r->touch(0, 1, 0);
+    // Eviction order must now be 2, 0, 3, 1.
+    EXPECT_EQ(r->victim(0, valid), 2u);
+    r->touch(0, 2, 0);
+    EXPECT_EQ(r->victim(0, valid), 0u);
+}
+
+TEST(SrripPolicy, HitPromotion)
+{
+    auto r = makeReplacement(ReplPolicy::SRRIP, 1, 2);
+    std::vector<bool> valid{true, true};
+    r->fill(0, 0, 0, false);
+    r->fill(0, 1, 0, false);
+    r->touch(0, 0, 0);  // way 0 promoted to RRPV 0
+    EXPECT_EQ(r->victim(0, valid), 1u);
+}
+
+TEST(ShipPolicy, LearnsDeadSignatures)
+{
+    auto r = makeReplacement(ReplPolicy::SHiP, 1, 2);
+    std::vector<bool> valid{true, true};
+    const Ip dead_ip = 0x1230;
+    const Ip live_ip = 0x9990;
+    // Train: dead_ip lines never reused, live_ip lines reused.
+    for (int round = 0; round < 8; ++round) {
+        r->fill(0, 0, dead_ip, false);
+        r->fill(0, 1, live_ip, false);
+        r->touch(0, 1, live_ip);
+    }
+    // A fresh fill pair: the dead signature should be the victim.
+    r->fill(0, 0, dead_ip, false);
+    r->fill(0, 1, live_ip, false);
+    r->touch(0, 1, live_ip);
+    EXPECT_EQ(r->victim(0, valid), 0u);
+}
+
+// ---- TLB ----------------------------------------------------------------
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(64, 4);
+    EXPECT_FALSE(tlb.lookup(0x10));
+    tlb.insert(0x10);
+    EXPECT_TRUE(tlb.lookup(0x10));
+    EXPECT_EQ(tlb.stats().accesses, 2u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb(8, 4);  // 2 sets of 4 ways
+    // Fill set 0 with vpns 0, 2, 4, 6 then add 8: vpn 0 is evicted.
+    for (Addr v : {0, 2, 4, 6})
+        tlb.insert(v);
+    for (Addr v : {2, 4, 6})
+        EXPECT_TRUE(tlb.lookup(v));
+    tlb.insert(8);
+    EXPECT_FALSE(tlb.lookup(0));
+    EXPECT_TRUE(tlb.lookup(8));
+}
+
+TEST(TlbStack, PenaltiesAreOrdered)
+{
+    TlbConfig cfg;
+    TlbStack stack(cfg);
+    const Addr va = 0x12345678;
+    // First touch: full walk.
+    EXPECT_EQ(stack.dataTranslate(va), cfg.walkLatency);
+    // Second: DTLB hit, free.
+    EXPECT_EQ(stack.dataTranslate(va), 0u);
+}
+
+TEST(TlbStack, StlbBacksDtlb)
+{
+    TlbConfig cfg;
+    cfg.dtlbEntries = 4;
+    cfg.dtlbWays = 4;
+    TlbStack stack(cfg);
+    // Walk in page 0, then evict it from the tiny DTLB with 4 others
+    // mapping to the same set (fully assoc 4-entry).
+    stack.dataTranslate(0 << kPageBits);
+    for (Addr p = 1; p <= 4; ++p)
+        stack.dataTranslate(p << kPageBits);
+    // Page 0 is out of the DTLB but still in the STLB.
+    EXPECT_EQ(stack.dataTranslate(0 << kPageBits), cfg.stlbLatency);
+}
+
+TEST(TlbStack, InstructionAndDataSeparate)
+{
+    TlbConfig cfg;
+    TlbStack stack(cfg);
+    stack.instTranslate(0x400000);
+    // ITLB fill does not populate the DTLB, but does warm the STLB.
+    EXPECT_EQ(stack.dataTranslate(0x400000), cfg.stlbLatency);
+}
+
+TEST(TlbStack, ResetStatsClears)
+{
+    TlbConfig cfg;
+    TlbStack stack(cfg);
+    stack.dataTranslate(0x1000);
+    EXPECT_GT(stack.dtlb().stats().accesses, 0u);
+    stack.resetStats();
+    EXPECT_EQ(stack.dtlb().stats().accesses, 0u);
+}
+
+} // namespace
+} // namespace bouquet

@@ -1,0 +1,385 @@
+/** @file Tests for workload generators and the trace suite. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/suite.hh"
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+std::vector<TraceRecord>
+drain(WorkloadGenerator &gen, std::size_t n)
+{
+    std::vector<TraceRecord> v(n);
+    for (auto &r : v)
+        gen.next(r);
+    return v;
+}
+
+TEST(ConstantStrideGen, Deterministic)
+{
+    ConstantStrideParams p;
+    ConstantStrideGen a("w", 5, p);
+    ConstantStrideGen b("w", 5, p);
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord ra, rb;
+        a.next(ra);
+        b.next(rb);
+        EXPECT_EQ(ra.vaddr, rb.vaddr);
+        EXPECT_EQ(ra.ip, rb.ip);
+        EXPECT_EQ(ra.type, rb.type);
+    }
+}
+
+TEST(ConstantStrideGen, ResetReplays)
+{
+    ConstantStrideParams p;
+    ConstantStrideGen g("w", 5, p);
+    const auto first = drain(g, 200);
+    g.reset();
+    const auto again = drain(g, 200);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].vaddr, again[i].vaddr);
+}
+
+TEST(ConstantStrideGen, PerIpStrideIsConstant)
+{
+    ConstantStrideParams p;
+    p.numIps = 3;
+    p.accessesPerLine = 1;
+    p.storeFraction = 0;
+    ConstantStrideGen g("w", 11, p);
+    std::map<Ip, std::vector<LineAddr>> lines;
+    for (int i = 0; i < 600; ++i) {
+        TraceRecord r;
+        g.next(r);
+        lines[r.ip].push_back(lineAddr(r.vaddr));
+    }
+    EXPECT_EQ(lines.size(), 3u);
+    for (const auto &[ip, v] : lines) {
+        ASSERT_GE(v.size(), 3u);
+        const std::int64_t stride =
+            static_cast<std::int64_t>(v[1]) -
+            static_cast<std::int64_t>(v[0]);
+        EXPECT_NE(stride, 0);
+        for (std::size_t i = 2; i < v.size(); ++i) {
+            EXPECT_EQ(static_cast<std::int64_t>(v[i]) -
+                          static_cast<std::int64_t>(v[i - 1]),
+                      stride)
+                << "ip " << std::hex << ip;
+        }
+    }
+}
+
+TEST(ConstantStrideGen, AccessesPerLineRepeatsLines)
+{
+    ConstantStrideParams p;
+    p.numIps = 1;
+    p.accessesPerLine = 4;
+    ConstantStrideGen g("w", 3, p);
+    std::vector<LineAddr> lines;
+    for (int i = 0; i < 400; ++i) {
+        TraceRecord r;
+        g.next(r);
+        lines.push_back(lineAddr(r.vaddr));
+    }
+    // Each distinct line must appear exactly 4 times consecutively.
+    for (std::size_t i = 0; i + 4 <= lines.size(); i += 4) {
+        EXPECT_EQ(lines[i], lines[i + 1]);
+        EXPECT_EQ(lines[i], lines[i + 3]);
+        if (i + 4 < lines.size())
+            EXPECT_NE(lines[i], lines[i + 4]);
+    }
+}
+
+TEST(ComplexStrideGen, FollowsPattern)
+{
+    ComplexStrideParams p;
+    p.numIps = 1;
+    p.patterns = {{3, 3, 4}};
+    p.accessesPerLine = 1;
+    ComplexStrideGen g("w", 7, p);
+    std::vector<LineAddr> lines;
+    for (int i = 0; i < 30; ++i) {
+        TraceRecord r;
+        g.next(r);
+        lines.push_back(lineAddr(r.vaddr));
+    }
+    // Deltas cycle through 3,3,4.
+    const int expect[] = {3, 3, 4};
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        const std::int64_t d =
+            static_cast<std::int64_t>(lines[i]) -
+            static_cast<std::int64_t>(lines[i - 1]);
+        EXPECT_EQ(d, expect[i % 3]) << "at " << i;
+    }
+}
+
+TEST(GlobalStreamGen, RegionsAreDenseAndContiguous)
+{
+    GlobalStreamParams p;
+    p.regionDensity = 1.0;
+    p.accessesPerLine = 1;
+    GlobalStreamGen g("w", 13, p);
+    std::set<LineAddr> touched;
+    LineAddr lo = ~0ull, hi = 0;
+    for (int i = 0; i < 640; ++i) {
+        TraceRecord r;
+        g.next(r);
+        const LineAddr l = lineAddr(r.vaddr);
+        touched.insert(l);
+        lo = std::min(lo, l);
+        hi = std::max(hi, l);
+    }
+    // Dense: nearly every line in [lo, hi] was touched.
+    const double density = static_cast<double>(touched.size()) /
+                           static_cast<double>(hi - lo + 1);
+    EXPECT_GT(density, 0.9);
+}
+
+TEST(GlobalStreamGen, NegativeDirectionDescends)
+{
+    GlobalStreamParams p;
+    p.negativeDirection = true;
+    p.accessesPerLine = 1;
+    GlobalStreamGen g("w", 17, p);
+    TraceRecord r;
+    g.next(r);
+    const Addr first = r.vaddr;
+    for (int i = 0; i < 2000; ++i)
+        g.next(r);
+    EXPECT_LT(r.vaddr, first);
+}
+
+TEST(GlobalStreamGen, MultipleIpsShareStream)
+{
+    GlobalStreamParams p;
+    p.numIps = 5;
+    GlobalStreamGen g("w", 19, p);
+    std::set<Ip> ips;
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord r;
+        g.next(r);
+        ips.insert(r.ip);
+    }
+    EXPECT_EQ(ips.size(), 5u);
+}
+
+TEST(PointerChaseGen, ChaseLoadsSerialize)
+{
+    PointerChaseParams p;
+    p.regularFraction = 0.0;
+    p.nodeAccesses = 1;
+    PointerChaseGen g("w", 23, p);
+    int serialized = 0;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        g.next(r);
+        serialized += r.serialize ? 1 : 0;
+    }
+    EXPECT_EQ(serialized, 100);
+}
+
+TEST(PointerChaseGen, AddressesAreScattered)
+{
+    PointerChaseParams p;
+    p.regularFraction = 0.0;
+    p.nodeAccesses = 1;
+    PointerChaseGen g("w", 29, p);
+    std::set<Addr> pages;
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord r;
+        g.next(r);
+        pages.insert(pageNumber(r.vaddr));
+    }
+    EXPECT_GT(pages.size(), 400u);  // almost every access a new page
+}
+
+TEST(ManyIpGen, UsesManyIps)
+{
+    ManyIpParams p;
+    p.numIps = 512;
+    p.accessesPerLine = 1;
+    ManyIpGen g("w", 31, p);
+    std::set<Ip> ips;
+    for (int i = 0; i < 512; ++i) {
+        TraceRecord r;
+        g.next(r);
+        ips.insert(r.ip);
+    }
+    EXPECT_EQ(ips.size(), 512u);
+}
+
+TEST(ComputeBoundGen, SmallFootprint)
+{
+    ComputeBoundParams p;
+    p.footprint = 32 << 10;
+    ComputeBoundGen g("w", 37, p);
+    std::set<LineAddr> lines;
+    for (int i = 0; i < 5000; ++i) {
+        TraceRecord r;
+        g.next(r);
+        lines.insert(lineAddr(r.vaddr));
+    }
+    EXPECT_LE(lines.size(), (32u << 10) / kLineSize);
+}
+
+TEST(TiledStreamGen, StreamsWithinTiles)
+{
+    TiledStreamParams p;
+    p.numTensors = 1;
+    p.tileLines = 16;
+    p.accessesPerLine = 1;
+    TiledStreamGen g("w", 41, p);
+    std::vector<LineAddr> lines;
+    for (int i = 0; i < 64; ++i) {
+        TraceRecord r;
+        g.next(r);
+        lines.push_back(lineAddr(r.vaddr));
+    }
+    int unit_steps = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i] == lines[i - 1] + 1)
+            ++unit_steps;
+    }
+    // Mostly unit stride with occasional tile jumps.
+    EXPECT_GT(unit_steps, 48);
+}
+
+TEST(PhaseGen, SwitchesChildren)
+{
+    ConstantStrideParams cs;
+    cs.numIps = 1;
+    GlobalStreamParams gs;
+    std::vector<GeneratorPtr> kids;
+    kids.push_back(std::make_unique<ConstantStrideGen>("a", 1, cs));
+    kids.push_back(std::make_unique<GlobalStreamGen>("b", 2, gs));
+    PhaseGen g("phase", std::move(kids), 100);
+    std::set<Ip> phase1, phase2;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        g.next(r);
+        phase1.insert(r.ip);
+    }
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        g.next(r);
+        phase2.insert(r.ip);
+    }
+    // Disjoint IP sets prove the generator switched.
+    for (Ip ip : phase2)
+        EXPECT_EQ(phase1.count(ip), 0u);
+}
+
+TEST(InterleaveGen, RespectsWeights)
+{
+    ConstantStrideParams cs;
+    cs.numIps = 1;
+    ComputeBoundParams cb;
+    std::vector<GeneratorPtr> kids;
+    kids.push_back(std::make_unique<ConstantStrideGen>("a", 1, cs));
+    kids.push_back(std::make_unique<ComputeBoundGen>("b", 2, cb));
+    InterleaveGen g("mix", 3, std::move(kids), {0.9, 0.1});
+    int high_bubble = 0;
+    for (int i = 0; i < 1000; ++i) {
+        TraceRecord r;
+        g.next(r);
+        if (r.bubble > 10)
+            ++high_bubble;
+    }
+    EXPECT_NEAR(high_bubble / 1000.0, 0.1, 0.05);
+}
+
+// ---- suite -------------------------------------------------------------
+
+TEST(Suite, MemIntensiveHas46Traces)
+{
+    EXPECT_EQ(memIntensiveTraces().size(), 46u);
+}
+
+TEST(Suite, FullSuiteHas98Traces)
+{
+    EXPECT_EQ(fullSuiteTraces().size(), 98u);
+}
+
+TEST(Suite, CloudAndNnSizes)
+{
+    EXPECT_EQ(cloudSuiteTraces().size(), 5u);
+    EXPECT_EQ(neuralNetTraces().size(), 7u);
+}
+
+TEST(Suite, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto *suite : {&fullSuiteTraces(), &cloudSuiteTraces(),
+                              &neuralNetTraces()}) {
+        for (const TraceSpec &s : *suite)
+            EXPECT_TRUE(names.insert(s.name).second) << s.name;
+    }
+}
+
+TEST(Suite, FindTraceThrowsOnUnknown)
+{
+    EXPECT_THROW(findTrace("no-such-trace"), std::out_of_range);
+}
+
+TEST(Suite, FindTraceLocatesKnown)
+{
+    EXPECT_EQ(findTrace("605.mcf_s-1536B").archetype,
+              Archetype::PointerChase);
+    EXPECT_EQ(findTrace("619.lbm_s-2676B").archetype,
+              Archetype::GlobalStream);
+}
+
+/** Property sweep: every named workload must produce sane records. */
+class SuiteWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteWorkloads, ProducesSaneRecords)
+{
+    GeneratorPtr gen = makeWorkload(GetParam());
+    ASSERT_NE(gen, nullptr);
+    TraceRecord r;
+    for (int i = 0; i < 2000; ++i) {
+        gen->next(r);
+        EXPECT_NE(r.ip, 0u);
+        EXPECT_NE(r.vaddr, 0u);
+        EXPECT_LE(r.bubble, 400u);
+        EXPECT_TRUE(r.type == AccessType::Load ||
+                    r.type == AccessType::Store);
+    }
+}
+
+std::vector<std::string>
+allTraceNames()
+{
+    std::vector<std::string> names;
+    for (const auto *suite : {&fullSuiteTraces(), &cloudSuiteTraces(),
+                              &neuralNetTraces()}) {
+        for (const TraceSpec &s : *suite)
+            names.push_back(s.name);
+    }
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTraces, SuiteWorkloads, ::testing::ValuesIn(allTraceNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace bouquet

@@ -1,0 +1,138 @@
+/** @file Tests for binary trace capture and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/suite.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+/** RAII temp file path. */
+struct TempFile
+{
+    TempFile()
+    {
+        char buf[] = "/tmp/bouquet_trace_XXXXXX";
+        const int fd = mkstemp(buf);
+        if (fd >= 0)
+            close(fd);
+        path = buf;
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST(TraceIo, RoundTripPreservesRecords)
+{
+    TempFile tmp;
+    ConstantStrideParams p;
+    ConstantStrideGen gen("w", 7, p);
+    writeTraceFile(tmp.path, gen, 1000);
+
+    gen.reset();
+    TraceFileGenerator replay(tmp.path);
+    EXPECT_EQ(replay.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        TraceRecord a, b;
+        gen.next(a);
+        replay.next(b);
+        EXPECT_EQ(a.ip, b.ip);
+        EXPECT_EQ(a.vaddr, b.vaddr);
+        EXPECT_EQ(a.type, b.type);
+        EXPECT_EQ(a.bubble, b.bubble);
+        EXPECT_EQ(a.serialize, b.serialize);
+    }
+}
+
+TEST(TraceIo, ReplayWrapsAtEnd)
+{
+    TempFile tmp;
+    ConstantStrideParams p;
+    ConstantStrideGen gen("w", 7, p);
+    writeTraceFile(tmp.path, gen, 10);
+
+    TraceFileGenerator replay(tmp.path);
+    TraceRecord first;
+    replay.next(first);
+    TraceRecord r;
+    for (int i = 0; i < 9; ++i)
+        replay.next(r);
+    replay.next(r);  // wrapped
+    EXPECT_EQ(r.vaddr, first.vaddr);
+}
+
+TEST(TraceIo, ResetRewinds)
+{
+    TempFile tmp;
+    PointerChaseParams p;
+    PointerChaseGen gen("w", 3, p);
+    writeTraceFile(tmp.path, gen, 50);
+
+    TraceFileGenerator replay(tmp.path);
+    TraceRecord a;
+    replay.next(a);
+    for (int i = 0; i < 20; ++i) {
+        TraceRecord scratch;
+        replay.next(scratch);
+    }
+    replay.reset();
+    TraceRecord b;
+    replay.next(b);
+    EXPECT_EQ(a.vaddr, b.vaddr);
+}
+
+TEST(TraceIo, SerializeFlagSurvives)
+{
+    TempFile tmp;
+    PointerChaseParams p;
+    p.regularFraction = 0.0;
+    p.nodeAccesses = 1;
+    PointerChaseGen gen("w", 3, p);
+    writeTraceFile(tmp.path, gen, 20);
+
+    TraceFileGenerator replay(tmp.path);
+    for (int i = 0; i < 20; ++i) {
+        TraceRecord r;
+        replay.next(r);
+        EXPECT_TRUE(r.serialize);
+    }
+}
+
+TEST(TraceIo, RejectsGarbageFile)
+{
+    TempFile tmp;
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileGenerator{tmp.path}, std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(TraceFileGenerator{"/nonexistent/path.trace"},
+                 std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedFileThrows)
+{
+    TempFile tmp;
+    ConstantStrideParams p;
+    ConstantStrideGen gen("w", 7, p);
+    writeTraceFile(tmp.path, gen, 100);
+    // Chop the file mid-record.
+    truncate(tmp.path.c_str(), 16 + 55 * 20 + 7);
+    EXPECT_THROW(TraceFileGenerator{tmp.path}, std::runtime_error);
+}
+
+} // namespace
+} // namespace bouquet

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ipcp_sim — command-line driver for the simulator, in the spirit of
+ * the ChampSim binary the paper's artifact shipped with.
+ *
+ *   ipcp_sim --trace 619.lbm_s-2676B --combo ipcp
+ *   ipcp_sim --trace-file my.trace --combo spp-ppf-dspatch
+ *   ipcp_sim --trace 605.mcf_s-994B --cores 4 --combo ipcp
+ *   ipcp_sim --record 603.bwaves_s-891B --records 1000000 --out b.trace
+ *   ipcp_sim --list-traces
+ *
+ * Prints a ChampSim-style end-of-run report: IPC, per-level cache
+ * stats, prefetcher effectiveness per class, DRAM traffic.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/table.hh"
+#include "ipcp/metadata.hh"
+#include "trace/suite.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace bouquet;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ipcp_sim [options]\n"
+        "  --trace NAME         named workload (see --list-traces)\n"
+        "  --trace-file PATH    replay a recorded binary trace\n"
+        "  --combo NAME         prefetching combination "
+        "(default: ipcp)\n"
+        "                       none | ipcp | ipcp-l1 | "
+        "spp-ppf-dspatch | mlop |\n"
+        "                       bingo | bingo-119k | tskid | l1:<pf> | "
+        "l2:<pf>\n"
+        "  --cores N            homogeneous N-core run (default 1)\n"
+        "  --instructions N     measured instructions "
+        "(default IPCP_SIM_INSTRS or 1e6)\n"
+        "  --warmup N           warmup instructions\n"
+        "  --record NAME        capture a named workload to a file\n"
+        "  --records N          records to capture (default 1e6)\n"
+        "  --out PATH           output path for --record\n"
+        "  --list-traces        list every named workload\n";
+}
+
+void
+printCacheReport(const char *name, const CacheStats &s,
+                 std::uint64_t instructions)
+{
+    std::cout << name << ": accesses " << s.demandAccesses() << " hits "
+              << s.demandHits() << " misses " << s.demandMisses()
+              << " (MPKI "
+              << TablePrinter::num(
+                     perKiloInstr(s.demandMisses(), instructions), 2)
+              << ")\n"
+              << "      prefetch: requested " << s.pfRequested
+              << " issued " << s.pfIssued << " fills " << s.pfFills
+              << " useful " << s.pfUseful << " late "
+              << s.latePrefetches << " unused " << s.pfUnused << "\n";
+    std::uint64_t class_total = 0;
+    for (unsigned c = 1; c < kIpcpClassCount; ++c)
+        class_total += s.pfClassFills[c];
+    if (class_total > 0) {
+        std::cout << "      by class:";
+        for (unsigned c = 1; c < kIpcpClassCount; ++c) {
+            std::cout << " " << ipcpClassName(static_cast<IpcpClass>(c))
+                      << "=" << s.pfClassFills[c] << "/"
+                      << s.pfClassUseful[c];
+        }
+        std::cout << " (fills/useful)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_name;
+    std::string trace_file;
+    std::string combo = "ipcp";
+    std::string record_name;
+    std::string out_path = "out.trace";
+    unsigned cores = 1;
+    std::uint64_t records = 1'000'000;
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--trace") {
+            trace_name = value();
+        } else if (arg == "--trace-file") {
+            trace_file = value();
+        } else if (arg == "--combo") {
+            combo = value();
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--instructions") {
+            cfg.simInstrs = std::stoull(value());
+        } else if (arg == "--warmup") {
+            cfg.warmupInstrs = std::stoull(value());
+        } else if (arg == "--record") {
+            record_name = value();
+        } else if (arg == "--records") {
+            records = std::stoull(value());
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--list-traces") {
+            for (const auto *suite :
+                 {&fullSuiteTraces(), &cloudSuiteTraces(),
+                  &neuralNetTraces()}) {
+                for (const TraceSpec &s : *suite)
+                    std::cout << s.name << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (!record_name.empty()) {
+            GeneratorPtr gen = makeWorkload(record_name);
+            writeTraceFile(out_path, *gen, records);
+            std::cout << "recorded " << records << " records of "
+                      << record_name << " to " << out_path << "\n";
+            return 0;
+        }
+
+        if (trace_name.empty() && trace_file.empty()) {
+            usage();
+            return 2;
+        }
+
+        auto make_gen = [&]() -> GeneratorPtr {
+            if (!trace_file.empty())
+                return std::make_unique<TraceFileGenerator>(trace_file);
+            return makeWorkload(trace_name);
+        };
+
+        SystemConfig sys_cfg = cfg.system;
+        sys_cfg.dram.channels = cores > 1 ? 2 : 1;
+        std::vector<GeneratorPtr> workloads;
+        for (unsigned c = 0; c < cores; ++c)
+            workloads.push_back(make_gen());
+
+        System sys(sys_cfg, std::move(workloads));
+        applyCombo(sys, combo);
+
+        std::cout << "workload: "
+                  << (!trace_file.empty() ? trace_file : trace_name)
+                  << "  combo: " << combo << "  cores: " << cores
+                  << "\nsimulating " << cfg.warmupInstrs << " warmup + "
+                  << cfg.simInstrs << " measured instructions...\n\n";
+
+        const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+
+        for (unsigned c = 0; c < cores; ++c) {
+            std::cout << "core " << c << ": IPC "
+                      << TablePrinter::num(r.cores[c].ipc) << " ("
+                      << r.cores[c].instructions << " instructions, "
+                      << r.cores[c].cycles << " cycles)\n";
+        }
+        std::cout << "\n";
+        const std::uint64_t instrs = r.cores[0].instructions;
+        printCacheReport("L1I ", sys.l1i(0).stats(), instrs);
+        printCacheReport("L1D ", sys.l1d(0).stats(), instrs);
+        printCacheReport("L2  ", sys.l2(0).stats(), instrs);
+        printCacheReport("LLC ", sys.llc().stats(), instrs);
+        std::cout << "DRAM: reads " << sys.dram().stats().reads
+                  << " writes " << sys.dram().stats().writes
+                  << " row-hit rate "
+                  << TablePrinter::num(
+                         ratio(sys.dram().stats().rowHits,
+                               sys.dram().stats().rowHits +
+                                   sys.dram().stats().rowMisses),
+                         2)
+                  << " bytes "
+                  << sys.dram().bytesTransferred() << "\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_l1_utility.dir/bench_fig01_l1_utility.cc.o"
+  "CMakeFiles/bench_fig01_l1_utility.dir/bench_fig01_l1_utility.cc.o.d"
+  "bench_fig01_l1_utility"
+  "bench_fig01_l1_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_l1_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_l1_prefetchers.dir/bench_fig07_l1_prefetchers.cc.o"
+  "CMakeFiles/bench_fig07_l1_prefetchers.dir/bench_fig07_l1_prefetchers.cc.o.d"
+  "bench_fig07_l1_prefetchers"
+  "bench_fig07_l1_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_l1_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

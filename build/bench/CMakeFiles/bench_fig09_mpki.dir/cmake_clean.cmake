@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_mpki.dir/bench_fig09_mpki.cc.o"
+  "CMakeFiles/bench_fig09_mpki.dir/bench_fig09_mpki.cc.o.d"
+  "bench_fig09_mpki"
+  "bench_fig09_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_overprediction.cc" "bench/CMakeFiles/bench_fig11_overprediction.dir/bench_fig11_overprediction.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_overprediction.dir/bench_fig11_overprediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bouquet_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/bouquet_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouquet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bouquet_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bouquet_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipcp/CMakeFiles/bouquet_ipcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/bouquet_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bouquet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overprediction.dir/bench_fig11_overprediction.cc.o"
+  "CMakeFiles/bench_fig11_overprediction.dir/bench_fig11_overprediction.cc.o.d"
+  "bench_fig11_overprediction"
+  "bench_fig11_overprediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_class_contribution.dir/bench_fig12_class_contribution.cc.o"
+  "CMakeFiles/bench_fig12_class_contribution.dir/bench_fig12_class_contribution.cc.o.d"
+  "bench_fig12_class_contribution"
+  "bench_fig12_class_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_class_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bouquet.dir/bench_fig13_bouquet.cc.o"
+  "CMakeFiles/bench_fig13_bouquet.dir/bench_fig13_bouquet.cc.o.d"
+  "bench_fig13_bouquet"
+  "bench_fig13_bouquet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bouquet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

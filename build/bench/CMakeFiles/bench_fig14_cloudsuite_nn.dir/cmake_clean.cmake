@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cloudsuite_nn.dir/bench_fig14_cloudsuite_nn.cc.o"
+  "CMakeFiles/bench_fig14_cloudsuite_nn.dir/bench_fig14_cloudsuite_nn.cc.o.d"
+  "bench_fig14_cloudsuite_nn"
+  "bench_fig14_cloudsuite_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cloudsuite_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_prefetchers.cc" "bench/CMakeFiles/bench_micro_prefetchers.dir/bench_micro_prefetchers.cc.o" "gcc" "bench/CMakeFiles/bench_micro_prefetchers.dir/bench_micro_prefetchers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prefetch/CMakeFiles/bouquet_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipcp/CMakeFiles/bouquet_ipcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prefetchers.dir/bench_micro_prefetchers.cc.o"
+  "CMakeFiles/bench_micro_prefetchers.dir/bench_micro_prefetchers.cc.o.d"
+  "bench_micro_prefetchers"
+  "bench_micro_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

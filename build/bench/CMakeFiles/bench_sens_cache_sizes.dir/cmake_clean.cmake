@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_cache_sizes.dir/bench_sens_cache_sizes.cc.o"
+  "CMakeFiles/bench_sens_cache_sizes.dir/bench_sens_cache_sizes.cc.o.d"
+  "bench_sens_cache_sizes"
+  "bench_sens_cache_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_cache_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_degrees.dir/bench_sens_degrees.cc.o"
+  "CMakeFiles/bench_sens_degrees.dir/bench_sens_degrees.cc.o.d"
+  "bench_sens_degrees"
+  "bench_sens_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

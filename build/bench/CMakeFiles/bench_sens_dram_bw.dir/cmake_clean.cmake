@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_dram_bw.dir/bench_sens_dram_bw.cc.o"
+  "CMakeFiles/bench_sens_dram_bw.dir/bench_sens_dram_bw.cc.o.d"
+  "bench_sens_dram_bw"
+  "bench_sens_dram_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_dram_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

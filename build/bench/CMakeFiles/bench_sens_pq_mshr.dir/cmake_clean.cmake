@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_pq_mshr.dir/bench_sens_pq_mshr.cc.o"
+  "CMakeFiles/bench_sens_pq_mshr.dir/bench_sens_pq_mshr.cc.o.d"
+  "bench_sens_pq_mshr"
+  "bench_sens_pq_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_pq_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_replacement.dir/bench_sens_replacement.cc.o"
+  "CMakeFiles/bench_sens_replacement.dir/bench_sens_replacement.cc.o.d"
+  "bench_sens_replacement"
+  "bench_sens_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

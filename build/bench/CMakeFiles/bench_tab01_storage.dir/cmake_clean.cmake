@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_storage.dir/bench_tab01_storage.cc.o"
+  "CMakeFiles/bench_tab01_storage.dir/bench_tab01_storage.cc.o.d"
+  "bench_tab01_storage"
+  "bench_tab01_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bouquet_bench_util.dir/bench_util.cc.o.d"
+  "libbouquet_bench_util.a"
+  "libbouquet_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

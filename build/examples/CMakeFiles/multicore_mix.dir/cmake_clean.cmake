@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_mix.dir/multicore_mix.cpp.o"
+  "CMakeFiles/multicore_mix.dir/multicore_mix.cpp.o.d"
+  "multicore_mix"
+  "multicore_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_streaming.dir/stencil_streaming.cpp.o"
+  "CMakeFiles/stencil_streaming.dir/stencil_streaming.cpp.o.d"
+  "stencil_streaming"
+  "stencil_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_cache.dir/cache.cc.o"
+  "CMakeFiles/bouquet_cache.dir/cache.cc.o.d"
+  "CMakeFiles/bouquet_cache.dir/replacement.cc.o"
+  "CMakeFiles/bouquet_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/bouquet_cache.dir/tlb.cc.o"
+  "CMakeFiles/bouquet_cache.dir/tlb.cc.o.d"
+  "libbouquet_cache.a"
+  "libbouquet_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

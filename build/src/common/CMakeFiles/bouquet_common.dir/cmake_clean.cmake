@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_common.dir/stats.cc.o"
+  "CMakeFiles/bouquet_common.dir/stats.cc.o.d"
+  "libbouquet_common.a"
+  "libbouquet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/bouquet_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/bouquet_core.dir/core.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/bouquet_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/bouquet_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bouquet_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bouquet_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bouquet_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

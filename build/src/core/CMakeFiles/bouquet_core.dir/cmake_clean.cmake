@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_core.dir/core.cc.o"
+  "CMakeFiles/bouquet_core.dir/core.cc.o.d"
+  "CMakeFiles/bouquet_core.dir/system.cc.o"
+  "CMakeFiles/bouquet_core.dir/system.cc.o.d"
+  "libbouquet_core.a"
+  "libbouquet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_harness.dir/experiment.cc.o"
+  "CMakeFiles/bouquet_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/bouquet_harness.dir/factory.cc.o"
+  "CMakeFiles/bouquet_harness.dir/factory.cc.o.d"
+  "CMakeFiles/bouquet_harness.dir/report.cc.o"
+  "CMakeFiles/bouquet_harness.dir/report.cc.o.d"
+  "CMakeFiles/bouquet_harness.dir/table.cc.o"
+  "CMakeFiles/bouquet_harness.dir/table.cc.o.d"
+  "libbouquet_harness.a"
+  "libbouquet_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbouquet_harness.a"
+)

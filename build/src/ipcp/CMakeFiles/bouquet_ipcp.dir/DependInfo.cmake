@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipcp/ipcp_l1.cc" "src/ipcp/CMakeFiles/bouquet_ipcp.dir/ipcp_l1.cc.o" "gcc" "src/ipcp/CMakeFiles/bouquet_ipcp.dir/ipcp_l1.cc.o.d"
+  "/root/repo/src/ipcp/ipcp_l2.cc" "src/ipcp/CMakeFiles/bouquet_ipcp.dir/ipcp_l2.cc.o" "gcc" "src/ipcp/CMakeFiles/bouquet_ipcp.dir/ipcp_l2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/bouquet_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_ipcp.dir/ipcp_l1.cc.o"
+  "CMakeFiles/bouquet_ipcp.dir/ipcp_l1.cc.o.d"
+  "CMakeFiles/bouquet_ipcp.dir/ipcp_l2.cc.o"
+  "CMakeFiles/bouquet_ipcp.dir/ipcp_l2.cc.o.d"
+  "libbouquet_ipcp.a"
+  "libbouquet_ipcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_ipcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bouquet_ipcp.
+# This may be replaced when dependencies are built.

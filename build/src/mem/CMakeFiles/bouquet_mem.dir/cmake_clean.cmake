@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_mem.dir/dram.cc.o"
+  "CMakeFiles/bouquet_mem.dir/dram.cc.o.d"
+  "CMakeFiles/bouquet_mem.dir/vmem.cc.o"
+  "CMakeFiles/bouquet_mem.dir/vmem.cc.o.d"
+  "libbouquet_mem.a"
+  "libbouquet_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/bop.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/bop.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/bop.cc.o.d"
+  "/root/repo/src/prefetch/dol.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/dol.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/dol.cc.o.d"
+  "/root/repo/src/prefetch/dspatch.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/dspatch.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/dspatch.cc.o.d"
+  "/root/repo/src/prefetch/mlop.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/mlop.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/mlop.cc.o.d"
+  "/root/repo/src/prefetch/ppf.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/ppf.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/ppf.cc.o.d"
+  "/root/repo/src/prefetch/sandbox.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/sandbox.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/sandbox.cc.o.d"
+  "/root/repo/src/prefetch/simple.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/simple.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/simple.cc.o.d"
+  "/root/repo/src/prefetch/sms.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/sms.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/sms.cc.o.d"
+  "/root/repo/src/prefetch/spp.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/spp.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/spp.cc.o.d"
+  "/root/repo/src/prefetch/tskid.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/tskid.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/tskid.cc.o.d"
+  "/root/repo/src/prefetch/vldp.cc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/vldp.cc.o" "gcc" "src/prefetch/CMakeFiles/bouquet_prefetch.dir/vldp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

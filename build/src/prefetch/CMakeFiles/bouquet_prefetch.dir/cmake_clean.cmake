@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_prefetch.dir/bop.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/bop.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/dol.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/dol.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/dspatch.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/dspatch.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/mlop.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/mlop.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/ppf.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/ppf.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/sandbox.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/sandbox.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/simple.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/simple.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/sms.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/sms.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/spp.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/spp.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/tskid.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/tskid.cc.o.d"
+  "CMakeFiles/bouquet_prefetch.dir/vldp.cc.o"
+  "CMakeFiles/bouquet_prefetch.dir/vldp.cc.o.d"
+  "libbouquet_prefetch.a"
+  "libbouquet_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bouquet_trace.dir/suite.cc.o"
+  "CMakeFiles/bouquet_trace.dir/suite.cc.o.d"
+  "CMakeFiles/bouquet_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bouquet_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/bouquet_trace.dir/workloads.cc.o"
+  "CMakeFiles/bouquet_trace.dir/workloads.cc.o.d"
+  "libbouquet_trace.a"
+  "libbouquet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bouquet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_util.cc" "tests/CMakeFiles/bouquet_tests.dir/test_bench_util.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_bench_util.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/bouquet_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/bouquet_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/bouquet_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/bouquet_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_ipcp.cc" "tests/CMakeFiles/bouquet_tests.dir/test_ipcp.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_ipcp.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/bouquet_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_multilevel.cc" "tests/CMakeFiles/bouquet_tests.dir/test_multilevel.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_multilevel.cc.o.d"
+  "/root/repo/tests/test_prefetchers.cc" "tests/CMakeFiles/bouquet_tests.dir/test_prefetchers.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_prefetchers.cc.o.d"
+  "/root/repo/tests/test_replacement_tlb.cc" "tests/CMakeFiles/bouquet_tests.dir/test_replacement_tlb.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_replacement_tlb.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/bouquet_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/bouquet_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/bouquet_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/bouquet_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_workload_props.cc" "tests/CMakeFiles/bouquet_tests.dir/test_workload_props.cc.o" "gcc" "tests/CMakeFiles/bouquet_tests.dir/test_workload_props.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bouquet_harness.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/bouquet_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bouquet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bouquet_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bouquet_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipcp/CMakeFiles/bouquet_ipcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/bouquet_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bouquet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bouquet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_sim.dir/ipcp_sim.cc.o"
+  "CMakeFiles/ipcp_sim.dir/ipcp_sim.cc.o.d"
+  "ipcp_sim"
+  "ipcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -22,6 +22,14 @@ main()
     const std::vector<Combo> combos = tableIIIComboSet();
     const Combo baseline = namedCombo("none");
 
+    // Fan every (trace x combo) simulation across the worker pool up
+    // front; the loops below read cached outcomes.
+    {
+        std::vector<Combo> all{baseline};
+        all.insert(all.end(), combos.begin(), combos.end());
+        runBatch(memIntensiveTraces(), all, cfg);
+    }
+
     TablePrinter table({"combo", "L1D MPKI", "L2 MPKI", "LLC MPKI",
                         "L1D red.", "L2 red.", "LLC red."});
 

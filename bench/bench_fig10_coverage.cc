@@ -24,6 +24,7 @@ main()
 
     const Combo ipcp = namedCombo("ipcp");
     const Combo baseline = namedCombo("none");
+    runBatch(memIntensiveTraces(), {baseline, ipcp}, cfg);
     TablePrinter table({"trace", "L1 cov", "L2 cov", "LLC cov"});
     MeanAccumulator m1, m2, m3;
 

@@ -24,6 +24,7 @@ main()
 
     const Combo ipcp = namedCombo("ipcp");
     const Combo baseline = namedCombo("none");
+    runBatch(memIntensiveTraces(), {baseline, ipcp}, cfg);
     TablePrinter table(
         {"trace", "covered", "uncovered", "overpredicted"});
     MeanAccumulator mc, mu, mo;

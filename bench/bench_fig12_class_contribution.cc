@@ -22,6 +22,7 @@ main()
                 "Per-class contribution to L1 coverage (Fig. 12)");
 
     const Combo ipcp = namedCombo("ipcp");
+    runBatch(memIntensiveTraces(), {ipcp}, cfg);
     TablePrinter table({"trace", "cs", "cplx", "gs", "nl"});
     MeanAccumulator means[kIpcpClassCount];
 

@@ -21,17 +21,18 @@ using namespace bouquet;
 using namespace bouquet::bench;
 
 /**
- * Weighted speedup of one mix run. IPC_alone is always taken from the
- * no-prefetching single-core runs (disk-cached): the paper normalizes
- * every configuration against the same alone-IPC reference, so the
- * ratio WS_combo / WS_none measures what prefetching does to the mix
- * rather than how much of its single-core gain it retains.
+ * Weighted speedup of one mix outcome. IPC_alone is always taken from
+ * the no-prefetching single-core runs (disk-cached): the paper
+ * normalizes every configuration against the same alone-IPC
+ * reference, so the ratio WS_combo / WS_none measures what
+ * prefetching does to the mix rather than how much of its single-core
+ * gain it retains.
  */
 double
-weightedSpeedupOf(const std::vector<TraceSpec> &mix, const Combo &c,
+weightedSpeedupOf(const MixOutcome &out,
+                  const std::vector<TraceSpec> &mix,
                   const Combo &alone_ref, const ExperimentConfig &cfg)
 {
-    const MixOutcome out = runMix(mix, c.attach, cfg);
     double ws = 0;
     for (std::size_t i = 0; i < mix.size(); ++i) {
         const double alone =
@@ -95,19 +96,55 @@ main()
         categories.push_back(std::move(cat));
     }
 
+    // Prime the alone-IPC references (one single-core baseline run per
+    // distinct trace) across the worker pool.
+    {
+        std::vector<TraceSpec> alone;
+        std::vector<bool> seen;
+        for (const Category &cat : categories) {
+            for (const auto &mix : cat.mixes) {
+                for (const TraceSpec &t : mix) {
+                    bool dup = false;
+                    for (const TraceSpec &a : alone)
+                        dup = dup || a.name == t.name;
+                    if (!dup)
+                        alone.push_back(t);
+                }
+            }
+        }
+        runBatch(alone, {baseline}, cfg);
+    }
+
+    // Batch-submit every mix simulation: per mix, the no-prefetching
+    // baseline followed by each combo, category by category. Results
+    // come back in this submission order.
+    std::vector<MixJob> mix_jobs;
+    for (const Category &cat : categories) {
+        for (const auto &mix : cat.mixes) {
+            mix_jobs.push_back(
+                MixJob{mix, cat.name + "|" + baseline.label,
+                       baseline.attach, cfg});
+            for (const Combo &c : combos)
+                mix_jobs.push_back(MixJob{mix, cat.name + "|" + c.label,
+                                          c.attach, cfg});
+        }
+    }
+    const std::vector<MixOutcome> mix_results = runMixBatch(mix_jobs);
+
     TablePrinter table({"category", "mixes", "spp-ppf-dspatch", "mlop",
                         "bingo", "ipcp"});
     std::vector<MeanAccumulator> overall(combos.size());
 
+    std::size_t job = 0;
     for (const Category &cat : categories) {
         std::vector<MeanAccumulator> means(combos.size());
         for (const auto &mix : cat.mixes) {
             // One baseline mix simulation per mix, shared by combos.
-            const double ws_none =
-                weightedSpeedupOf(mix, baseline, baseline, cfg);
+            const double ws_none = weightedSpeedupOf(
+                mix_results[job++], mix, baseline, cfg);
             for (std::size_t c = 0; c < combos.size(); ++c) {
-                const double ws =
-                    weightedSpeedupOf(mix, combos[c], baseline, cfg);
+                const double ws = weightedSpeedupOf(
+                    mix_results[job++], mix, baseline, cfg);
                 const double nws = ws_none > 0 ? ws / ws_none : 0.0;
                 means[c].add(nws);
                 overall[c].add(nws);

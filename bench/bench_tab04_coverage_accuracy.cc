@@ -36,6 +36,14 @@ main()
     };
     const Combo baseline = namedCombo("none");
 
+    // Batch-submit every simulation this table reads before looping.
+    {
+        std::vector<Combo> all{baseline};
+        const auto combos = tableIIIComboSet();
+        all.insert(all.end(), combos.begin(), combos.end());
+        runBatch(memIntensiveTraces(), all, cfg);
+    }
+
     TablePrinter table({"combo", "cov L1", "cov L2", "cov LLC",
                         "acc L1", "acc L2"});
     for (const Combo &c : tableIIIComboSet()) {

@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 
 #include <fstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "common/bitops.hh"
 #include "common/stats.hh"
@@ -17,114 +20,231 @@ namespace bouquet::bench
 namespace
 {
 
-/** Binary cache of Outcome records keyed by a string. */
-class OutcomeStore
+constexpr std::uint64_t kMagic = 0x4950'4350'4341'4348ull;  // "IPCPCACH"
+constexpr std::uint32_t kMaxKeyLen = 4096;
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t h = 14695981039346656037ull)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+recordChecksum(const std::string &key, const Outcome &o)
+{
+    std::uint64_t h = fnv1a(key.data(), key.size());
+    return fnv1a(&o, sizeof(Outcome), h);
+}
+
+/** Serialize one cross-process critical section on the cache file. */
+class FileLock
 {
   public:
-    OutcomeStore()
+    explicit FileLock(const std::string &path)
+        : fd_(::open((path + ".lock").c_str(), O_CREAT | O_RDWR, 0644))
     {
-        const char *env = std::getenv("IPCP_CACHE_FILE");
-        path_ = env != nullptr ? env : "bench_cache.bin";
-        if (!path_.empty())
-            load();
+        if (fd_ >= 0)
+            ::flock(fd_, LOCK_EX);
     }
 
-    bool
-    get(const std::string &key, Outcome &out)
+    ~FileLock()
     {
-        auto it = cache_.find(key);
-        if (it == cache_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    void
-    put(const std::string &key, const Outcome &out)
-    {
-        cache_[key] = out;
-        if (path_.empty())
-            return;
-        std::FILE *f = std::fopen(path_.c_str(), "ab");
-        if (f == nullptr)
-            return;
-        if (cacheEmptyOnDisk_) {
-            // fresh file: stamp the header
-            writeHeader(f);
-            cacheEmptyOnDisk_ = false;
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
         }
-        writeRecord(f, key, out);
-        std::fclose(f);
     }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
 
   private:
-    static constexpr std::uint64_t kMagic = 0x49504350'0001ull ^
-                                            sizeof(Outcome);
-
-    void
-    writeHeader(std::FILE *f)
-    {
-        std::fwrite(&kMagic, sizeof(kMagic), 1, f);
-    }
-
-    void
-    writeRecord(std::FILE *f, const std::string &key, const Outcome &o)
-    {
-        const std::uint32_t len =
-            static_cast<std::uint32_t>(key.size());
-        std::fwrite(&len, sizeof(len), 1, f);
-        std::fwrite(key.data(), 1, len, f);
-        // Outcome is trivially copyable (counters only): raw dump is
-        // safe for a same-machine cache; the magic embeds its size.
-        std::fwrite(&o, sizeof(Outcome), 1, f);
-    }
-
-    void
-    load()
-    {
-        std::FILE *f = std::fopen(path_.c_str(), "rb");
-        if (f == nullptr) {
-            cacheEmptyOnDisk_ = true;
-            return;
-        }
-        std::uint64_t magic = 0;
-        if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
-            magic != kMagic) {
-            std::fclose(f);
-            std::remove(path_.c_str());
-            cacheEmptyOnDisk_ = true;
-            return;
-        }
-        for (;;) {
-            std::uint32_t len = 0;
-            if (std::fread(&len, sizeof(len), 1, f) != 1)
-                break;
-            if (len > 4096)
-                break;  // corrupt
-            std::string key(len, '\0');
-            if (std::fread(key.data(), 1, len, f) != len)
-                break;
-            Outcome o;
-            if (std::fread(&o, sizeof(Outcome), 1, f) != 1)
-                break;
-            cache_[key] = o;
-        }
-        std::fclose(f);
-    }
-
-    std::string path_;
-    bool cacheEmptyOnDisk_ = false;
-    std::map<std::string, Outcome> cache_;
+    int fd_;
 };
 
-OutcomeStore &
-store()
+} // namespace
+
+OutcomeStore::OutcomeStore(std::string path) : path_(std::move(path))
 {
-    static OutcomeStore s;
+    if (!path_.empty())
+        cache_ = readDisk(&corrupt_);
+}
+
+std::map<std::string, Outcome>
+OutcomeStore::readDisk(std::size_t *corrupt) const
+{
+    std::map<std::string, Outcome> entries;
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr)
+        return entries;
+
+    auto reject = [&](std::size_t n) {
+        if (corrupt != nullptr)
+            *corrupt += n;
+        std::fclose(f);
+        return entries;
+    };
+
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t record_bytes = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
+        std::fread(&version, sizeof(version), 1, f) != 1 ||
+        std::fread(&record_bytes, sizeof(record_bytes), 1, f) != 1 ||
+        magic != kMagic || version != kFormatVersion ||
+        record_bytes != sizeof(Outcome)) {
+        // Wrong magic, stale format version, or mismatched record
+        // layout: nothing in the file can be trusted.
+        return reject(1);
+    }
+
+    for (;;) {
+        std::uint32_t len = 0;
+        const std::size_t got = std::fread(&len, sizeof(len), 1, f);
+        if (got != 1)
+            break;  // clean EOF (or short header of a torn record)
+        if (len == 0 || len > kMaxKeyLen)
+            return reject(1);
+        std::string key(len, '\0');
+        Outcome o;
+        std::uint64_t checksum = 0;
+        if (std::fread(key.data(), 1, len, f) != len ||
+            std::fread(&o, sizeof(Outcome), 1, f) != 1 ||
+            std::fread(&checksum, sizeof(checksum), 1, f) != 1)
+            return reject(1);  // short record: file was truncated
+        if (checksum != recordChecksum(key, o))
+            return reject(1);  // bit rot / interleaved write
+        entries[key] = o;
+    }
+    std::fclose(f);
+    return entries;
+}
+
+void
+OutcomeStore::mergeAndPersistLocked()
+{
+    FileLock lock(path_);
+
+    // Pick up entries other processes completed since our last read so
+    // the rewrite below never drops them.
+    for (auto &[key, outcome] : readDisk(nullptr))
+        cache_.emplace(key, outcome);
+
+    const std::string tmp =
+        path_ + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return;
+
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t record_bytes = sizeof(Outcome);
+    std::fwrite(&kMagic, sizeof(kMagic), 1, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&record_bytes, sizeof(record_bytes), 1, f);
+    for (const auto &[key, o] : cache_) {
+        const auto len = static_cast<std::uint32_t>(key.size());
+        const std::uint64_t checksum = recordChecksum(key, o);
+        std::fwrite(&len, sizeof(len), 1, f);
+        std::fwrite(key.data(), 1, len, f);
+        std::fwrite(&o, sizeof(Outcome), 1, f);
+        std::fwrite(&checksum, sizeof(checksum), 1, f);
+    }
+    std::fclose(f);
+    // Atomic publish: readers see either the old or the new complete
+    // store, never a partial write.
+    std::rename(tmp.c_str(), path_.c_str());
+}
+
+bool
+OutcomeStore::get(const std::string &key, Outcome &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end() && !path_.empty()) {
+        // Memory miss: a concurrent process may have completed this
+        // entry — re-read the (small) file rather than re-simulate.
+        for (auto &[k, o] : readDisk(nullptr))
+            cache_.emplace(k, o);
+        it = cache_.find(key);
+    }
+    if (it == cache_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+OutcomeStore::put(const std::string &key, const Outcome &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_[key] = out;
+    if (!path_.empty())
+        mergeAndPersistLocked();
+}
+
+std::size_t
+OutcomeStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+OutcomeStore &
+globalStore()
+{
+    static OutcomeStore s([] {
+        const char *env = std::getenv("IPCP_CACHE_FILE");
+        return std::string(env != nullptr ? env : "bench_cache.bin");
+    }());
     return s;
 }
 
-} // namespace
+Runner &
+runner()
+{
+    static Runner r;
+    return r;
+}
+
+std::vector<Outcome>
+submitJobs(const std::vector<Job> &jobs)
+{
+    auto fetch = [](const Job &j, Outcome &out) {
+        return globalStore().get(jobKey(j), out);
+    };
+    auto store = [](const Job &j, const Outcome &out) {
+        globalStore().put(jobKey(j), out);
+    };
+    std::vector<Outcome> results = runner().run(jobs, fetch, store);
+    runner().lastBatch().print(std::cerr);
+    return results;
+}
+
+void
+runBatch(const std::vector<TraceSpec> &traces,
+         const std::vector<Combo> &combos, const ExperimentConfig &cfg)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(traces.size() * combos.size());
+    for (const Combo &c : combos)
+        for (const TraceSpec &t : traces)
+            jobs.push_back(Job{t, c.label, c.attach, cfg});
+    submitJobs(jobs);
+}
+
+std::vector<MixOutcome>
+runMixBatch(const std::vector<MixJob> &jobs)
+{
+    std::vector<MixOutcome> results = runner().runMixes(jobs);
+    runner().lastBatch().print(std::cerr);
+    return results;
+}
 
 Combo
 namedCombo(const std::string &name)
@@ -148,34 +268,16 @@ defaultConfig()
     return cfg;
 }
 
-std::string
-systemFingerprint(const SystemConfig &cfg)
-{
-    char buf[256];
-    std::snprintf(
-        buf, sizeof(buf), "s%ux%u.%ux%u.%ux%u.%ux%u.m%u.%u.p%u.%u.d%u.%llu.r%d",
-        cfg.l1d.sets, cfg.l1d.ways, cfg.l2.sets, cfg.l2.ways,
-        cfg.llcPerCore.sets, cfg.llcPerCore.ways, cfg.l1i.sets,
-        cfg.l1i.ways, cfg.l1d.mshrs, cfg.l2.mshrs, cfg.l1d.pqSize,
-        cfg.l2.pqSize, cfg.dram.channels,
-        static_cast<unsigned long long>(cfg.dram.busCyclesPerLine),
-        static_cast<int>(cfg.llcPerCore.repl));
-    return buf;
-}
-
 Outcome
 run(const TraceSpec &spec, const std::string &label,
     const AttachFn &attach, const ExperimentConfig &cfg)
 {
-    const std::string key =
-        spec.name + "|" + label + "|" + std::to_string(cfg.simInstrs) +
-        "|" + std::to_string(cfg.warmupInstrs) + "|" +
-        systemFingerprint(cfg.system);
+    const std::string key = jobKey(Job{spec, label, attach, cfg});
     Outcome out;
-    if (store().get(key, out))
+    if (globalStore().get(key, out))
         return out;
     out = runSingleCore(spec, attach, cfg);
-    store().put(key, out);
+    globalStore().put(key, out);
     return out;
 }
 
@@ -192,6 +294,14 @@ speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
     std::vector<MeanAccumulator> means(combos.size());
     const Combo baseline = namedCombo("none");
     Report report;
+
+    // Fan the whole experiment (baseline included) across the worker
+    // pool; the per-trace loop below then reads cached outcomes.
+    {
+        std::vector<Combo> all{baseline};
+        all.insert(all.end(), combos.begin(), combos.end());
+        runBatch(traces, all, cfg);
+    }
 
     for (const TraceSpec &t : traces) {
         const Outcome base = run(t, baseline.label, baseline.attach, cfg);

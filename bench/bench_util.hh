@@ -1,6 +1,7 @@
 /**
  * @file
- * Shared bench plumbing: environment-scaled run lengths, a disk-backed
+ * Shared bench plumbing: environment-scaled run lengths, the parallel
+ * batch front-end to the harness Runner, a versioned disk-backed
  * outcome cache so the per-figure binaries don't re-simulate shared
  * configurations (baselines, the Table III combos), and the standard
  * per-trace speedup table printer.
@@ -9,22 +10,33 @@
  *   IPCP_SIM_INSTRS    measured instructions per trace (default 1e6)
  *   IPCP_WARMUP_INSTRS warmup instructions           (default 1e5)
  *   IPCP_MIXES         multi-core mixes per experiment (default 12)
+ *   IPCP_JOBS          worker threads for simulation batches
+ *                      (default: hardware concurrency; 1 = serial)
+ *   IPCP_PROGRESS      when set, print a stderr line per finished job
  *   IPCP_CACHE_FILE    outcome cache path (default bench_cache.bin in
  *                      the working directory; set empty to disable)
  *   IPCP_REPORT_CSV    when set, every speedupTable() call also appends
  *                      its raw outcomes to this CSV file for plotting
+ *
+ * Tables are printed to stdout and are byte-identical no matter how
+ * many worker threads ran the batch; all throughput/progress
+ * reporting goes to stderr.
  */
 
 #ifndef BOUQUET_BENCH_BENCH_UTIL_HH
 #define BOUQUET_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "trace/suite.hh"
 
@@ -48,10 +60,81 @@ std::vector<Combo> tableIIIComboSet();
 ExperimentConfig defaultConfig();
 
 /**
- * Fingerprint the non-default parts of a system config so cached
- * outcomes are keyed by what was actually simulated.
+ * Disk-backed store of Outcome records keyed by the runner's job key.
+ *
+ * The file is versioned (format version + record size in the header)
+ * and every record carries a checksum; a truncated, corrupt or
+ * stale-format file is detected at load and its unusable tail (or the
+ * whole file) is discarded and regenerated instead of trusted.
+ * Writes go through a sidecar lock file and an atomic rename of the
+ * complete store, after merging the entries currently on disk, so any
+ * number of concurrent bench processes can share one cache file
+ * without corrupting it or losing each other's completed entries.
+ * All member functions are thread-safe.
  */
-std::string systemFingerprint(const SystemConfig &cfg);
+class OutcomeStore
+{
+  public:
+    /** Bump when the record layout or key format changes. */
+    static constexpr std::uint32_t kFormatVersion = 2;
+
+    /** @param path cache file; empty = in-memory only */
+    explicit OutcomeStore(std::string path);
+
+    /**
+     * Look up a key. On a memory miss the disk file is re-read first,
+     * so entries completed by concurrent processes are found and not
+     * recomputed.
+     */
+    bool get(const std::string &key, Outcome &out);
+
+    /** Insert an entry and persist the merged store atomically. */
+    void put(const std::string &key, const Outcome &out);
+
+    /** Entries currently in memory. */
+    std::size_t size() const;
+
+    /** Records rejected as corrupt/short when the file was loaded. */
+    std::size_t corruptRecords() const { return corrupt_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::map<std::string, Outcome> readDisk(std::size_t *corrupt) const;
+    void mergeAndPersistLocked();
+
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::size_t corrupt_ = 0;
+    std::map<std::string, Outcome> cache_;
+};
+
+/** Process-wide store at $IPCP_CACHE_FILE (default bench_cache.bin). */
+OutcomeStore &globalStore();
+
+/** The process-wide Runner every bench batches through. */
+Runner &runner();
+
+/**
+ * Batch-submit labelled jobs through the runner, backed by the global
+ * disk cache and deduplicated by key before dispatch. Returns the
+ * outcomes in submission order and prints the batch's wall-time /
+ * throughput summary to stderr.
+ */
+std::vector<Outcome> submitJobs(const std::vector<Job> &jobs);
+
+/**
+ * Fan every (trace x combo) simulation of an experiment across the
+ * worker pool, priming the outcome cache so subsequent run() calls
+ * are lookups. Benches call this once up front with every combo
+ * (baselines included) they will read.
+ */
+void runBatch(const std::vector<TraceSpec> &traces,
+              const std::vector<Combo> &combos,
+              const ExperimentConfig &cfg);
+
+/** Batch-submit multi-core mix jobs; outcomes in submission order. */
+std::vector<MixOutcome> runMixBatch(const std::vector<MixJob> &jobs);
 
 /**
  * Run (or fetch from the disk cache) one single-core simulation.
@@ -63,6 +146,7 @@ Outcome run(const TraceSpec &spec, const std::string &label,
 /**
  * Print the standard paper-style table: one row per trace with the
  * speedup of every combo over no prefetching, then the geomean row.
+ * The whole experiment is batch-submitted through the runner first.
  * Returns the geomean speedup per combo.
  */
 std::vector<double>

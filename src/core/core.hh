@@ -90,6 +90,19 @@ class Core : public RespTarget, public Clocked
         return vmem_->translate(id_, vaddr);
     }
 
+    /**
+     * Translate an instruction virtual address (used as the L1I
+     * translator). Instruction-side prefetch translation must not be
+     * routed through the data path: the two share the page tables but
+     * not the L1 TLBs, so stats and future I-side TLB modelling stay
+     * attributed to the instruction side.
+     */
+    Addr
+    translateInstruction(Addr vaddr)
+    {
+        return vmem_->translate(id_, vaddr);
+    }
+
   private:
     struct RobEntry
     {

@@ -45,7 +45,7 @@ System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
         l1ds_[c]->setTranslator(
             [core](Addr va) { return core->translateData(va); });
         l1is_[c]->setTranslator(
-            [core](Addr va) { return core->translateData(va); });
+            [core](Addr va) { return core->translateInstruction(va); });
 
         auto instr_source = [core] { return core->retiredSinceReset(); };
         l1ds_[c]->setInstructionSource(instr_source);

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/rng.hh"
@@ -77,6 +78,21 @@ runSingleCore(const TraceSpec &spec, const AttachFn &attach,
     return out;
 }
 
+std::string
+systemFingerprint(const SystemConfig &cfg)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf), "s%ux%u.%ux%u.%ux%u.%ux%u.m%u.%u.p%u.%u.d%u.%llu.r%d",
+        cfg.l1d.sets, cfg.l1d.ways, cfg.l2.sets, cfg.l2.ways,
+        cfg.llcPerCore.sets, cfg.llcPerCore.ways, cfg.l1i.sets,
+        cfg.l1i.ways, cfg.l1d.mshrs, cfg.l2.mshrs, cfg.l1d.pqSize,
+        cfg.l2.pqSize, cfg.dram.channels,
+        static_cast<unsigned long long>(cfg.dram.busCyclesPerLine),
+        static_cast<int>(cfg.llcPerCore.repl));
+    return buf;
+}
+
 MixOutcome
 runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
        const ExperimentConfig &cfg)
@@ -97,7 +113,18 @@ runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
     for (std::size_t c = 0; c < specs.size(); ++c) {
         out.ipc.push_back(r.cores[c].ipc);
         out.traces.push_back(specs[c].name);
+        out.instructions.push_back(r.cores[c].instructions);
+        out.cycles.push_back(r.cores[c].cycles);
     }
+    out.system.ipc = r.cores[0].ipc;
+    out.system.instructions = r.cores[0].instructions;
+    out.system.cycles = r.cores[0].cycles;
+    out.system.l1i = sys.l1i(0).stats();
+    out.system.l1d = sys.l1d(0).stats();
+    out.system.l2 = sys.l2(0).stats();
+    out.system.llc = sys.llc().stats();
+    out.system.dram = sys.dram().stats();
+    out.system.dramBytes = sys.dram().bytesTransferred();
     return out;
 }
 
@@ -107,10 +134,16 @@ RunCache::ipc(const TraceSpec &spec, const std::string &label,
 {
     const std::string key = spec.name + "|" + label + "|" +
                             std::to_string(cfg.simInstrs);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Simulate outside the lock: a concurrent miss on the same key
+    // costs a redundant (identical) simulation, never a blocked pool.
     const Outcome out = runSingleCore(spec, attach, cfg);
+    std::lock_guard<std::mutex> lock(mutex_);
     cache_.emplace(key, out.ipc);
     return out.ipc;
 }

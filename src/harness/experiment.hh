@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,11 +69,21 @@ struct Outcome
 Outcome runSingleCore(const TraceSpec &spec, const AttachFn &attach,
                       const ExperimentConfig &cfg);
 
+/**
+ * Fingerprint the non-default parts of a system config so memoized
+ * outcomes are keyed by what was actually simulated.
+ */
+std::string systemFingerprint(const SystemConfig &cfg);
+
 /** Metrics of one multi-core mix run. */
 struct MixOutcome
 {
     std::vector<double> ipc;          //!< per core, together
     std::vector<std::string> traces;  //!< per core
+    std::vector<std::uint64_t> instructions;  //!< per core, measured
+    std::vector<Cycle> cycles;        //!< per core, measured
+    /** Core-0 private caches plus the shared LLC/DRAM stats. */
+    Outcome system;
 };
 
 /** Run a mix (one workload per core) on an N-core system. */
@@ -82,6 +93,11 @@ MixOutcome runMix(const std::vector<TraceSpec> &specs,
 /**
  * Memoizing runner keyed by (trace, label): used for baseline IPCs
  * and IPC-alone values so each is simulated once per process.
+ *
+ * Safe to call from concurrent runner workers: the map is guarded by
+ * a mutex that is never held across a simulation, so two threads
+ * racing on the same cold key may both simulate it (deterministically
+ * producing the same value) but never corrupt the cache.
  */
 class RunCache
 {
@@ -91,6 +107,7 @@ class RunCache
                const AttachFn &attach, const ExperimentConfig &cfg);
 
   private:
+    std::mutex mutex_;
     std::map<std::string, double> cache_;
 };
 

@@ -1,0 +1,263 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace bouquet
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string
+humanRate(double per_second)
+{
+    char buf[32];
+    if (per_second >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fM", per_second / 1e6);
+    else if (per_second >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fk", per_second / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", per_second);
+    return buf;
+}
+
+std::mutex progressMutex;
+
+} // namespace
+
+std::string
+jobKey(const Job &job)
+{
+    return job.spec.name + "|" + job.label + "|" +
+           std::to_string(job.cfg.simInstrs) + "|" +
+           std::to_string(job.cfg.warmupInstrs) + "|" +
+           systemFingerprint(job.cfg.system);
+}
+
+double
+BatchStats::speedupOverSerial() const
+{
+    return wallSeconds > 0.0 ? busySeconds / wallSeconds : 1.0;
+}
+
+double
+BatchStats::instrsPerSecond() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(simInstrs) / wallSeconds
+        : 0.0;
+}
+
+void
+BatchStats::print(std::ostream &os) const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "[runner] jobs=%zu executed=%zu cached=%zu "
+                  "deduped=%zu threads=%u | wall %.2fs busy %.2fs "
+                  "speedup %.2fx | %s sim-instrs/s",
+                  jobs, executed, cached, deduped, threads, wallSeconds,
+                  busySeconds, speedupOverSerial(),
+                  humanRate(instrsPerSecond()).c_str());
+    os << buf << "\n";
+}
+
+Runner::Runner(unsigned threads)
+    : threads_(threads > 0 ? threads : defaultThreads()),
+      progress_(std::getenv("IPCP_PROGRESS") != nullptr)
+{
+}
+
+unsigned
+Runner::defaultThreads()
+{
+    if (const char *env = std::getenv("IPCP_JOBS");
+        env != nullptr && *env != '\0') {
+        const unsigned long n = std::strtoul(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+template <typename Task>
+void
+Runner::dispatch(std::size_t count, const Task &task)
+{
+    if (count == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<Outcome>
+Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
+            const StoreFn &store)
+{
+    const auto batch_start = Clock::now();
+    const std::size_t n = jobs.size();
+
+    last_ = BatchStats{};
+    last_.threads = threads_;
+    last_.jobs = n;
+    last_.perJob.resize(n);
+
+    std::vector<Outcome> results(n);
+
+    // Resolve the external cache and deduplicate by key up front so
+    // every simulation is dispatched at most once per batch.
+    std::map<std::string, std::size_t> canonical;  // key -> index
+    std::vector<std::size_t> exec;
+    std::vector<std::pair<std::size_t, std::size_t>> copies;
+    for (std::size_t i = 0; i < n; ++i) {
+        JobTiming &t = last_.perJob[i];
+        t.key = jobKey(jobs[i]);
+        const auto [it, inserted] = canonical.emplace(t.key, i);
+        if (!inserted) {
+            copies.emplace_back(i, it->second);
+            t.deduped = true;
+            ++last_.deduped;
+            continue;
+        }
+        if (fetch && fetch(jobs[i], results[i])) {
+            t.cached = true;
+            t.instrs = results[i].instructions;
+            ++last_.cached;
+            continue;
+        }
+        exec.push_back(i);
+    }
+    last_.executed = exec.size();
+
+    std::atomic<std::size_t> completed{0};
+    dispatch(exec.size(), [&](std::size_t e) {
+        const std::size_t i = exec[e];
+        const Job &job = jobs[i];
+        const auto start = Clock::now();
+        results[i] = runSingleCore(job.spec, job.attach, job.cfg);
+        JobTiming &t = last_.perJob[i];
+        t.seconds = secondsSince(start);
+        t.instrs = results[i].instructions;
+        if (store)
+            store(job, results[i]);
+        if (progress_) {
+            const std::size_t done = completed.fetch_add(1) + 1;
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "[runner] %zu/%zu %s|%s %.2fs", done,
+                          exec.size(), job.spec.name.c_str(),
+                          job.label.c_str(), t.seconds);
+            std::lock_guard<std::mutex> lock(progressMutex);
+            std::cerr << line << "\n";
+        }
+    });
+
+    // Fan results out to deduplicated submissions. Sources are always
+    // earlier canonical indices, so they are already resolved.
+    for (const auto &[dst, src] : copies)
+        results[dst] = results[src];
+
+    for (const JobTiming &t : last_.perJob) {
+        last_.busySeconds += t.seconds;
+        if (!t.cached && !t.deduped)
+            last_.simInstrs += t.instrs;
+    }
+    last_.wallSeconds = secondsSince(batch_start);
+    return results;
+}
+
+std::vector<MixOutcome>
+Runner::runMixes(const std::vector<MixJob> &jobs)
+{
+    const auto batch_start = Clock::now();
+    const std::size_t n = jobs.size();
+
+    last_ = BatchStats{};
+    last_.threads = threads_;
+    last_.jobs = n;
+    last_.executed = n;
+    last_.perJob.resize(n);
+
+    std::vector<MixOutcome> results(n);
+    std::atomic<std::size_t> completed{0};
+    dispatch(n, [&](std::size_t i) {
+        const MixJob &job = jobs[i];
+        const auto start = Clock::now();
+        results[i] = runMix(job.specs, job.attach, job.cfg);
+        JobTiming &t = last_.perJob[i];
+        t.key = job.label;
+        t.seconds = secondsSince(start);
+        for (const std::uint64_t instrs : results[i].instructions)
+            t.instrs += instrs;
+        if (progress_) {
+            const std::size_t done = completed.fetch_add(1) + 1;
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "[runner] %zu/%zu mix:%s %.2fs", done, n,
+                          job.label.c_str(), t.seconds);
+            std::lock_guard<std::mutex> lock(progressMutex);
+            std::cerr << line << "\n";
+        }
+    });
+
+    for (const JobTiming &t : last_.perJob) {
+        last_.busySeconds += t.seconds;
+        last_.simInstrs += t.instrs;
+    }
+    last_.wallSeconds = secondsSince(batch_start);
+    return results;
+}
+
+} // namespace bouquet

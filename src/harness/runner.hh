@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parallel experiment execution: a worker pool that fans complete,
+ * self-contained simulations (each builds its own System) across
+ * hardware threads and returns their outcomes in deterministic
+ * submission order, so any table or figure built from a batch is
+ * bit-identical to a serial run.
+ *
+ * Thread count comes from the IPCP_JOBS environment variable and
+ * defaults to the hardware concurrency; IPCP_JOBS=1 degenerates to a
+ * serial run on the calling thread.
+ *
+ * Jobs carry a cache key (trace, combo label, sim parameters, system
+ * fingerprint). Before dispatch the batch is deduplicated by key —
+ * e.g. the "none" baseline requested by several figures is simulated
+ * once — and an optional fetch/store hook pair lets the caller back
+ * the batch with an external (disk) cache. The store hook is invoked
+ * from worker threads and must be thread-safe.
+ */
+
+#ifndef BOUQUET_HARNESS_RUNNER_HH
+#define BOUQUET_HARNESS_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace bouquet
+{
+
+/** One labelled single-core simulation. */
+struct Job
+{
+    TraceSpec spec;
+    std::string label;  //!< attach-configuration identity (cache key)
+    AttachFn attach;
+    ExperimentConfig cfg;
+};
+
+/** One labelled multi-core mix simulation. */
+struct MixJob
+{
+    std::vector<TraceSpec> specs;  //!< one workload per core
+    std::string label;
+    AttachFn attach;
+    ExperimentConfig cfg;
+};
+
+/**
+ * The memoization key of a job: trace, combo label, run lengths and
+ * the system fingerprint. Shared by the runner's in-batch dedup and
+ * the bench disk cache so the two never disagree.
+ */
+std::string jobKey(const Job &job);
+
+/** Per-job execution record of a batch. */
+struct JobTiming
+{
+    std::string key;
+    double seconds = 0.0;        //!< wall time of this simulation
+    std::uint64_t instrs = 0;    //!< simulated (measured) instructions
+    bool cached = false;         //!< satisfied by the fetch hook
+    bool deduped = false;        //!< satisfied by an identical job
+};
+
+/** Aggregate throughput accounting for one batch. */
+struct BatchStats
+{
+    unsigned threads = 1;
+    std::size_t jobs = 0;      //!< submitted
+    std::size_t executed = 0;  //!< actually simulated
+    std::size_t cached = 0;    //!< satisfied by the fetch hook
+    std::size_t deduped = 0;   //!< duplicates of an executed/cached key
+    double wallSeconds = 0.0;  //!< batch wall-clock
+    double busySeconds = 0.0;  //!< sum of per-job wall times
+    std::uint64_t simInstrs = 0;  //!< instructions simulated (executed)
+    std::vector<JobTiming> perJob;
+
+    /** Estimated speedup over running the same batch serially. */
+    double speedupOverSerial() const;
+
+    /** Aggregate simulated instructions per wall-clock second. */
+    double instrsPerSecond() const;
+
+    /** One-line human-readable summary (benches print it to stderr). */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * The worker pool. Construction is cheap: threads are spawned per
+ * batch and joined before the batch returns, so a Runner may live as
+ * a function-local or a global without holding OS resources.
+ */
+class Runner
+{
+  public:
+    /** @param threads worker count; 0 = IPCP_JOBS / hw_concurrency */
+    explicit Runner(unsigned threads = 0);
+
+    /** IPCP_JOBS if set (min 1), else std::thread::hardware_concurrency. */
+    static unsigned defaultThreads();
+
+    unsigned threads() const { return threads_; }
+
+    /** External-cache probe: return true and fill the outcome on hit. */
+    using FetchFn = std::function<bool(const Job &, Outcome &)>;
+    /** External-cache insert; called from worker threads. */
+    using StoreFn = std::function<void(const Job &, const Outcome &)>;
+
+    /**
+     * Execute a batch of single-core jobs. Outcomes are returned in
+     * submission order regardless of completion order; a batch run
+     * with 1 thread and with N threads produces identical vectors.
+     */
+    std::vector<Outcome> run(const std::vector<Job> &jobs,
+                             const FetchFn &fetch = {},
+                             const StoreFn &store = {});
+
+    /** Execute a batch of mix jobs (no dedup/caching: mixes are
+     *  one-shot in every bench). Deterministic order as above. */
+    std::vector<MixOutcome> runMixes(const std::vector<MixJob> &jobs);
+
+    /** Accounting for the most recent run()/runMixes() batch. */
+    const BatchStats &lastBatch() const { return last_; }
+
+  private:
+    template <typename Task>
+    void dispatch(std::size_t count, const Task &task);
+
+    unsigned threads_;
+    bool progress_;  //!< IPCP_PROGRESS: per-job stderr lines
+    BatchStats last_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_HARNESS_RUNNER_HH

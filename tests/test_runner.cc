@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: serial/parallel outcome
+ * determinism, in-batch deduplication and cache hooks, RunCache under
+ * concurrent access (meaningful under -fsanitize=thread), and the
+ * versioned on-disk outcome store's corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "harness/runner.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+using bench::OutcomeStore;
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg;
+    cfg.warmupInstrs = 4'000;
+    cfg.simInstrs = 20'000;
+    return cfg;
+}
+
+AttachFn
+comboAttach(const std::string &name)
+{
+    return [name](System &s) { applyCombo(s, name); };
+}
+
+std::vector<Job>
+sampleBatch(const ExperimentConfig &cfg)
+{
+    std::vector<Job> jobs;
+    for (const char *trace :
+         {"603.bwaves_s-891B", "619.lbm_s-2676B", "605.mcf_s-994B"}) {
+        for (const char *combo : {"none", "ipcp"}) {
+            jobs.push_back(Job{findTrace(trace), combo,
+                               comboAttach(combo), cfg});
+        }
+    }
+    return jobs;
+}
+
+/** Outcome equality across every field a table could be built from. */
+void
+expectSameOutcome(const Outcome &a, const Outcome &b)
+{
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1d.demandMisses(), b.l1d.demandMisses());
+    EXPECT_EQ(a.l2.demandMisses(), b.l2.demandMisses());
+    EXPECT_EQ(a.llc.demandMisses(), b.llc.demandMisses());
+    EXPECT_EQ(a.l1d.pfFills, b.l1d.pfFills);
+    EXPECT_EQ(a.l1d.pfUseful, b.l1d.pfUseful);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.writes, b.dram.writes);
+}
+
+Outcome
+fakeOutcome(double ipc)
+{
+    Outcome o;
+    o.ipc = ipc;
+    o.instructions = 1000;
+    o.cycles = 500;
+    o.dramBytes = 4096;
+    return o;
+}
+
+TEST(Runner, ParallelMatchesSerialBitForBit)
+{
+    const ExperimentConfig cfg = tinyConfig();
+    const std::vector<Job> jobs = sampleBatch(cfg);
+
+    Runner serial(1);
+    Runner parallel(4);
+    const std::vector<Outcome> a = serial.run(jobs);
+    const std::vector<Outcome> b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectSameOutcome(a[i], b[i]);
+    EXPECT_EQ(serial.lastBatch().executed, jobs.size());
+    EXPECT_EQ(parallel.lastBatch().executed, jobs.size());
+    EXPECT_GT(parallel.lastBatch().simInstrs, 0u);
+}
+
+TEST(Runner, DeduplicatesIdenticalJobsBeforeDispatch)
+{
+    const ExperimentConfig cfg = tinyConfig();
+    const Job job{findTrace("603.bwaves_s-891B"), "none",
+                  comboAttach("none"), cfg};
+    const Job other{findTrace("619.lbm_s-2676B"), "none",
+                    comboAttach("none"), cfg};
+    const std::vector<Job> jobs{job, other, job, job};
+
+    Runner r(2);
+    const std::vector<Outcome> outs = r.run(jobs);
+    EXPECT_EQ(r.lastBatch().jobs, 4u);
+    EXPECT_EQ(r.lastBatch().executed, 2u);
+    EXPECT_EQ(r.lastBatch().deduped, 2u);
+    expectSameOutcome(outs[0], outs[2]);
+    expectSameOutcome(outs[0], outs[3]);
+    EXPECT_NE(outs[0].instructions + outs[0].cycles, 0u);
+}
+
+TEST(Runner, FetchAndStoreHooksBackTheBatch)
+{
+    const ExperimentConfig cfg = tinyConfig();
+    const std::vector<Job> jobs = sampleBatch(cfg);
+    const std::string served = jobKey(jobs[0]);
+
+    std::mutex mutex;
+    std::vector<std::string> stored;
+    auto fetch = [&](const Job &j, Outcome &out) {
+        if (jobKey(j) != served)
+            return false;
+        out = fakeOutcome(3.25);
+        return true;
+    };
+    auto store = [&](const Job &j, const Outcome &) {
+        std::lock_guard<std::mutex> lock(mutex);
+        stored.push_back(jobKey(j));
+    };
+
+    Runner r(4);
+    const std::vector<Outcome> outs = r.run(jobs, fetch, store);
+    EXPECT_DOUBLE_EQ(outs[0].ipc, 3.25);  // served from the "cache"
+    EXPECT_EQ(r.lastBatch().cached, 1u);
+    EXPECT_EQ(r.lastBatch().executed, jobs.size() - 1);
+    EXPECT_EQ(stored.size(), jobs.size() - 1);  // only simulated jobs
+    for (const std::string &key : stored)
+        EXPECT_NE(key, served);
+}
+
+TEST(Runner, RunCacheIsRaceFreeUnderConcurrentIpc)
+{
+    // Meaningful under -fsanitize=thread: many threads hammer one
+    // RunCache with a mix of cold and hot keys.
+    const ExperimentConfig cfg = tinyConfig();
+    RunCache cache;
+    const char *traces[] = {"603.bwaves_s-891B", "619.lbm_s-2676B"};
+    const AttachFn attach = comboAttach("none");
+
+    std::vector<double> results[2];
+    std::mutex mutex;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned rep = 0; rep < 3; ++rep) {
+                const unsigned which = (t + rep) % 2;
+                const double ipc = cache.ipc(findTrace(traces[which]),
+                                             "none", attach, cfg);
+                std::lock_guard<std::mutex> lock(mutex);
+                results[which].push_back(ipc);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (const auto &values : results) {
+        ASSERT_FALSE(values.empty());
+        for (const double v : values) {
+            EXPECT_GT(v, 0.0);
+            EXPECT_DOUBLE_EQ(v, values.front());
+        }
+    }
+}
+
+class OutcomeStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "bouquet_runner_cache.bin";
+        std::remove(path_.c_str());
+        std::remove((path_ + ".lock").c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".lock").c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(OutcomeStoreTest, RoundTripsThroughDisk)
+{
+    {
+        OutcomeStore store(path_);
+        store.put("a|none|1", fakeOutcome(1.5));
+        store.put("b|ipcp|1", fakeOutcome(2.5));
+    }
+    OutcomeStore reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.corruptRecords(), 0u);
+    Outcome out;
+    ASSERT_TRUE(reloaded.get("a|none|1", out));
+    EXPECT_DOUBLE_EQ(out.ipc, 1.5);
+    ASSERT_TRUE(reloaded.get("b|ipcp|1", out));
+    EXPECT_DOUBLE_EQ(out.ipc, 2.5);
+}
+
+TEST_F(OutcomeStoreTest, GarbageFileIsDetectedAndRegenerated)
+{
+    {
+        std::ofstream f(path_, std::ios::binary);
+        f << "this is not a cache file at all, but it is long enough "
+             "to look like one if nobody checks the magic";
+    }
+    OutcomeStore store(path_);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_GE(store.corruptRecords(), 1u);
+    Outcome out;
+    EXPECT_FALSE(store.get("a|none|1", out));
+
+    // A put regenerates a clean file in place of the garbage.
+    store.put("a|none|1", fakeOutcome(1.25));
+    OutcomeStore reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_EQ(reloaded.corruptRecords(), 0u);
+    ASSERT_TRUE(reloaded.get("a|none|1", out));
+    EXPECT_DOUBLE_EQ(out.ipc, 1.25);
+}
+
+TEST_F(OutcomeStoreTest, TruncatedFileKeepsOnlyValidPrefix)
+{
+    {
+        OutcomeStore store(path_);
+        store.put("a|none|1", fakeOutcome(1.5));
+        store.put("b|ipcp|1", fakeOutcome(2.5));
+    }
+    // Chop the tail off the last record: a torn concurrent write.
+    std::ifstream in(path_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 10));
+    }
+
+    OutcomeStore store(path_);
+    EXPECT_EQ(store.size(), 1u);  // valid prefix survives
+    EXPECT_GE(store.corruptRecords(), 1u);
+    Outcome out;
+    EXPECT_TRUE(store.get("a|none|1", out));
+    EXPECT_FALSE(store.get("b|ipcp|1", out));
+}
+
+TEST_F(OutcomeStoreTest, ChecksumMismatchRejectsRecord)
+{
+    {
+        OutcomeStore store(path_);
+        store.put("a|none|1", fakeOutcome(1.5));
+    }
+    // Flip one byte inside the record payload.
+    std::fstream f(path_, std::ios::binary | std::ios::in |
+                              std::ios::out);
+    f.seekp(24);  // past header + key length, inside the key/outcome
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(24);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+    f.close();
+
+    OutcomeStore store(path_);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_GE(store.corruptRecords(), 1u);
+}
+
+TEST_F(OutcomeStoreTest, StaleFormatVersionIsNotTrusted)
+{
+    {
+        OutcomeStore store(path_);
+        store.put("a|none|1", fakeOutcome(1.5));
+    }
+    // Corrupt the version field (bytes 8..11, after the magic).
+    std::fstream f(path_, std::ios::binary | std::ios::in |
+                              std::ios::out);
+    f.seekp(8);
+    const std::uint32_t bogus = 0xdeadbeef;
+    f.write(reinterpret_cast<const char *>(&bogus), sizeof(bogus));
+    f.close();
+
+    OutcomeStore store(path_);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_GE(store.corruptRecords(), 1u);
+}
+
+TEST_F(OutcomeStoreTest, ConcurrentPutsAndGetsAreSafe)
+{
+    OutcomeStore store(path_);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < 8; ++i) {
+                const std::string key = "k" + std::to_string(t) + "." +
+                                        std::to_string(i);
+                store.put(key, fakeOutcome(0.5 + t + i));
+                Outcome out;
+                EXPECT_TRUE(store.get(key, out));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(store.size(), 64u);
+
+    OutcomeStore reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 64u);
+    EXPECT_EQ(reloaded.corruptRecords(), 0u);
+}
+
+TEST_F(OutcomeStoreTest, SecondStoreSeesEntriesCompletedElsewhere)
+{
+    // Two stores on one file model two concurrent bench processes.
+    OutcomeStore first(path_);
+    OutcomeStore second(path_);
+    first.put("shared|key", fakeOutcome(2.0));
+    Outcome out;
+    // The get must re-read the file rather than recompute.
+    EXPECT_TRUE(second.get("shared|key", out));
+    EXPECT_DOUBLE_EQ(out.ipc, 2.0);
+
+    // And a put from the second store must not drop the first's entry.
+    second.put("other|key", fakeOutcome(3.0));
+    OutcomeStore reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 2u);
+}
+
+} // namespace
+} // namespace bouquet

@@ -38,6 +38,42 @@ TEST(System, SingleCoreRunsAndRetires)
     EXPECT_LE(r.cores[0].ipc, 4.0);  // 4-wide core
 }
 
+TEST(System, TlbStatsAttributedToCorrectSide)
+{
+    // Instruction fetches must warm the I-side TLB and data accesses
+    // the D-side TLB — a regression guard for the L1I translator
+    // wiring, which must route through the instruction-side
+    // translation path rather than the data path.
+    {
+        SystemConfig cfg;
+        cfg.core.modelInstructionFetch = true;
+        std::vector<GeneratorPtr> w;
+        w.push_back(makeWorkload(findTrace("603.bwaves_s-891B")));
+        System sys(cfg, std::move(w));
+        applyCombo(sys, "none");
+        sys.run(2'000, 20'000);
+        const TlbStack &tlbs = sys.core(0).tlbs();
+        EXPECT_GT(tlbs.itlb().stats().accesses, 0u);
+        EXPECT_GT(tlbs.dtlb().stats().accesses, 0u);
+    }
+    // With instruction fetch off, nothing may be attributed to the
+    // ITLB — even with an L1-D prefetcher exercising the D-side
+    // translator on every prefetch.
+    {
+        SystemConfig cfg;
+        cfg.core.modelInstructionFetch = false;
+        std::vector<GeneratorPtr> w;
+        w.push_back(makeWorkload(findTrace("603.bwaves_s-891B")));
+        System sys(cfg, std::move(w));
+        applyCombo(sys, "l1:nl");
+        sys.run(2'000, 20'000);
+        const TlbStack &tlbs = sys.core(0).tlbs();
+        EXPECT_EQ(tlbs.itlb().stats().accesses, 0u);
+        EXPECT_GT(tlbs.dtlb().stats().accesses, 0u);
+        EXPECT_GT(sys.l1d(0).stats().pfIssued, 0u);
+    }
+}
+
 TEST(System, DeterministicRepeat)
 {
     auto run_once = [] {

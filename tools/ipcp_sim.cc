@@ -6,11 +6,17 @@
  *   ipcp_sim --trace 619.lbm_s-2676B --combo ipcp
  *   ipcp_sim --trace-file my.trace --combo spp-ppf-dspatch
  *   ipcp_sim --trace 605.mcf_s-994B --cores 4 --combo ipcp
+ *   ipcp_sim --trace 619.lbm_s-2676B --combo none,ipcp,mlop
  *   ipcp_sim --record 603.bwaves_s-891B --records 1000000 --out b.trace
  *   ipcp_sim --list-traces
  *
  * Prints a ChampSim-style end-of-run report: IPC, per-level cache
  * stats, prefetcher effectiveness per class, DRAM traffic.
+ *
+ * `--combo` accepts a comma-separated list; the runs are batch-
+ * submitted through the parallel runner (IPCP_JOBS worker threads)
+ * and reported in order, with per-job wall time and aggregate
+ * throughput on stderr.
  */
 
 #include <cstdlib>
@@ -21,6 +27,7 @@
 #include "common/stats.hh"
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "ipcp/metadata.hh"
 #include "trace/suite.hh"
@@ -38,7 +45,8 @@ usage()
         "usage: ipcp_sim [options]\n"
         "  --trace NAME         named workload (see --list-traces)\n"
         "  --trace-file PATH    replay a recorded binary trace\n"
-        "  --combo NAME         prefetching combination "
+        "  --combo NAME[,NAME]  prefetching combination(s); a list is\n"
+        "                       batch-run on IPCP_JOBS worker threads "
         "(default: ipcp)\n"
         "                       none | ipcp | ipcp-l1 | "
         "spp-ppf-dspatch | mlop |\n"
@@ -155,51 +163,124 @@ main(int argc, char **argv)
             return 2;
         }
 
-        auto make_gen = [&]() -> GeneratorPtr {
-            if (!trace_file.empty())
-                return std::make_unique<TraceFileGenerator>(trace_file);
-            return makeWorkload(trace_name);
+        // `--combo a,b,c` batches one job per combination.
+        std::vector<std::string> combo_names;
+        for (std::size_t pos = 0; pos <= combo.size();) {
+            const std::size_t comma = combo.find(',', pos);
+            const std::size_t end =
+                comma == std::string::npos ? combo.size() : comma;
+            if (end > pos)
+                combo_names.push_back(combo.substr(pos, end - pos));
+            pos = end + 1;
+        }
+        if (combo_names.empty()) {
+            std::cerr << "no combo given\n";
+            return 2;
+        }
+
+        auto report_system = [&](const Outcome &o) {
+            printCacheReport("L1I ", o.l1i, o.instructions);
+            printCacheReport("L1D ", o.l1d, o.instructions);
+            printCacheReport("L2  ", o.l2, o.instructions);
+            printCacheReport("LLC ", o.llc, o.instructions);
+            std::cout << "DRAM: reads " << o.dram.reads << " writes "
+                      << o.dram.writes << " row-hit rate "
+                      << TablePrinter::num(
+                             ratio(o.dram.rowHits,
+                                   o.dram.rowHits + o.dram.rowMisses),
+                             2)
+                      << " bytes " << o.dramBytes << "\n";
+        };
+        auto banner = [&](const std::string &name) {
+            std::cout << "workload: "
+                      << (!trace_file.empty() ? trace_file : trace_name)
+                      << "  combo: " << name << "  cores: " << cores
+                      << "\nsimulating " << cfg.warmupInstrs
+                      << " warmup + " << cfg.simInstrs
+                      << " measured instructions...\n\n";
         };
 
-        SystemConfig sys_cfg = cfg.system;
-        sys_cfg.dram.channels = cores > 1 ? 2 : 1;
-        std::vector<GeneratorPtr> workloads;
-        for (unsigned c = 0; c < cores; ++c)
-            workloads.push_back(make_gen());
-
-        System sys(sys_cfg, std::move(workloads));
-        applyCombo(sys, combo);
-
-        std::cout << "workload: "
-                  << (!trace_file.empty() ? trace_file : trace_name)
-                  << "  combo: " << combo << "  cores: " << cores
-                  << "\nsimulating " << cfg.warmupInstrs << " warmup + "
-                  << cfg.simInstrs << " measured instructions...\n\n";
-
-        const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
-
-        for (unsigned c = 0; c < cores; ++c) {
-            std::cout << "core " << c << ": IPC "
-                      << TablePrinter::num(r.cores[c].ipc) << " ("
-                      << r.cores[c].instructions << " instructions, "
-                      << r.cores[c].cycles << " cycles)\n";
+        if (!trace_file.empty()) {
+            // Recorded traces aren't named specs the runner can
+            // re-instantiate per worker; replay them directly.
+            for (const std::string &name : combo_names) {
+                SystemConfig sys_cfg = cfg.system;
+                sys_cfg.dram.channels = cores > 1 ? 2 : 1;
+                std::vector<GeneratorPtr> workloads;
+                for (unsigned c = 0; c < cores; ++c)
+                    workloads.push_back(
+                        std::make_unique<TraceFileGenerator>(
+                            trace_file));
+                System sys(sys_cfg, std::move(workloads));
+                applyCombo(sys, name);
+                banner(name);
+                const RunResult r =
+                    sys.run(cfg.warmupInstrs, cfg.simInstrs);
+                for (unsigned c = 0; c < cores; ++c) {
+                    std::cout << "core " << c << ": IPC "
+                              << TablePrinter::num(r.cores[c].ipc)
+                              << " (" << r.cores[c].instructions
+                              << " instructions, " << r.cores[c].cycles
+                              << " cycles)\n";
+                }
+                std::cout << "\n";
+                Outcome o;
+                o.instructions = r.cores[0].instructions;
+                o.l1i = sys.l1i(0).stats();
+                o.l1d = sys.l1d(0).stats();
+                o.l2 = sys.l2(0).stats();
+                o.llc = sys.llc().stats();
+                o.dram = sys.dram().stats();
+                o.dramBytes = sys.dram().bytesTransferred();
+                report_system(o);
+            }
+            return 0;
         }
-        std::cout << "\n";
-        const std::uint64_t instrs = r.cores[0].instructions;
-        printCacheReport("L1I ", sys.l1i(0).stats(), instrs);
-        printCacheReport("L1D ", sys.l1d(0).stats(), instrs);
-        printCacheReport("L2  ", sys.l2(0).stats(), instrs);
-        printCacheReport("LLC ", sys.llc().stats(), instrs);
-        std::cout << "DRAM: reads " << sys.dram().stats().reads
-                  << " writes " << sys.dram().stats().writes
-                  << " row-hit rate "
-                  << TablePrinter::num(
-                         ratio(sys.dram().stats().rowHits,
-                               sys.dram().stats().rowHits +
-                                   sys.dram().stats().rowMisses),
-                         2)
-                  << " bytes "
-                  << sys.dram().bytesTransferred() << "\n";
+
+        const TraceSpec &spec = findTrace(trace_name);
+        Runner runner;
+        auto attach_for = [](const std::string &name) -> AttachFn {
+            return [name](System &s) { applyCombo(s, name); };
+        };
+
+        if (cores == 1) {
+            std::vector<Job> jobs;
+            for (const std::string &name : combo_names)
+                jobs.push_back(Job{spec, name, attach_for(name), cfg});
+            const std::vector<Outcome> outs = runner.run(jobs);
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                const Outcome &o = outs[j];
+                banner(jobs[j].label);
+                std::cout << "core 0: IPC " << TablePrinter::num(o.ipc)
+                          << " (" << o.instructions << " instructions, "
+                          << o.cycles << " cycles)\n\n";
+                report_system(o);
+                if (j + 1 < jobs.size())
+                    std::cout << "\n";
+            }
+        } else {
+            const std::vector<TraceSpec> specs(cores, spec);
+            std::vector<MixJob> jobs;
+            for (const std::string &name : combo_names)
+                jobs.push_back(
+                    MixJob{specs, name, attach_for(name), cfg});
+            const std::vector<MixOutcome> outs = runner.runMixes(jobs);
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                const MixOutcome &o = outs[j];
+                banner(jobs[j].label);
+                for (unsigned c = 0; c < cores; ++c) {
+                    std::cout << "core " << c << ": IPC "
+                              << TablePrinter::num(o.ipc[c]) << " ("
+                              << o.instructions[c] << " instructions, "
+                              << o.cycles[c] << " cycles)\n";
+                }
+                std::cout << "\n";
+                report_system(o.system);
+                if (j + 1 < jobs.size())
+                    std::cout << "\n";
+            }
+        }
+        runner.lastBatch().print(std::cerr);
         return 0;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -40,5 +40,5 @@ main()
     std::cout << "\nPaper's shape: prefetching into the L1 provides 6-13%\n"
                  "additional speedup over L2 prefetching; train-at-L1/\n"
                  "fill-to-L2 narrows the gap to 3-7%.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

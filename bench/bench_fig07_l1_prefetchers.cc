@@ -32,5 +32,5 @@ main()
     std::cout << "\nPaper's shape: IPCP outperforms every L1 prefetcher\n"
                  "except Bingo at the 119 KB budget; SPP underperforms\n"
                  "at the L1 (it is an L2 design).\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -37,5 +37,5 @@ main()
     }
     std::cout << "\nPaper: IPCP 45.1% (mem-intensive) / 22% (full suite);\n"
                  "next three combos >= 42.5% / 18.2-18.8%.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

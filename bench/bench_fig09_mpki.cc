@@ -37,7 +37,15 @@ main()
     {
         MeanAccumulator m1, m2, m3;
         for (const TraceSpec &t : memIntensiveTraces()) {
-            const Outcome o = run(t, baseline.label, baseline.attach, cfg);
+            const Result<Outcome> r =
+                tryRun(t, baseline.label, baseline.attach, cfg);
+            if (!r.ok()) {
+                std::cerr << "[fig09] skipping " << t.name << " ("
+                          << baseline.label
+                          << "): " << r.error().message << "\n";
+                continue;
+            }
+            const Outcome &o = r.value();
             m1.add(o.mpkiL1());
             m2.add(o.mpkiL2());
             m3.add(o.mpkiLlc());
@@ -53,7 +61,14 @@ main()
     for (const Combo &c : combos) {
         MeanAccumulator m1, m2, m3;
         for (const TraceSpec &t : memIntensiveTraces()) {
-            const Outcome o = run(t, c.label, c.attach, cfg);
+            const Result<Outcome> r = tryRun(t, c.label, c.attach, cfg);
+            if (!r.ok()) {
+                std::cerr << "[fig09] skipping " << t.name << " ("
+                          << c.label << "): " << r.error().message
+                          << "\n";
+                continue;
+            }
+            const Outcome &o = r.value();
             m1.add(o.mpkiL1());
             m2.add(o.mpkiL2());
             m3.add(o.mpkiLlc());
@@ -73,5 +88,5 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper's shape: IPCP achieves the largest demand-MPKI\n"
                  "reduction at L2 and LLC among the combos.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -44,8 +44,18 @@ main()
     };
 
     for (const TraceSpec &t : memIntensiveTraces()) {
-        const Outcome o = run(t, ipcp.label, ipcp.attach, cfg);
-        const Outcome b = run(t, baseline.label, baseline.attach, cfg);
+        const Result<Outcome> ro = tryRun(t, ipcp.label, ipcp.attach, cfg);
+        const Result<Outcome> rb =
+            tryRun(t, baseline.label, baseline.attach, cfg);
+        if (!ro.ok() || !rb.ok()) {
+            std::cerr << "[fig10] skipping " << t.name << ": "
+                      << (ro.ok() ? rb.error().message
+                                  : ro.error().message)
+                      << "\n";
+            continue;
+        }
+        const Outcome &o = ro.value();
+        const Outcome &b = rb.value();
         const double c1 = coverage(o.l1d, b.l1d);
         const double c2 = coverage(o.l2, b.l2);
         const double c3 = coverage(o.llc, b.llc);
@@ -64,5 +74,5 @@ main()
     std::cout << "\nPaper: IPCP covers 60% / 79.5% / 83% of demand misses\n"
                  "at L1 / L2 / LLC on average; near-zero on mcf/omnetpp\n"
                  "and cactuBSSN.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

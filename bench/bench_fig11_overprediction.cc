@@ -30,8 +30,18 @@ main()
     MeanAccumulator mc, mu, mo;
 
     for (const TraceSpec &t : memIntensiveTraces()) {
-        const Outcome o = run(t, ipcp.label, ipcp.attach, cfg);
-        const Outcome b = run(t, baseline.label, baseline.attach, cfg);
+        const Result<Outcome> ro = tryRun(t, ipcp.label, ipcp.attach, cfg);
+        const Result<Outcome> rb =
+            tryRun(t, baseline.label, baseline.attach, cfg);
+        if (!ro.ok() || !rb.ok()) {
+            std::cerr << "[fig11] skipping " << t.name << ": "
+                      << (ro.ok() ? rb.error().message
+                                  : ro.error().message)
+                      << "\n";
+            continue;
+        }
+        const Outcome &o = ro.value();
+        const Outcome &b = rb.value();
         // All fractions are relative to the baseline's L1-D demand
         // misses, as in Fig. 11: covered = misses removed, uncovered =
         // misses remaining, over-predicted = prefetched lines evicted
@@ -62,5 +72,5 @@ main()
     std::cout << "\nPaper's shape: high coverage with a modest\n"
                  "over-prediction tail (GS trades accuracy for coverage\n"
                  "and timeliness).\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

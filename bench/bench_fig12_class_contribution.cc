@@ -27,7 +27,13 @@ main()
     MeanAccumulator means[kIpcpClassCount];
 
     for (const TraceSpec &t : memIntensiveTraces()) {
-        const Outcome o = run(t, ipcp.label, ipcp.attach, cfg);
+        const Result<Outcome> r = tryRun(t, ipcp.label, ipcp.attach, cfg);
+        if (!r.ok()) {
+            std::cerr << "[fig12] skipping " << t.name << ": "
+                      << r.error().message << "\n";
+            continue;
+        }
+        const Outcome &o = r.value();
         std::uint64_t total = 0;
         for (unsigned c = 1; c < kIpcpClassCount; ++c)
             total += o.l1d.pfClassUseful[c];
@@ -51,5 +57,5 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper: CS contributes 46.7% and GS 30% of coverage on\n"
                  "average; CPLX and NL pick up irregular stragglers.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -103,5 +103,5 @@ main()
         std::cout << "Paper: prioritizing the aggressive GS first wins;\n"
                      "inverting the order costs ~9%.\n";
     }
-    return 0;
+    return bouquet::bench::exitCode();
 }

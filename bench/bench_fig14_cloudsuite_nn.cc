@@ -33,5 +33,5 @@ main()
     speedupTable(std::cout, neuralNetTraces(), combos, cfg);
     std::cout << "Paper: IPCP leads on the neural networks (they are\n"
                  "mostly streaming).\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -28,18 +28,19 @@ using namespace bouquet::bench;
  * prefetching does to the mix rather than how much of its single-core
  * gain it retains.
  */
-double
+Result<double>
 weightedSpeedupOf(const MixOutcome &out,
                   const std::vector<TraceSpec> &mix,
                   const Combo &alone_ref, const ExperimentConfig &cfg)
 {
     double ws = 0;
     for (std::size_t i = 0; i < mix.size(); ++i) {
-        const double alone =
-            bench::run(mix[i], alone_ref.label, alone_ref.attach, cfg)
-                .ipc;
-        if (alone > 0)
-            ws += out.ipc[i] / alone;
+        const Result<Outcome> alone =
+            tryRun(mix[i], alone_ref.label, alone_ref.attach, cfg);
+        if (!alone.ok())
+            return alone.error();
+        if (alone.value().ipc > 0)
+            ws += out.ipc[i] / alone.value().ipc;
     }
     return ws;
 }
@@ -129,7 +130,7 @@ main()
                                           c.attach, cfg});
         }
     }
-    const std::vector<MixOutcome> mix_results = runMixBatch(mix_jobs);
+    const std::vector<MixJobOutcome> mix_results = runMixBatch(mix_jobs);
 
     TablePrinter table({"category", "mixes", "spp-ppf-dspatch", "mlop",
                         "bingo", "ipcp"});
@@ -140,12 +141,43 @@ main()
         std::vector<MeanAccumulator> means(combos.size());
         for (const auto &mix : cat.mixes) {
             // One baseline mix simulation per mix, shared by combos.
-            const double ws_none = weightedSpeedupOf(
-                mix_results[job++], mix, baseline, cfg);
+            // Consume all of the mix's job slots before any skip so a
+            // failed mix never shifts the remaining alignment.
+            const MixJobOutcome &base_jo = mix_results[job++];
+            const std::size_t combo_base = job;
+            job += combos.size();
+            if (!base_jo.ok) {
+                std::cerr << "[fig15] skipping a " << cat.name
+                          << " mix: baseline failed: " << base_jo.error
+                          << "\n";
+                continue;
+            }
+            const Result<double> ws_none = weightedSpeedupOf(
+                base_jo.outcome, mix, baseline, cfg);
+            if (!ws_none.ok()) {
+                std::cerr << "[fig15] skipping a " << cat.name
+                          << " mix: " << ws_none.error().message << "\n";
+                continue;
+            }
             for (std::size_t c = 0; c < combos.size(); ++c) {
-                const double ws = weightedSpeedupOf(
-                    mix_results[job++], mix, baseline, cfg);
-                const double nws = ws_none > 0 ? ws / ws_none : 0.0;
+                const MixJobOutcome &jo = mix_results[combo_base + c];
+                if (!jo.ok) {
+                    std::cerr << "[fig15] skipping " << cat.name << "|"
+                              << combos[c].label << ": " << jo.error
+                              << "\n";
+                    continue;
+                }
+                const Result<double> ws = weightedSpeedupOf(
+                    jo.outcome, mix, baseline, cfg);
+                if (!ws.ok()) {
+                    std::cerr << "[fig15] skipping " << cat.name << "|"
+                              << combos[c].label << ": "
+                              << ws.error().message << "\n";
+                    continue;
+                }
+                const double nws = ws_none.value() > 0
+                                       ? ws.value() / ws_none.value()
+                                       : 0.0;
                 means[c].add(nws);
                 overall[c].add(nws);
             }
@@ -165,5 +197,5 @@ main()
     std::cout << "\nPaper: IPCP 23.4% overall; Bingo 20.9%, MLOP 20%.\n"
                  "Homogeneous memory-intensive mixes are bandwidth-bound\n"
                  "and gain less than single-core.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -43,5 +43,5 @@ main()
     std::cout << "\nPaper: IPCP is resilient across the size grid (max\n"
                  "difference ~1%); an extremely small LLC costs ~3%\n"
                  "absolute for every prefetcher.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

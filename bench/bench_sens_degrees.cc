@@ -46,5 +46,5 @@ main()
     std::cout << "\nPaper: degree 3/3/6 is the sweet spot; deeper CPLX\n"
                  "degrades high-MPKI irregular benchmarks, which is why\n"
                  "the L2 IPCP drops CPLX entirely.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

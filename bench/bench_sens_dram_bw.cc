@@ -38,5 +38,5 @@ main()
     std::cout << "\nPaper: at 3.2 GB/s all prefetchers compress toward\n"
                  "the bandwidth cap; at 25 GB/s SPP-based combos gain\n"
                  "2-3% while IPCP stays ahead by ~1.5%.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -30,5 +30,5 @@ main()
     }
     std::cout << "\nPaper: (2,4) loses ~2.7% vs the (8,16) baseline;\n"
                  "high-MLP applications are hit hardest.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

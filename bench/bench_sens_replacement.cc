@@ -29,5 +29,5 @@ main()
     }
     std::cout << "\nPaper: IPCP is resilient to the underlying\n"
                  "replacement policy (differences under ~1%).\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -44,5 +44,5 @@ main()
     }
     std::cout << "\nPaper: marginal improvement (~0.7%) from much larger\n"
                  "tables; 895 bytes already captures the live IPs.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -71,5 +71,5 @@ main()
                      "SPP+PPF+DSPatch ~32 KB, Bingo 48 KB, TSKID "
                      "~58 KB).\n";
     }
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -49,9 +49,19 @@ main()
     for (const Combo &c : tableIIIComboSet()) {
         MeanAccumulator c1, c2, c3, a1, a2;
         for (const TraceSpec &t : memIntensiveTraces()) {
-            const Outcome o = run(t, c.label, c.attach, cfg);
-            const Outcome b =
-                run(t, baseline.label, baseline.attach, cfg);
+            const Result<Outcome> ro = tryRun(t, c.label, c.attach, cfg);
+            const Result<Outcome> rb =
+                tryRun(t, baseline.label, baseline.attach, cfg);
+            if (!ro.ok() || !rb.ok()) {
+                std::cerr << "[tab04] skipping " << t.name << " ("
+                          << c.label << "): "
+                          << (ro.ok() ? rb.error().message
+                                      : ro.error().message)
+                          << "\n";
+                continue;
+            }
+            const Outcome &o = ro.value();
+            const Outcome &b = rb.value();
             c1.add(coverage(o.l1d, b.l1d));
             c2.add(coverage(o.l2, b.l2));
             c3.add(coverage(o.llc, b.llc));
@@ -69,5 +79,5 @@ main()
     std::cout << "\nPaper Table IV: IPCP 0.60/0.79/0.83 coverage at\n"
                  "L1/L2/LLC with 0.80 accuracy at L1 — the best\n"
                  "coverage-accuracy point among the combos.\n";
-    return 0;
+    return bouquet::bench::exitCode();
 }

@@ -1,5 +1,6 @@
 #include "bench/bench_util.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/bitops.hh"
+#include "common/faultinject.hh"
 #include "common/stats.hh"
 #include "harness/report.hh"
 
@@ -22,6 +24,9 @@ namespace
 
 constexpr std::uint64_t kMagic = 0x4950'4350'4341'4348ull;  // "IPCPCACH"
 constexpr std::uint32_t kMaxKeyLen = 4096;
+
+std::atomic<std::size_t> g_jobFailures{0};
+std::atomic<std::size_t> g_jobSuccesses{0};
 
 std::uint64_t
 fnv1a(const void *data, std::size_t n,
@@ -42,30 +47,40 @@ recordChecksum(const std::string &key, const Outcome &o)
     return fnv1a(&o, sizeof(Outcome), h);
 }
 
-/** Serialize one cross-process critical section on the cache file. */
+/**
+ * Serialize one cross-process critical section on the cache file.
+ * Failure to take the lock is survivable — the atomic rename in
+ * mergeAndPersistLocked() still gives readers a complete file — so
+ * the constructor never throws; callers consult locked().
+ */
 class FileLock
 {
   public:
     explicit FileLock(const std::string &path)
-        : fd_(::open((path + ".lock").c_str(), O_CREAT | O_RDWR, 0644))
     {
-        if (fd_ >= 0)
-            ::flock(fd_, LOCK_EX);
+        if (faultCheck(faults::kStoreFlock, path))
+            return;  // injected lock failure: proceed unlocked
+        fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR, 0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) == 0)
+            locked_ = true;
     }
 
     ~FileLock()
     {
-        if (fd_ >= 0) {
+        if (locked_)
             ::flock(fd_, LOCK_UN);
+        if (fd_ >= 0)
             ::close(fd_);
-        }
     }
 
     FileLock(const FileLock &) = delete;
     FileLock &operator=(const FileLock &) = delete;
 
+    bool locked() const { return locked_; }
+
   private:
-    int fd_;
+    int fd_ = -1;
+    bool locked_ = false;
 };
 
 } // namespace
@@ -80,6 +95,8 @@ std::map<std::string, Outcome>
 OutcomeStore::readDisk(std::size_t *corrupt) const
 {
     std::map<std::string, Outcome> entries;
+    if (faultCheck(faults::kStoreRead, path_))
+        return entries;  // injected read failure: treat as no cache
     std::FILE *f = std::fopen(path_.c_str(), "rb");
     if (f == nullptr)
         return entries;
@@ -126,39 +143,57 @@ OutcomeStore::readDisk(std::size_t *corrupt) const
     return entries;
 }
 
-void
+Status
 OutcomeStore::mergeAndPersistLocked()
 {
     FileLock lock(path_);
+    if (!lock.locked())
+        ++lockFailures_;  // caller holds mutex_
 
     // Pick up entries other processes completed since our last read so
     // the rewrite below never drops them.
     for (auto &[key, outcome] : readDisk(nullptr))
         cache_.emplace(key, outcome);
 
+    if (auto fault = faultCheck(faults::kStoreWrite, path_))
+        return *fault;
+
     const std::string tmp =
         path_ + ".tmp." + std::to_string(::getpid());
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
-        return;
+        return makeError(Errc::io, "cannot create " + tmp, true);
 
     const std::uint32_t version = kFormatVersion;
     const std::uint32_t record_bytes = sizeof(Outcome);
-    std::fwrite(&kMagic, sizeof(kMagic), 1, f);
-    std::fwrite(&version, sizeof(version), 1, f);
-    std::fwrite(&record_bytes, sizeof(record_bytes), 1, f);
+    bool wrote = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
+                 std::fwrite(&version, sizeof(version), 1, f) == 1 &&
+                 std::fwrite(&record_bytes, sizeof(record_bytes), 1,
+                             f) == 1;
     for (const auto &[key, o] : cache_) {
+        if (!wrote)
+            break;
         const auto len = static_cast<std::uint32_t>(key.size());
         const std::uint64_t checksum = recordChecksum(key, o);
-        std::fwrite(&len, sizeof(len), 1, f);
-        std::fwrite(key.data(), 1, len, f);
-        std::fwrite(&o, sizeof(Outcome), 1, f);
-        std::fwrite(&checksum, sizeof(checksum), 1, f);
+        wrote = std::fwrite(&len, sizeof(len), 1, f) == 1 &&
+                std::fwrite(key.data(), 1, len, f) == len &&
+                std::fwrite(&o, sizeof(Outcome), 1, f) == 1 &&
+                std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
     }
-    std::fclose(f);
+    if (std::fclose(f) != 0)
+        wrote = false;
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io, "short write to " + tmp, true);
+    }
     // Atomic publish: readers see either the old or the new complete
     // store, never a partial write.
-    std::rename(tmp.c_str(), path_.c_str());
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io,
+                         "cannot rename " + tmp + " to " + path_, true);
+    }
+    return Status();
 }
 
 bool
@@ -179,13 +214,16 @@ OutcomeStore::get(const std::string &key, Outcome &out)
     return true;
 }
 
-void
+Status
 OutcomeStore::put(const std::string &key, const Outcome &out)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_[key] = out;
-    if (!path_.empty())
-        mergeAndPersistLocked();
+    if (path_.empty())
+        return Status();
+    // On failure the entry stays in cache_, so the next successful
+    // persist (which rewrites the whole store) recovers it.
+    return mergeAndPersistLocked();
 }
 
 std::size_t
@@ -193,6 +231,13 @@ OutcomeStore::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
+}
+
+std::size_t
+OutcomeStore::lockFailures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lockFailures_;
 }
 
 OutcomeStore &
@@ -212,17 +257,35 @@ runner()
     return r;
 }
 
-std::vector<Outcome>
+namespace
+{
+
+/** Fold a finished batch into the process-wide exit-code tallies. */
+void
+accountBatch(const BatchStats &stats)
+{
+    g_jobFailures.fetch_add(stats.failed, std::memory_order_relaxed);
+    const std::size_t total = stats.jobs;
+    g_jobSuccesses.fetch_add(total > stats.failed ? total - stats.failed
+                                                  : 0,
+                             std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::vector<JobOutcome>
 submitJobs(const std::vector<Job> &jobs)
 {
     auto fetch = [](const Job &j, Outcome &out) {
         return globalStore().get(jobKey(j), out);
     };
     auto store = [](const Job &j, const Outcome &out) {
-        globalStore().put(jobKey(j), out);
+        if (Status s = globalStore().put(jobKey(j), out); !s.ok())
+            throw ErrorException(s.error());
     };
-    std::vector<Outcome> results = runner().run(jobs, fetch, store);
+    std::vector<JobOutcome> results = runner().run(jobs, fetch, store);
     runner().lastBatch().print(std::cerr);
+    accountBatch(runner().lastBatch());
     return results;
 }
 
@@ -238,11 +301,12 @@ runBatch(const std::vector<TraceSpec> &traces,
     submitJobs(jobs);
 }
 
-std::vector<MixOutcome>
+std::vector<MixJobOutcome>
 runMixBatch(const std::vector<MixJob> &jobs)
 {
-    std::vector<MixOutcome> results = runner().runMixes(jobs);
+    std::vector<MixJobOutcome> results = runner().runMixes(jobs);
     runner().lastBatch().print(std::cerr);
+    accountBatch(runner().lastBatch());
     return results;
 }
 
@@ -268,17 +332,35 @@ defaultConfig()
     return cfg;
 }
 
-Outcome
-run(const TraceSpec &spec, const std::string &label,
-    const AttachFn &attach, const ExperimentConfig &cfg)
+Result<Outcome>
+tryRun(const TraceSpec &spec, const std::string &label,
+       const AttachFn &attach, const ExperimentConfig &cfg)
 {
     const std::string key = jobKey(Job{spec, label, attach, cfg});
     Outcome out;
     if (globalStore().get(key, out))
         return out;
-    out = runSingleCore(spec, attach, cfg);
-    globalStore().put(key, out);
+    try {
+        out = runSingleCore(spec, attach, cfg);
+    } catch (const ErrorException &e) {
+        return e.error();
+    } catch (const std::exception &e) {
+        return makeError(Errc::failed, e.what());
+    }
+    if (Status s = globalStore().put(key, out); !s.ok())
+        std::cerr << "[bench] warning: cache persist failed for " << key
+                  << ": " << s.error().message << "\n";
     return out;
+}
+
+Outcome
+run(const TraceSpec &spec, const std::string &label,
+    const AttachFn &attach, const ExperimentConfig &cfg)
+{
+    Result<Outcome> r = tryRun(spec, label, attach, cfg);
+    if (!r.ok())
+        throw ErrorException(r.error());
+    return r.take();
 }
 
 std::vector<double>
@@ -296,22 +378,41 @@ speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
     Report report;
 
     // Fan the whole experiment (baseline included) across the worker
-    // pool; the per-trace loop below then reads cached outcomes.
-    {
-        std::vector<Combo> all{baseline};
-        all.insert(all.end(), combos.begin(), combos.end());
-        runBatch(traces, all, cfg);
-    }
+    // pool in one batch; the table below reads the per-job outcomes in
+    // submission (combo-major) order, so a failed job costs only its
+    // own cell — or, for the baseline, its trace's row.
+    std::vector<Job> jobs;
+    jobs.reserve(traces.size() * (combos.size() + 1));
+    std::vector<Combo> all{baseline};
+    all.insert(all.end(), combos.begin(), combos.end());
+    for (const Combo &c : all)
+        for (const TraceSpec &t : traces)
+            jobs.push_back(Job{t, c.label, c.attach, cfg});
+    const std::vector<JobOutcome> outs = submitJobs(jobs);
+    const auto cell = [&](std::size_t combo,
+                          std::size_t trace) -> const JobOutcome & {
+        return outs[combo * traces.size() + trace];
+    };
 
-    for (const TraceSpec &t : traces) {
-        const Outcome base = run(t, baseline.label, baseline.attach, cfg);
-        report.add(t.name, baseline.label, base);
-        std::vector<std::string> row{t.name};
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        const JobOutcome &base = cell(0, t);
+        if (!base.ok) {
+            std::cerr << "[bench] skipping " << traces[t].name
+                      << ": baseline failed: " << base.error << "\n";
+            continue;
+        }
+        report.add(traces[t].name, baseline.label, base.outcome);
+        std::vector<std::string> row{traces[t].name};
         for (std::size_t c = 0; c < combos.size(); ++c) {
-            const Outcome o = run(t, combos[c].label, combos[c].attach,
-                                  cfg);
-            report.add(t.name, combos[c].label, o);
-            const double speedup = base.ipc > 0 ? o.ipc / base.ipc : 0;
+            const JobOutcome &jo = cell(c + 1, t);
+            if (!jo.ok) {
+                row.push_back("n/a");
+                continue;
+            }
+            report.add(traces[t].name, combos[c].label, jo.outcome);
+            const double speedup = base.outcome.ipc > 0
+                                       ? jo.outcome.ipc / base.outcome.ipc
+                                       : 0;
             means[c].add(speedup);
             row.push_back(TablePrinter::pct(speedup));
         }
@@ -351,6 +452,30 @@ sensitivitySubset()
     for (const char *n : names)
         v.push_back(findTrace(n));
     return v;
+}
+
+std::size_t
+batchFailures()
+{
+    return g_jobFailures.load(std::memory_order_relaxed);
+}
+
+std::size_t
+batchSuccesses()
+{
+    return g_jobSuccesses.load(std::memory_order_relaxed);
+}
+
+int
+exitCode()
+{
+    const std::size_t fail = g_jobFailures.load();
+    if (fail == 0)
+        return 0;
+    if (const char *strict = std::getenv("IPCP_STRICT");
+        strict != nullptr && *strict != '\0')
+        return 1;
+    return g_jobSuccesses.load() == 0 ? 1 : 0;
 }
 
 } // namespace bouquet::bench

@@ -17,10 +17,17 @@
  *                      the working directory; set empty to disable)
  *   IPCP_REPORT_CSV    when set, every speedupTable() call also appends
  *                      its raw outcomes to this CSV file for plotting
+ *   IPCP_RETRIES       retries for transient per-job faults (default 1)
+ *   IPCP_JOB_TIMEOUT   per-job wall-clock budget, seconds (default off)
+ *   IPCP_STRICT        when set, any failed job makes exitCode()
+ *                      nonzero (default: only an all-failed batch)
+ *   IPCP_FAULTS        fault-injection spec (common/faultinject.hh)
  *
  * Tables are printed to stdout and are byte-identical no matter how
  * many worker threads ran the batch; all throughput/progress
- * reporting goes to stderr.
+ * reporting goes to stderr. A failed job is skipped and reported:
+ * its table cells read "n/a", its error lands on stderr, and every
+ * surviving row is byte-identical to a fault-free run.
  */
 
 #ifndef BOUQUET_BENCH_BENCH_UTIL_HH
@@ -34,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/errors.hh"
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
 #include "harness/runner.hh"
@@ -70,7 +78,14 @@ ExperimentConfig defaultConfig();
  * complete store, after merging the entries currently on disk, so any
  * number of concurrent bench processes can share one cache file
  * without corrupting it or losing each other's completed entries.
- * All member functions are thread-safe.
+ * If the advisory lock cannot be taken the write proceeds unlocked
+ * (the atomic rename still guarantees readers a complete file; only
+ * a concurrent writer's fresh entries could be lost) and the event
+ * is counted in lockFailures(). A failed persist keeps the entry in
+ * memory — the next successful put rewrites everything — and is
+ * reported in the returned Status. All member functions are
+ * thread-safe. Declares the `store.read`, `store.write` and
+ * `store.flock` fault-injection points.
  */
 class OutcomeStore
 {
@@ -88,8 +103,12 @@ class OutcomeStore
      */
     bool get(const std::string &key, Outcome &out);
 
-    /** Insert an entry and persist the merged store atomically. */
-    void put(const std::string &key, const Outcome &out);
+    /**
+     * Insert an entry and persist the merged store atomically. On a
+     * persist failure the entry survives in memory and the error is
+     * returned (transient: a later put retries the whole merge).
+     */
+    Status put(const std::string &key, const Outcome &out);
 
     /** Entries currently in memory. */
     std::size_t size() const;
@@ -97,15 +116,19 @@ class OutcomeStore
     /** Records rejected as corrupt/short when the file was loaded. */
     std::size_t corruptRecords() const { return corrupt_; }
 
+    /** Times the sidecar lock could not be taken (write went ahead). */
+    std::size_t lockFailures() const;
+
     const std::string &path() const { return path_; }
 
   private:
     std::map<std::string, Outcome> readDisk(std::size_t *corrupt) const;
-    void mergeAndPersistLocked();
+    Status mergeAndPersistLocked();
 
     std::string path_;
     mutable std::mutex mutex_;
     std::size_t corrupt_ = 0;
+    std::size_t lockFailures_ = 0;
     std::map<std::string, Outcome> cache_;
 };
 
@@ -118,10 +141,12 @@ Runner &runner();
 /**
  * Batch-submit labelled jobs through the runner, backed by the global
  * disk cache and deduplicated by key before dispatch. Returns the
- * outcomes in submission order and prints the batch's wall-time /
- * throughput summary to stderr.
+ * per-job outcomes in submission order — a failed job fails only its
+ * own slot — and prints the batch's wall-time / throughput / failure
+ * summary to stderr. Failures and successes are accumulated for
+ * exitCode().
  */
-std::vector<Outcome> submitJobs(const std::vector<Job> &jobs);
+std::vector<JobOutcome> submitJobs(const std::vector<Job> &jobs);
 
 /**
  * Fan every (trace x combo) simulation of an experiment across the
@@ -134,12 +159,18 @@ void runBatch(const std::vector<TraceSpec> &traces,
               const ExperimentConfig &cfg);
 
 /** Batch-submit multi-core mix jobs; outcomes in submission order. */
-std::vector<MixOutcome> runMixBatch(const std::vector<MixJob> &jobs);
+std::vector<MixJobOutcome> runMixBatch(const std::vector<MixJob> &jobs);
 
 /**
- * Run (or fetch from the disk cache) one single-core simulation.
+ * Run (or fetch from the disk cache) one single-core simulation,
+ * capturing any failure into the Result instead of unwinding.
  * `label` must uniquely identify the attach configuration.
  */
+Result<Outcome> tryRun(const TraceSpec &spec, const std::string &label,
+                       const AttachFn &attach,
+                       const ExperimentConfig &cfg);
+
+/** tryRun that throws ErrorException on failure (legacy call sites). */
 Outcome run(const TraceSpec &spec, const std::string &label,
             const AttachFn &attach, const ExperimentConfig &cfg);
 
@@ -147,7 +178,9 @@ Outcome run(const TraceSpec &spec, const std::string &label,
  * Print the standard paper-style table: one row per trace with the
  * speedup of every combo over no prefetching, then the geomean row.
  * The whole experiment is batch-submitted through the runner first.
- * Returns the geomean speedup per combo.
+ * A failed (trace, combo) cell prints "n/a" and is excluded from the
+ * geomean; a trace whose baseline failed is skipped entirely (and
+ * reported on stderr). Returns the geomean speedup per combo.
  */
 std::vector<double>
 speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
@@ -156,6 +189,18 @@ speedupTable(std::ostream &os, const std::vector<TraceSpec> &traces,
 
 /** 12 representative memory-intensive traces for sensitivity sweeps. */
 std::vector<TraceSpec> sensitivitySubset();
+
+/** Jobs failed / succeeded across every batch so far (this process). */
+std::size_t batchFailures();
+std::size_t batchSuccesses();
+
+/**
+ * The bench exit-code contract: 0 when every job succeeded, or when
+ * failures were contained and at least one job delivered a result
+ * (skip-and-report); 1 when all jobs failed, or when any job failed
+ * and IPCP_STRICT is set. Bench mains return this.
+ */
+int exitCode();
 
 } // namespace bouquet::bench
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitops.hh"
+#include "common/faultinject.hh"
 
 namespace bouquet
 {
@@ -372,6 +373,11 @@ Cache::onResponse(const MemRequest &req)
 
     stats_.missLatencySum += now_ - m->allocCycle;
     ++stats_.missLatencyCount;
+
+    // Injection point for deep in-simulation faults: a fired
+    // `cache.fill` fault unwinds out of the whole simulation and is
+    // contained by the Runner's per-job capture.
+    faultPoint(faults::kCacheFill, config_.name);
 
     const bool pf_fill = m->pfOrigin;
     if (pf_fill) {

@@ -18,8 +18,8 @@
 namespace bouquet
 {
 
-std::unique_ptr<Prefetcher>
-makePrefetcher(const std::string &name, CacheLevel level)
+Result<std::unique_ptr<Prefetcher>>
+tryMakePrefetcher(const std::string &name, CacheLevel level)
 {
     if (name == "none")
         return std::make_unique<NoPrefetcher>();
@@ -90,7 +90,18 @@ makePrefetcher(const std::string &name, CacheLevel level)
             return std::make_unique<IpcpL1>();
         return std::make_unique<IpcpL2>();
     }
-    throw std::invalid_argument("unknown prefetcher: " + name);
+    return makeError(Errc::unknown_name,
+                     "unknown prefetcher: " + name);
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, CacheLevel level)
+{
+    Result<std::unique_ptr<Prefetcher>> pf =
+        tryMakePrefetcher(name, level);
+    if (!pf.ok())
+        throw std::invalid_argument(pf.error().message);
+    return pf.take();
 }
 
 namespace
@@ -164,75 +175,78 @@ class FillAtL2 : public Prefetcher, private PrefetchHost
     std::unique_ptr<Prefetcher> inner_;
 };
 
-void
+Status
 setAll(System &sys, const std::string &l1, const std::string &l2,
        const std::string &llc)
 {
     for (unsigned c = 0; c < sys.numCores(); ++c) {
-        sys.l1d(c).setPrefetcher(makePrefetcher(l1, CacheLevel::L1D));
-        sys.l2(c).setPrefetcher(makePrefetcher(l2, CacheLevel::L2));
+        auto l1pf = tryMakePrefetcher(l1, CacheLevel::L1D);
+        if (!l1pf.ok())
+            return l1pf.status();
+        sys.l1d(c).setPrefetcher(l1pf.take());
+        auto l2pf = tryMakePrefetcher(l2, CacheLevel::L2);
+        if (!l2pf.ok())
+            return l2pf.status();
+        sys.l2(c).setPrefetcher(l2pf.take());
     }
-    sys.llc().setPrefetcher(makePrefetcher(llc, CacheLevel::LLC));
+    auto llcpf = tryMakePrefetcher(llc, CacheLevel::LLC);
+    if (!llcpf.ok())
+        return llcpf.status();
+    sys.llc().setPrefetcher(llcpf.take());
+    return Status();
 }
 
 } // namespace
 
-void
-applyCombo(System &sys, const std::string &combo)
+Status
+tryApplyCombo(System &sys, const std::string &combo)
 {
-    if (combo == "none") {
-        setAll(sys, "none", "none", "none");
-        return;
-    }
-    if (combo == "ipcp") {
-        setAll(sys, "ipcp", "ipcp", "none");
-        return;
-    }
-    if (combo == "ipcp-l1") {
-        setAll(sys, "ipcp", "none", "none");
-        return;
-    }
-    if (combo == "spp-ppf-dspatch") {
-        setAll(sys, "throttled-nl", "spp-ppf-dspatch", "nl-restrictive");
-        return;
-    }
-    if (combo == "mlop") {
-        setAll(sys, "mlop", "nl-restrictive", "nl-restrictive");
-        return;
-    }
-    if (combo == "bingo") {
-        setAll(sys, "bingo", "nl-restrictive", "nl-restrictive");
-        return;
-    }
-    if (combo == "bingo-119k") {
-        setAll(sys, "bingo-119k", "nl-restrictive", "nl-restrictive");
-        return;
-    }
-    if (combo == "tskid") {
-        setAll(sys, "tskid", "spp", "none");
-        return;
-    }
-    if (combo.rfind("l1:", 0) == 0) {
-        setAll(sys, combo.substr(3), "none", "none");
-        return;
-    }
-    if (combo.rfind("l2:", 0) == 0) {
-        setAll(sys, "none", combo.substr(3), "none");
-        return;
-    }
+    if (combo == "none")
+        return setAll(sys, "none", "none", "none");
+    if (combo == "ipcp")
+        return setAll(sys, "ipcp", "ipcp", "none");
+    if (combo == "ipcp-l1")
+        return setAll(sys, "ipcp", "none", "none");
+    if (combo == "spp-ppf-dspatch")
+        return setAll(sys, "throttled-nl", "spp-ppf-dspatch",
+                      "nl-restrictive");
+    if (combo == "mlop")
+        return setAll(sys, "mlop", "nl-restrictive", "nl-restrictive");
+    if (combo == "bingo")
+        return setAll(sys, "bingo", "nl-restrictive",
+                      "nl-restrictive");
+    if (combo == "bingo-119k")
+        return setAll(sys, "bingo-119k", "nl-restrictive",
+                      "nl-restrictive");
+    if (combo == "tskid")
+        return setAll(sys, "tskid", "spp", "none");
+    if (combo.rfind("l1:", 0) == 0)
+        return setAll(sys, combo.substr(3), "none", "none");
+    if (combo.rfind("l2:", 0) == 0)
+        return setAll(sys, "none", combo.substr(3), "none");
     if (combo.rfind("l1fill2:", 0) == 0) {
         // Fig. 1: train at the L1 but fill only till the L2.
         const std::string inner = combo.substr(8);
         for (unsigned c = 0; c < sys.numCores(); ++c) {
-            sys.l1d(c).setPrefetcher(std::make_unique<FillAtL2>(
-                makePrefetcher(inner, CacheLevel::L1D)));
+            auto pf = tryMakePrefetcher(inner, CacheLevel::L1D);
+            if (!pf.ok())
+                return pf.status();
+            sys.l1d(c).setPrefetcher(
+                std::make_unique<FillAtL2>(pf.take()));
             sys.l2(c).setPrefetcher(
                 std::make_unique<NoPrefetcher>());
         }
         sys.llc().setPrefetcher(std::make_unique<NoPrefetcher>());
-        return;
+        return Status();
     }
-    throw std::invalid_argument("unknown combo: " + combo);
+    return makeError(Errc::unknown_name, "unknown combo: " + combo);
+}
+
+void
+applyCombo(System &sys, const std::string &combo)
+{
+    if (Status s = tryApplyCombo(sys, combo); !s.ok())
+        throw std::invalid_argument(s.error().message);
 }
 
 const std::vector<std::string> &

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
 #include "core/system.hh"
 #include "ipcp/ipcp_l1.hh"
 #include "ipcp/ipcp_l2.hh"
@@ -35,6 +36,10 @@ namespace bouquet
 std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name,
                                            CacheLevel level);
 
+/** Non-throwing makePrefetcher: Errc::unknown_name for bad names. */
+Result<std::unique_ptr<Prefetcher>>
+tryMakePrefetcher(const std::string &name, CacheLevel level);
+
 /**
  * Apply a named multi-level combination to every core of a system
  * (Table III):
@@ -53,6 +58,13 @@ std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name,
  * Throws std::invalid_argument for unknown combos.
  */
 void applyCombo(System &sys, const std::string &combo);
+
+/**
+ * Non-throwing applyCombo: Errc::unknown_name for an unknown combo
+ * or prefetcher name, so a bad configuration fails one Runner job
+ * instead of the process.
+ */
+Status tryApplyCombo(System &sys, const std::string &combo);
 
 /** Names of the Table III combos, in the paper's presentation order. */
 const std::vector<std::string> &tableIIICombos();

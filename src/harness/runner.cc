@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -11,6 +12,8 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "common/faultinject.hh"
 
 namespace bouquet
 {
@@ -41,6 +44,116 @@ humanRate(double per_second)
 
 std::mutex progressMutex;
 
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    if (const char *v = std::getenv(name); v != nullptr && *v != '\0') {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(v, &end, 10);
+        if (end != v)
+            return static_cast<unsigned>(n);
+    }
+    return fallback;
+}
+
+double
+envSeconds(const char *name, double fallback)
+{
+    if (const char *v = std::getenv(name); v != nullptr && *v != '\0') {
+        char *end = nullptr;
+        const double s = std::strtod(v, &end);
+        if (end != v && s >= 0.0)
+            return s;
+    }
+    return fallback;
+}
+
+/**
+ * Live watchdog: while a batch is in flight, a monitor thread scans
+ * the running jobs and warns (once per job, to stderr) when one
+ * exceeds the wall-clock budget. A worker thread cannot be aborted
+ * safely mid-simulation, so enforcement is cooperative: the overdue
+ * job's result is discarded and the job failed when it completes.
+ */
+class WatchdogMonitor
+{
+  public:
+    WatchdogMonitor(double timeout_seconds, std::size_t jobs)
+        : timeout_(timeout_seconds)
+    {
+        if (timeout_ <= 0.0 || jobs == 0)
+            return;
+        monitor_ = std::thread([this] { loop(); });
+    }
+
+    ~WatchdogMonitor()
+    {
+        if (!monitor_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+
+    void
+    beginJob(std::size_t index, const std::string &key)
+    {
+        if (timeout_ <= 0.0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_[index] = Entry{key, Clock::now(), false};
+    }
+
+    void
+    endJob(std::size_t index)
+    {
+        if (timeout_ <= 0.0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(index);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        Clock::time_point start;
+        bool warned = false;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!done_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(50));
+            for (auto &[index, entry] : inflight_) {
+                if (entry.warned ||
+                    secondsSince(entry.start) < timeout_)
+                    continue;
+                entry.warned = true;
+                char line[192];
+                std::snprintf(line, sizeof(line),
+                              "[runner] watchdog: job %s over %.2fs "
+                              "budget, still running",
+                              entry.key.c_str(), timeout_);
+                std::lock_guard<std::mutex> plock(progressMutex);
+                std::cerr << line << "\n";
+            }
+        }
+    }
+
+    const double timeout_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::map<std::size_t, Entry> inflight_;
+    std::thread monitor_;
+};
+
 } // namespace
 
 std::string
@@ -69,20 +182,34 @@ BatchStats::instrsPerSecond() const
 void
 BatchStats::print(std::ostream &os) const
 {
-    char buf[192];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
                   "[runner] jobs=%zu executed=%zu cached=%zu "
-                  "deduped=%zu threads=%u | wall %.2fs busy %.2fs "
-                  "speedup %.2fx | %s sim-instrs/s",
-                  jobs, executed, cached, deduped, threads, wallSeconds,
-                  busySeconds, speedupOverSerial(),
+                  "deduped=%zu failed=%zu threads=%u | wall %.2fs "
+                  "busy %.2fs speedup %.2fx | %s sim-instrs/s",
+                  jobs, executed, cached, deduped, failed, threads,
+                  wallSeconds, busySeconds, speedupOverSerial(),
                   humanRate(instrsPerSecond()).c_str());
     os << buf << "\n";
+    if (retried > 0 || timedOut > 0 || storeFailures > 0) {
+        os << "[runner] retried=" << retried << " timed-out="
+           << timedOut << " store-failures=" << storeFailures << "\n";
+    }
+    for (const JobFailure &f : failures) {
+        os << "[runner] FAILED job " << f.index << " " << f.key
+           << " after " << f.attempts << " attempt"
+           << (f.attempts == 1 ? "" : "s")
+           << (f.timedOut ? " (timed out)" : "") << ": " << f.error
+           << "\n";
+    }
 }
 
 Runner::Runner(unsigned threads)
     : threads_(threads > 0 ? threads : defaultThreads()),
-      progress_(std::getenv("IPCP_PROGRESS") != nullptr)
+      progress_(std::getenv("IPCP_PROGRESS") != nullptr),
+      maxAttempts_(1 + envUnsigned("IPCP_RETRIES", 1)),
+      jobTimeout_(envSeconds("IPCP_JOB_TIMEOUT", 0.0)),
+      backoffMs_(envUnsigned("IPCP_RETRY_BACKOFF_MS", 10))
 {
 }
 
@@ -113,6 +240,9 @@ Runner::dispatch(std::size_t count, const Task &task)
         return;
     }
 
+    // Per-job faults are captured inside the task; an exception
+    // reaching here is an infrastructure bug and is rethrown after
+    // the pool drains.
     std::atomic<std::size_t> next{0};
     std::exception_ptr error;
     std::mutex errorMutex;
@@ -142,7 +272,61 @@ Runner::dispatch(std::size_t count, const Task &task)
         std::rethrow_exception(error);
 }
 
-std::vector<Outcome>
+/**
+ * Run one job body under the containment policy: capture every
+ * exception into the job outcome, retry transient failures with
+ * linear backoff, and fail (without retry) any attempt that overruns
+ * the wall-clock budget.
+ */
+template <typename Body, typename JobOut>
+void
+Runner::executeWithPolicy(const std::string &key, const Body &body,
+                          JobOut &out)
+{
+    for (unsigned attempt = 1; attempt <= maxAttempts_; ++attempt) {
+        out.attempts = attempt;
+        bool transient = false;
+        const auto start = Clock::now();
+        try {
+            faultPoint(faults::kJobBody, key);
+            out.outcome = body();
+            out.ok = true;
+            out.error.clear();
+        } catch (const ErrorException &e) {
+            out.ok = false;
+            out.error = e.what();
+            transient = e.error().transient;
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+        } catch (...) {
+            out.ok = false;
+            out.error = "unknown exception";
+        }
+        const double elapsed = secondsSince(start);
+        if (jobTimeout_ > 0.0 && elapsed >= jobTimeout_) {
+            // Overruns are never retried: a second attempt would
+            // just burn another budget's worth of wall-clock.
+            char msg[128];
+            std::snprintf(msg, sizeof(msg),
+                          "watchdog: attempt took %.2fs, over the "
+                          "%.2fs per-job budget",
+                          elapsed, jobTimeout_);
+            out.ok = false;
+            out.timedOut = true;
+            out.error = msg;
+            return;
+        }
+        if (out.ok || !transient)
+            return;
+        if (attempt < maxAttempts_ && backoffMs_ > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs_ * attempt));
+        }
+    }
+}
+
+std::vector<JobOutcome>
 Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
             const StoreFn &store)
 {
@@ -154,7 +338,7 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
     last_.jobs = n;
     last_.perJob.resize(n);
 
-    std::vector<Outcome> results(n);
+    std::vector<JobOutcome> results(n);
 
     // Resolve the external cache and deduplicate by key up front so
     // every simulation is dispatched at most once per batch.
@@ -171,9 +355,19 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
             ++last_.deduped;
             continue;
         }
-        if (fetch && fetch(jobs[i], results[i])) {
+        // A fetch-hook failure is a miss, never a batch failure.
+        bool hit = false;
+        try {
+            hit = fetch && fetch(jobs[i], results[i].outcome);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            std::cerr << "[runner] cache fetch failed for " << t.key
+                      << ": " << e.what() << "\n";
+        }
+        if (hit) {
+            results[i].ok = true;
             t.cached = true;
-            t.instrs = results[i].instructions;
+            t.instrs = results[i].outcome.instructions;
             ++last_.cached;
             continue;
         }
@@ -182,43 +376,78 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
     last_.executed = exec.size();
 
     std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> store_failures{0};
+    WatchdogMonitor watchdog(jobTimeout_, exec.size());
     dispatch(exec.size(), [&](std::size_t e) {
         const std::size_t i = exec[e];
         const Job &job = jobs[i];
-        const auto start = Clock::now();
-        results[i] = runSingleCore(job.spec, job.attach, job.cfg);
         JobTiming &t = last_.perJob[i];
+        const auto start = Clock::now();
+        watchdog.beginJob(i, t.key);
+        executeWithPolicy(
+            t.key, [&] { return runSingleCore(job.spec, job.attach,
+                                              job.cfg); },
+            results[i]);
+        watchdog.endJob(i);
         t.seconds = secondsSince(start);
-        t.instrs = results[i].instructions;
-        if (store)
-            store(job, results[i]);
+        if (results[i].ok) {
+            t.instrs = results[i].outcome.instructions;
+            if (store) {
+                // A store-hook failure loses a cache entry, not a
+                // computed result.
+                try {
+                    store(job, results[i].outcome);
+                } catch (const std::exception &e) {
+                    store_failures.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    std::cerr << "[runner] cache store failed for "
+                              << t.key << ": " << e.what() << "\n";
+                }
+            }
+        }
         if (progress_) {
             const std::size_t done = completed.fetch_add(1) + 1;
-            char line[160];
+            char line[192];
             std::snprintf(line, sizeof(line),
-                          "[runner] %zu/%zu %s|%s %.2fs", done,
+                          "[runner] %zu/%zu %s|%s %.2fs%s", done,
                           exec.size(), job.spec.name.c_str(),
-                          job.label.c_str(), t.seconds);
+                          job.label.c_str(), t.seconds,
+                          results[i].ok ? "" : " FAILED");
             std::lock_guard<std::mutex> lock(progressMutex);
             std::cerr << line << "\n";
         }
     });
 
-    // Fan results out to deduplicated submissions. Sources are always
-    // earlier canonical indices, so they are already resolved.
+    // Fan results out to deduplicated submissions (including
+    // failures: a copy of a failed job fails identically). Sources
+    // are always earlier canonical indices, so they are resolved.
     for (const auto &[dst, src] : copies)
         results[dst] = results[src];
 
-    for (const JobTiming &t : last_.perJob) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const JobTiming &t = last_.perJob[i];
         last_.busySeconds += t.seconds;
         if (!t.cached && !t.deduped)
             last_.simInstrs += t.instrs;
+        if (!results[i].ok) {
+            ++last_.failed;
+            if (results[i].timedOut)
+                ++last_.timedOut;
+            if (!t.deduped)
+                last_.failures.push_back(
+                    JobFailure{i, t.key, results[i].error,
+                               results[i].attempts,
+                               results[i].timedOut});
+        } else if (results[i].attempts > 1) {
+            ++last_.retried;
+        }
     }
+    last_.storeFailures = store_failures.load();
     last_.wallSeconds = secondsSince(batch_start);
     return results;
 }
 
-std::vector<MixOutcome>
+std::vector<MixJobOutcome>
 Runner::runMixes(const std::vector<MixJob> &jobs)
 {
     const auto batch_start = Clock::now();
@@ -230,31 +459,52 @@ Runner::runMixes(const std::vector<MixJob> &jobs)
     last_.executed = n;
     last_.perJob.resize(n);
 
-    std::vector<MixOutcome> results(n);
+    std::vector<MixJobOutcome> results(n);
     std::atomic<std::size_t> completed{0};
+    WatchdogMonitor watchdog(jobTimeout_, n);
     dispatch(n, [&](std::size_t i) {
         const MixJob &job = jobs[i];
-        const auto start = Clock::now();
-        results[i] = runMix(job.specs, job.attach, job.cfg);
         JobTiming &t = last_.perJob[i];
         t.key = job.label;
+        const auto start = Clock::now();
+        watchdog.beginJob(i, t.key);
+        executeWithPolicy(
+            t.key, [&] { return runMix(job.specs, job.attach,
+                                       job.cfg); },
+            results[i]);
+        watchdog.endJob(i);
         t.seconds = secondsSince(start);
-        for (const std::uint64_t instrs : results[i].instructions)
-            t.instrs += instrs;
+        if (results[i].ok) {
+            for (const std::uint64_t instrs :
+                 results[i].outcome.instructions)
+                t.instrs += instrs;
+        }
         if (progress_) {
             const std::size_t done = completed.fetch_add(1) + 1;
-            char line[160];
+            char line[192];
             std::snprintf(line, sizeof(line),
-                          "[runner] %zu/%zu mix:%s %.2fs", done, n,
-                          job.label.c_str(), t.seconds);
+                          "[runner] %zu/%zu mix:%s %.2fs%s", done, n,
+                          job.label.c_str(), t.seconds,
+                          results[i].ok ? "" : " FAILED");
             std::lock_guard<std::mutex> lock(progressMutex);
             std::cerr << line << "\n";
         }
     });
 
-    for (const JobTiming &t : last_.perJob) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const JobTiming &t = last_.perJob[i];
         last_.busySeconds += t.seconds;
         last_.simInstrs += t.instrs;
+        if (!results[i].ok) {
+            ++last_.failed;
+            if (results[i].timedOut)
+                ++last_.timedOut;
+            last_.failures.push_back(
+                JobFailure{i, t.key, results[i].error,
+                           results[i].attempts, results[i].timedOut});
+        } else if (results[i].attempts > 1) {
+            ++last_.retried;
+        }
     }
     last_.wallSeconds = secondsSince(batch_start);
     return results;

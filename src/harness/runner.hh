@@ -16,6 +16,20 @@
  * once — and an optional fetch/store hook pair lets the caller back
  * the batch with an external (disk) cache. The store hook is invoked
  * from worker threads and must be thread-safe.
+ *
+ * Failure containment: a fault in one job — an exception from the
+ * job body, an injected fault (see common/faultinject.hh), a
+ * watchdog overrun — fails that job only. Every other job completes,
+ * is stored in the external cache, and returns its outcome in
+ * submission order; the failed job's slot carries the error instead.
+ * Transient failures are retried with linear backoff up to the
+ * configured attempt budget. Policy knobs (environment or setters):
+ *
+ *   IPCP_RETRIES          retries for transient faults (default 1)
+ *   IPCP_JOB_TIMEOUT      per-job wall-clock budget in seconds;
+ *                         overruns fail the job (default 0 = off)
+ *   IPCP_RETRY_BACKOFF_MS backoff base; attempt k sleeps k*base
+ *                         (default 10)
  */
 
 #ifndef BOUQUET_HARNESS_RUNNER_HH
@@ -57,6 +71,36 @@ struct MixJob
  */
 std::string jobKey(const Job &job);
 
+/** Final state of one submitted single-core job. */
+struct JobOutcome
+{
+    Outcome outcome;         //!< valid only when ok
+    bool ok = false;
+    std::string error;       //!< why the job failed (empty when ok)
+    unsigned attempts = 0;   //!< simulation attempts (0 = cache/dedup)
+    bool timedOut = false;   //!< failed by the wall-clock watchdog
+};
+
+/** Final state of one submitted mix job. */
+struct MixJobOutcome
+{
+    MixOutcome outcome;
+    bool ok = false;
+    std::string error;
+    unsigned attempts = 0;
+    bool timedOut = false;
+};
+
+/** One failed job, for the batch summary. */
+struct JobFailure
+{
+    std::size_t index = 0;   //!< submission index
+    std::string key;
+    std::string error;
+    unsigned attempts = 0;
+    bool timedOut = false;
+};
+
 /** Per-job execution record of a batch. */
 struct JobTiming
 {
@@ -67,7 +111,7 @@ struct JobTiming
     bool deduped = false;        //!< satisfied by an identical job
 };
 
-/** Aggregate throughput accounting for one batch. */
+/** Aggregate throughput + failure accounting for one batch. */
 struct BatchStats
 {
     unsigned threads = 1;
@@ -75,6 +119,11 @@ struct BatchStats
     std::size_t executed = 0;  //!< actually simulated
     std::size_t cached = 0;    //!< satisfied by the fetch hook
     std::size_t deduped = 0;   //!< duplicates of an executed/cached key
+    std::size_t failed = 0;    //!< jobs whose final state is not ok
+    std::size_t retried = 0;   //!< jobs that needed more than 1 attempt
+    std::size_t timedOut = 0;  //!< jobs failed by the watchdog
+    std::size_t storeFailures = 0;  //!< store-hook errors (job still ok)
+    std::vector<JobFailure> failures;  //!< one per failed unique job
     double wallSeconds = 0.0;  //!< batch wall-clock
     double busySeconds = 0.0;  //!< sum of per-job wall times
     std::uint64_t simInstrs = 0;  //!< instructions simulated (executed)
@@ -86,7 +135,7 @@ struct BatchStats
     /** Aggregate simulated instructions per wall-clock second. */
     double instrsPerSecond() const;
 
-    /** One-line human-readable summary (benches print it to stderr). */
+    /** Summary plus one line per failed job (benches -> stderr). */
     void print(std::ostream &os) const;
 };
 
@@ -106,6 +155,17 @@ class Runner
 
     unsigned threads() const { return threads_; }
 
+    /** Simulation attempts per job (1 = no retry). */
+    unsigned maxAttempts() const { return maxAttempts_; }
+    void setMaxAttempts(unsigned n) { maxAttempts_ = n > 0 ? n : 1; }
+
+    /** Per-job wall-clock budget in seconds (0 disables). */
+    double jobTimeout() const { return jobTimeout_; }
+    void setJobTimeout(double seconds) { jobTimeout_ = seconds; }
+
+    /** Backoff base in ms; retry k waits k*base. */
+    void setRetryBackoffMs(unsigned ms) { backoffMs_ = ms; }
+
     /** External-cache probe: return true and fill the outcome on hit. */
     using FetchFn = std::function<bool(const Job &, Outcome &)>;
     /** External-cache insert; called from worker threads. */
@@ -115,14 +175,18 @@ class Runner
      * Execute a batch of single-core jobs. Outcomes are returned in
      * submission order regardless of completion order; a batch run
      * with 1 thread and with N threads produces identical vectors.
+     * A failed job fails only its own slot (ok=false, error set);
+     * every other job's outcome and stdout-visible bytes are
+     * identical to a fault-free run.
      */
-    std::vector<Outcome> run(const std::vector<Job> &jobs,
-                             const FetchFn &fetch = {},
-                             const StoreFn &store = {});
+    std::vector<JobOutcome> run(const std::vector<Job> &jobs,
+                                const FetchFn &fetch = {},
+                                const StoreFn &store = {});
 
     /** Execute a batch of mix jobs (no dedup/caching: mixes are
-     *  one-shot in every bench). Deterministic order as above. */
-    std::vector<MixOutcome> runMixes(const std::vector<MixJob> &jobs);
+     *  one-shot in every bench). Deterministic order and per-job
+     *  failure containment as above. */
+    std::vector<MixJobOutcome> runMixes(const std::vector<MixJob> &jobs);
 
     /** Accounting for the most recent run()/runMixes() batch. */
     const BatchStats &lastBatch() const { return last_; }
@@ -131,8 +195,15 @@ class Runner
     template <typename Task>
     void dispatch(std::size_t count, const Task &task);
 
+    template <typename Body, typename JobOut>
+    void executeWithPolicy(const std::string &key, const Body &body,
+                           JobOut &out);
+
     unsigned threads_;
     bool progress_;  //!< IPCP_PROGRESS: per-job stderr lines
+    unsigned maxAttempts_;
+    double jobTimeout_;
+    unsigned backoffMs_;
     BatchStats last_;
 };
 

@@ -296,16 +296,24 @@ makeWorkload(const TraceSpec &spec)
     throw std::logic_error("unhandled archetype");
 }
 
-const TraceSpec &
-findTrace(const std::string &name)
+const TraceSpec *
+findTraceOrNull(const std::string &name) noexcept
 {
     for (const auto *suite : {&fullSuiteTraces(), &cloudSuiteTraces(),
                               &neuralNetTraces()}) {
         for (const TraceSpec &s : *suite) {
             if (s.name == name)
-                return s;
+                return &s;
         }
     }
+    return nullptr;
+}
+
+const TraceSpec &
+findTrace(const std::string &name)
+{
+    if (const TraceSpec *spec = findTraceOrNull(name))
+        return *spec;
     throw std::out_of_range("unknown trace: " + name);
 }
 
@@ -313,6 +321,16 @@ GeneratorPtr
 makeWorkload(const std::string &name)
 {
     return makeWorkload(findTrace(name));
+}
+
+Result<GeneratorPtr>
+tryMakeWorkload(const std::string &name)
+{
+    const TraceSpec *spec = findTraceOrNull(name);
+    if (spec == nullptr)
+        return makeError(Errc::unknown_name,
+                         "unknown trace: " + name);
+    return makeWorkload(*spec);
 }
 
 } // namespace bouquet

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
 #include "trace/trace.hh"
 
 namespace bouquet
@@ -71,8 +72,18 @@ GeneratorPtr makeWorkload(const TraceSpec &spec);
  */
 GeneratorPtr makeWorkload(const std::string &name);
 
+/** Non-throwing makeWorkload: Errc::unknown_name for a bad name. */
+Result<GeneratorPtr> tryMakeWorkload(const std::string &name);
+
 /** Look up a spec by name across all suites (throws if unknown). */
 const TraceSpec &findTrace(const std::string &name);
+
+/**
+ * Non-throwing lookup across all suites; nullptr for an unknown
+ * name. Runner job bodies use this so an unknown trace fails one
+ * job, not the process.
+ */
+const TraceSpec *findTraceOrNull(const std::string &name) noexcept;
 
 } // namespace bouquet
 

@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <stdexcept>
+#include <utility>
+
+#include <sys/stat.h>
+
+#include "common/faultinject.hh"
 
 namespace bouquet
 {
@@ -11,7 +15,11 @@ namespace bouquet
 namespace
 {
 
+// Serialized little-endian the on-disk bytes are '1','V','E','C',
+// 'R','T','Q','B': byte 0 is the format version digit, bytes 1..7
+// identify the format family.
 constexpr std::uint64_t kMagic = 0x42515452'43455631ull;  // "BQTRCEV1"
+constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kRecordBytes = 20;
 
 void
@@ -43,19 +51,107 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+Result<std::vector<TraceRecord>>
+readRecords(const std::string &path)
+{
+    if (auto fault = faultCheck(faults::kTraceRead, path))
+        return *fault;
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return makeError(Errc::io,
+                         "cannot open trace file: " + path);
+
+    struct ::stat st = {};
+    if (::fstat(::fileno(f.get()), &st) != 0)
+        return makeError(Errc::io,
+                         "cannot stat trace file: " + path, true);
+    const std::uint64_t file_bytes =
+        static_cast<std::uint64_t>(st.st_size);
+    if (file_bytes < kHeaderBytes)
+        return makeError(Errc::truncated,
+                         "truncated trace header: " + path + ": " +
+                             std::to_string(file_bytes) +
+                             " bytes, header needs " +
+                             std::to_string(kHeaderBytes));
+
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        return makeError(Errc::io,
+                         "trace header read failed: " + path, true);
+    if (magic != kMagic) {
+        // Same format family but a different version digit is a
+        // version mismatch, anything else is not a trace file.
+        if ((magic & ~0xFFull) == (kMagic & ~0xFFull))
+            return makeError(
+                Errc::bad_version,
+                "unsupported trace format version '" +
+                    std::string(1, static_cast<char>(magic & 0xFF)) +
+                    "' (expected '" +
+                    std::string(1, static_cast<char>(kMagic & 0xFF)) +
+                    "'): " + path);
+        return makeError(Errc::bad_magic,
+                         "not a bouquet trace file (bad magic): " +
+                             path);
+    }
+    if (count == 0)
+        return makeError(Errc::empty,
+                         "trace file holds zero records: " + path);
+
+    // The header's record count must agree exactly with the file
+    // size before anything is trusted.
+    constexpr std::uint64_t kMaxRecords =
+        (UINT64_MAX - kHeaderBytes) / kRecordBytes;
+    const std::uint64_t expected_bytes =
+        count > kMaxRecords ? UINT64_MAX
+                            : kHeaderBytes + count * kRecordBytes;
+    if (file_bytes < expected_bytes)
+        return makeError(Errc::truncated,
+                         "truncated trace file: " + path +
+                             ": header claims " +
+                             std::to_string(count) + " records (" +
+                             std::to_string(expected_bytes) +
+                             " bytes) but file has " +
+                             std::to_string(file_bytes));
+    if (file_bytes > expected_bytes)
+        return makeError(Errc::oversized,
+                         "oversized trace file: " + path +
+                             ": header claims " +
+                             std::to_string(count) + " records (" +
+                             std::to_string(expected_bytes) +
+                             " bytes) but file has " +
+                             std::to_string(file_bytes));
+
+    std::vector<TraceRecord> records(count);
+    unsigned char buf[kRecordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buf, 1, kRecordBytes, f.get()) != kRecordBytes)
+            return makeError(Errc::io,
+                             "trace record " + std::to_string(i) +
+                                 " read failed: " + path,
+                             true);
+        decode(buf, records[i]);
+    }
+    return records;
+}
+
 } // namespace
 
-void
-writeTraceFile(const std::string &path, WorkloadGenerator &gen,
-               std::uint64_t count)
+Status
+writeTrace(const std::string &path, WorkloadGenerator &gen,
+           std::uint64_t count)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        throw std::runtime_error("cannot open trace file for writing: " +
-                                 path);
+        return makeError(Errc::io,
+                         "cannot open trace file for writing: " +
+                             path);
     if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
         std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
-        throw std::runtime_error("trace header write failed: " + path);
+        return makeError(Errc::io,
+                         "trace header write failed: " + path, true);
 
     unsigned char buf[kRecordBytes];
     TraceRecord r;
@@ -63,34 +159,38 @@ writeTraceFile(const std::string &path, WorkloadGenerator &gen,
         gen.next(r);
         encode(r, buf);
         if (std::fwrite(buf, 1, kRecordBytes, f.get()) != kRecordBytes)
-            throw std::runtime_error("trace record write failed: " +
-                                     path);
+            return makeError(Errc::io,
+                             "trace record write failed: " + path,
+                             true);
     }
+    return Status();
+}
+
+void
+writeTraceFile(const std::string &path, WorkloadGenerator &gen,
+               std::uint64_t count)
+{
+    if (Status s = writeTrace(path, gen, count); !s.ok())
+        throw ErrorException(s.error());
+}
+
+Result<std::unique_ptr<TraceFileGenerator>>
+TraceFileGenerator::load(const std::string &path)
+{
+    Result<std::vector<TraceRecord>> records = readRecords(path);
+    if (!records.ok())
+        return records.error();
+    return std::unique_ptr<TraceFileGenerator>(
+        new TraceFileGenerator(path, records.take()));
 }
 
 TraceFileGenerator::TraceFileGenerator(const std::string &path)
     : name_(path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        throw std::runtime_error("cannot open trace file: " + path);
-    std::uint64_t magic = 0;
-    std::uint64_t count = 0;
-    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
-        magic != kMagic)
-        throw std::runtime_error("not a bouquet trace file: " + path);
-    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
-        throw std::runtime_error("truncated trace header: " + path);
-
-    records_.resize(count);
-    unsigned char buf[kRecordBytes];
-    for (std::uint64_t i = 0; i < count; ++i) {
-        if (std::fread(buf, 1, kRecordBytes, f.get()) != kRecordBytes)
-            throw std::runtime_error("truncated trace file: " + path);
-        decode(buf, records_[i]);
-    }
-    if (records_.empty())
-        throw std::runtime_error("empty trace file: " + path);
+    Result<std::vector<TraceRecord>> records = readRecords(path);
+    if (!records.ok())
+        throw ErrorException(records.error());
+    records_ = records.take();
 }
 
 void

@@ -2,17 +2,28 @@
  * @file
  * Binary trace file I/O: capture any WorkloadGenerator's stream to a
  * file and replay it later (ChampSim-style trace-driven workflow).
- * The format is a fixed 20-byte little-endian record with a versioned
- * header; files loop on replay, mirroring sim-point methodology.
+ * The format is a fixed 20-byte little-endian record behind a
+ * versioned header; files loop on replay, mirroring sim-point
+ * methodology.
+ *
+ * Loading validates the header magic, the format version byte, and
+ * the record count against the actual file size, and reports precise
+ * Result errors (bad magic vs unsupported version vs truncated vs
+ * oversized vs zero records) instead of a generic failure, so one
+ * unreadable trace fails one job rather than a whole sweep. The
+ * read path declares the `trace.read` fault-injection point (see
+ * common/faultinject.hh).
  */
 
 #ifndef BOUQUET_TRACE_TRACE_IO_HH
 #define BOUQUET_TRACE_TRACE_IO_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
 #include "trace/trace.hh"
 
 namespace bouquet
@@ -20,10 +31,14 @@ namespace bouquet
 
 /**
  * Capture `count` records from `gen` into a trace file.
- * Throws std::runtime_error on I/O failure.
+ * Throws ErrorException (a std::runtime_error) on I/O failure.
  */
 void writeTraceFile(const std::string &path, WorkloadGenerator &gen,
                     std::uint64_t count);
+
+/** Non-throwing variant of writeTraceFile. */
+Status writeTrace(const std::string &path, WorkloadGenerator &gen,
+                  std::uint64_t count);
 
 /**
  * A workload generator replaying a trace file. The whole trace is
@@ -34,7 +49,14 @@ void writeTraceFile(const std::string &path, WorkloadGenerator &gen,
 class TraceFileGenerator : public WorkloadGenerator
 {
   public:
-    /** Load a trace file; throws std::runtime_error on failure. */
+    /**
+     * Load and validate a trace file. Error codes: io (unreadable),
+     * bad_magic, bad_version, truncated, oversized, empty.
+     */
+    static Result<std::unique_ptr<TraceFileGenerator>>
+    load(const std::string &path);
+
+    /** Load a trace file; throws ErrorException on failure. */
     explicit TraceFileGenerator(const std::string &path);
 
     void next(TraceRecord &out) override;
@@ -44,6 +66,12 @@ class TraceFileGenerator : public WorkloadGenerator
     std::size_t size() const { return records_.size(); }
 
   private:
+    TraceFileGenerator(std::string name,
+                       std::vector<TraceRecord> records)
+        : name_(std::move(name)), records_(std::move(records))
+    {
+    }
+
     std::string name_;
     std::vector<TraceRecord> records_;
     std::size_t pos_ = 0;

@@ -89,13 +89,16 @@ TEST(Runner, ParallelMatchesSerialBitForBit)
 
     Runner serial(1);
     Runner parallel(4);
-    const std::vector<Outcome> a = serial.run(jobs);
-    const std::vector<Outcome> b = parallel.run(jobs);
+    const std::vector<JobOutcome> a = serial.run(jobs);
+    const std::vector<JobOutcome> b = parallel.run(jobs);
 
     ASSERT_EQ(a.size(), jobs.size());
     ASSERT_EQ(b.size(), jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        expectSameOutcome(a[i], b[i]);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(a[i].ok) << a[i].error;
+        ASSERT_TRUE(b[i].ok) << b[i].error;
+        expectSameOutcome(a[i].outcome, b[i].outcome);
+    }
     EXPECT_EQ(serial.lastBatch().executed, jobs.size());
     EXPECT_EQ(parallel.lastBatch().executed, jobs.size());
     EXPECT_GT(parallel.lastBatch().simInstrs, 0u);
@@ -111,13 +114,15 @@ TEST(Runner, DeduplicatesIdenticalJobsBeforeDispatch)
     const std::vector<Job> jobs{job, other, job, job};
 
     Runner r(2);
-    const std::vector<Outcome> outs = r.run(jobs);
+    const std::vector<JobOutcome> outs = r.run(jobs);
     EXPECT_EQ(r.lastBatch().jobs, 4u);
     EXPECT_EQ(r.lastBatch().executed, 2u);
     EXPECT_EQ(r.lastBatch().deduped, 2u);
-    expectSameOutcome(outs[0], outs[2]);
-    expectSameOutcome(outs[0], outs[3]);
-    EXPECT_NE(outs[0].instructions + outs[0].cycles, 0u);
+    ASSERT_TRUE(outs[0].ok && outs[2].ok && outs[3].ok);
+    expectSameOutcome(outs[0].outcome, outs[2].outcome);
+    expectSameOutcome(outs[0].outcome, outs[3].outcome);
+    EXPECT_NE(outs[0].outcome.instructions + outs[0].outcome.cycles,
+              0u);
 }
 
 TEST(Runner, FetchAndStoreHooksBackTheBatch)
@@ -140,8 +145,10 @@ TEST(Runner, FetchAndStoreHooksBackTheBatch)
     };
 
     Runner r(4);
-    const std::vector<Outcome> outs = r.run(jobs, fetch, store);
-    EXPECT_DOUBLE_EQ(outs[0].ipc, 3.25);  // served from the "cache"
+    const std::vector<JobOutcome> outs = r.run(jobs, fetch, store);
+    ASSERT_TRUE(outs[0].ok);
+    // served from the "cache"
+    EXPECT_DOUBLE_EQ(outs[0].outcome.ipc, 3.25);
     EXPECT_EQ(r.lastBatch().cached, 1u);
     EXPECT_EQ(r.lastBatch().executed, jobs.size() - 1);
     EXPECT_EQ(stored.size(), jobs.size() - 1);  // only simulated jobs
@@ -209,8 +216,8 @@ TEST_F(OutcomeStoreTest, RoundTripsThroughDisk)
 {
     {
         OutcomeStore store(path_);
-        store.put("a|none|1", fakeOutcome(1.5));
-        store.put("b|ipcp|1", fakeOutcome(2.5));
+        EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.5)).ok());
+        EXPECT_TRUE(store.put("b|ipcp|1", fakeOutcome(2.5)).ok());
     }
     OutcomeStore reloaded(path_);
     EXPECT_EQ(reloaded.size(), 2u);
@@ -236,7 +243,7 @@ TEST_F(OutcomeStoreTest, GarbageFileIsDetectedAndRegenerated)
     EXPECT_FALSE(store.get("a|none|1", out));
 
     // A put regenerates a clean file in place of the garbage.
-    store.put("a|none|1", fakeOutcome(1.25));
+    EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.25)).ok());
     OutcomeStore reloaded(path_);
     EXPECT_EQ(reloaded.size(), 1u);
     EXPECT_EQ(reloaded.corruptRecords(), 0u);
@@ -248,8 +255,8 @@ TEST_F(OutcomeStoreTest, TruncatedFileKeepsOnlyValidPrefix)
 {
     {
         OutcomeStore store(path_);
-        store.put("a|none|1", fakeOutcome(1.5));
-        store.put("b|ipcp|1", fakeOutcome(2.5));
+        EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.5)).ok());
+        EXPECT_TRUE(store.put("b|ipcp|1", fakeOutcome(2.5)).ok());
     }
     // Chop the tail off the last record: a torn concurrent write.
     std::ifstream in(path_, std::ios::binary);
@@ -274,7 +281,7 @@ TEST_F(OutcomeStoreTest, ChecksumMismatchRejectsRecord)
 {
     {
         OutcomeStore store(path_);
-        store.put("a|none|1", fakeOutcome(1.5));
+        EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.5)).ok());
     }
     // Flip one byte inside the record payload.
     std::fstream f(path_, std::ios::binary | std::ios::in |
@@ -296,7 +303,7 @@ TEST_F(OutcomeStoreTest, StaleFormatVersionIsNotTrusted)
 {
     {
         OutcomeStore store(path_);
-        store.put("a|none|1", fakeOutcome(1.5));
+        EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.5)).ok());
     }
     // Corrupt the version field (bytes 8..11, after the magic).
     std::fstream f(path_, std::ios::binary | std::ios::in |
@@ -320,7 +327,7 @@ TEST_F(OutcomeStoreTest, ConcurrentPutsAndGetsAreSafe)
             for (unsigned i = 0; i < 8; ++i) {
                 const std::string key = "k" + std::to_string(t) + "." +
                                         std::to_string(i);
-                store.put(key, fakeOutcome(0.5 + t + i));
+                EXPECT_TRUE(store.put(key, fakeOutcome(0.5 + t + i)).ok());
                 Outcome out;
                 EXPECT_TRUE(store.get(key, out));
             }
@@ -340,14 +347,14 @@ TEST_F(OutcomeStoreTest, SecondStoreSeesEntriesCompletedElsewhere)
     // Two stores on one file model two concurrent bench processes.
     OutcomeStore first(path_);
     OutcomeStore second(path_);
-    first.put("shared|key", fakeOutcome(2.0));
+    EXPECT_TRUE(first.put("shared|key", fakeOutcome(2.0)).ok());
     Outcome out;
     // The get must re-read the file rather than recompute.
     EXPECT_TRUE(second.get("shared|key", out));
     EXPECT_DOUBLE_EQ(out.ipc, 2.0);
 
     // And a put from the second store must not drop the first's entry.
-    second.put("other|key", fakeOutcome(3.0));
+    EXPECT_TRUE(second.put("other|key", fakeOutcome(3.0)).ok());
     OutcomeStore reloaded(path_);
     EXPECT_EQ(reloaded.size(), 2u);
 }

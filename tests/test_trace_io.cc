@@ -134,5 +134,103 @@ TEST(TraceIo, TruncatedFileThrows)
     EXPECT_THROW(TraceFileGenerator{tmp.path}, std::runtime_error);
 }
 
+// ---- corrupted-trace matrix: every header/size violation maps to a
+// precise error code through the non-throwing load() entry point ----
+
+/** Write a small valid trace and return its path. */
+void
+writeValidTrace(const std::string &path, std::uint64_t records = 10)
+{
+    ConstantStrideParams p;
+    ConstantStrideGen gen("w", 7, p);
+    writeTraceFile(path, gen, records);
+}
+
+TEST(TraceIo, LoadRoundTrip)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path, 10);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_TRUE(gen.ok()) << gen.error().message;
+    EXPECT_EQ(gen.value()->size(), 10u);
+}
+
+TEST(TraceIo, LoadReportsMissingFileAsIo)
+{
+    auto gen = TraceFileGenerator::load("/nonexistent/path.trace");
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::io);
+}
+
+TEST(TraceIo, LoadReportsBadMagic)
+{
+    TempFile tmp;
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // 16+ bytes so the header parses, but the magic is garbage.
+    std::fputs("xxxxxxxxyyyyyyyyzzzz", f);
+    std::fclose(f);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::bad_magic);
+}
+
+TEST(TraceIo, LoadReportsBadVersion)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path);
+    // Byte 0 of the little-endian magic is the version digit '1';
+    // bump it to a future version the reader must refuse.
+    std::FILE *f = std::fopen(tmp.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('2', f);
+    std::fclose(f);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::bad_version);
+}
+
+TEST(TraceIo, LoadReportsShortHeaderAsTruncated)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path);
+    ASSERT_EQ(truncate(tmp.path.c_str(), 9), 0);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::truncated);
+}
+
+TEST(TraceIo, LoadReportsTruncationMidRecord)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path, 10);
+    ASSERT_EQ(truncate(tmp.path.c_str(), 16 + 5 * 20 + 7), 0);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::truncated);
+}
+
+TEST(TraceIo, LoadReportsOversizedFile)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path, 10);
+    std::FILE *f = std::fopen(tmp.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("trailing junk", f);
+    std::fclose(f);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::oversized);
+}
+
+TEST(TraceIo, LoadReportsZeroRecordsAsEmpty)
+{
+    TempFile tmp;
+    writeValidTrace(tmp.path, 0);
+    auto gen = TraceFileGenerator::load(tmp.path);
+    ASSERT_FALSE(gen.ok());
+    EXPECT_EQ(gen.error().code, Errc::empty);
+}
+
 } // namespace
 } // namespace bouquet

@@ -59,6 +59,8 @@ usage()
         "  --record NAME        capture a named workload to a file\n"
         "  --records N          records to capture (default 1e6)\n"
         "  --out PATH           output path for --record\n"
+        "  --strict             exit nonzero if any job fails (default:\n"
+        "                       only when all fail; also IPCP_STRICT)\n"
         "  --list-traces        list every named workload\n";
 }
 
@@ -103,6 +105,10 @@ main(int argc, char **argv)
     unsigned cores = 1;
     std::uint64_t records = 1'000'000;
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    bool strict = false;
+    if (const char *env = std::getenv("IPCP_STRICT");
+        env != nullptr && *env != '\0')
+        strict = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -131,6 +137,8 @@ main(int argc, char **argv)
             records = std::stoull(value());
         } else if (arg == "--out") {
             out_path = value();
+        } else if (arg == "--strict") {
+            strict = true;
         } else if (arg == "--list-traces") {
             for (const auto *suite :
                  {&fullSuiteTraces(), &cloudSuiteTraces(),
@@ -200,19 +208,46 @@ main(int argc, char **argv)
                       << " measured instructions...\n\n";
         };
 
+        std::size_t ok_jobs = 0;
+        std::size_t failed_jobs = 0;
+        // Exit-code contract: 0 on full or partial success, 1 when
+        // every job failed or --strict saw any failure.
+        auto finish = [&]() {
+            if (failed_jobs == 0)
+                return 0;
+            return (strict || ok_jobs == 0) ? 1 : 0;
+        };
+
         if (!trace_file.empty()) {
             // Recorded traces aren't named specs the runner can
-            // re-instantiate per worker; replay them directly.
+            // re-instantiate per worker; replay them directly. A bad
+            // trace file or combo fails that combo's run only.
             for (const std::string &name : combo_names) {
                 SystemConfig sys_cfg = cfg.system;
                 sys_cfg.dram.channels = cores > 1 ? 2 : 1;
                 std::vector<GeneratorPtr> workloads;
-                for (unsigned c = 0; c < cores; ++c)
-                    workloads.push_back(
-                        std::make_unique<TraceFileGenerator>(
-                            trace_file));
+                bool load_ok = true;
+                for (unsigned c = 0; c < cores; ++c) {
+                    auto gen = TraceFileGenerator::load(trace_file);
+                    if (!gen.ok()) {
+                        std::cerr << "error: combo " << name << ": "
+                                  << gen.error().message << " ["
+                                  << errcName(gen.error().code)
+                                  << "]\n";
+                        ++failed_jobs;
+                        load_ok = false;
+                        break;
+                    }
+                    workloads.push_back(gen.take());
+                }
+                if (!load_ok)
+                    continue;
                 System sys(sys_cfg, std::move(workloads));
-                applyCombo(sys, name);
+                if (Status s = tryApplyCombo(sys, name); !s.ok()) {
+                    std::cerr << "error: " << s.error().message << "\n";
+                    ++failed_jobs;
+                    continue;
+                }
                 banner(name);
                 const RunResult r =
                     sys.run(cfg.warmupInstrs, cfg.simInstrs);
@@ -233,8 +268,9 @@ main(int argc, char **argv)
                 o.dram = sys.dram().stats();
                 o.dramBytes = sys.dram().bytesTransferred();
                 report_system(o);
+                ++ok_jobs;
             }
-            return 0;
+            return finish();
         }
 
         const TraceSpec &spec = findTrace(trace_name);
@@ -247,9 +283,18 @@ main(int argc, char **argv)
             std::vector<Job> jobs;
             for (const std::string &name : combo_names)
                 jobs.push_back(Job{spec, name, attach_for(name), cfg});
-            const std::vector<Outcome> outs = runner.run(jobs);
+            const std::vector<JobOutcome> outs = runner.run(jobs);
             for (std::size_t j = 0; j < jobs.size(); ++j) {
-                const Outcome &o = outs[j];
+                const JobOutcome &jo = outs[j];
+                if (!jo.ok) {
+                    std::cerr << "error: combo " << jobs[j].label
+                              << " failed after " << jo.attempts
+                              << " attempt(s): " << jo.error << "\n";
+                    ++failed_jobs;
+                    continue;
+                }
+                ++ok_jobs;
+                const Outcome &o = jo.outcome;
                 banner(jobs[j].label);
                 std::cout << "core 0: IPC " << TablePrinter::num(o.ipc)
                           << " (" << o.instructions << " instructions, "
@@ -264,9 +309,19 @@ main(int argc, char **argv)
             for (const std::string &name : combo_names)
                 jobs.push_back(
                     MixJob{specs, name, attach_for(name), cfg});
-            const std::vector<MixOutcome> outs = runner.runMixes(jobs);
+            const std::vector<MixJobOutcome> outs =
+                runner.runMixes(jobs);
             for (std::size_t j = 0; j < jobs.size(); ++j) {
-                const MixOutcome &o = outs[j];
+                const MixJobOutcome &jo = outs[j];
+                if (!jo.ok) {
+                    std::cerr << "error: combo " << jobs[j].label
+                              << " failed after " << jo.attempts
+                              << " attempt(s): " << jo.error << "\n";
+                    ++failed_jobs;
+                    continue;
+                }
+                ++ok_jobs;
+                const MixOutcome &o = jo.outcome;
                 banner(jobs[j].label);
                 for (unsigned c = 0; c < cores; ++c) {
                     std::cout << "core " << c << ": IPC "
@@ -281,7 +336,7 @@ main(int argc, char **argv)
             }
         }
         runner.lastBatch().print(std::cerr);
-        return 0;
+        return finish();
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/bitops.hh"
@@ -49,10 +50,17 @@ Cache::Cache(CacheConfig cfg, std::uint64_t repl_seed)
       lines_(static_cast<std::size_t>(config_.sets) * config_.ways),
       repl_(makeReplacement(config_.repl, config_.sets, config_.ways,
                             repl_seed)),
-      prefetcher_(std::make_unique<NoPrefetcher>())
+      prefetcher_(std::make_unique<NoPrefetcher>()),
+      rq_(config_.rqSize),
+      wq_(config_.wqSize),
+      pq_(config_.pqSize),
+      ipq_(config_.pqSize),
+      mshrIndex_(config_.mshrs),
+      outbound_(config_.mshrs + 8)
 {
     assert(isPowerOfTwo(config_.sets));
     mshrs_.reserve(config_.mshrs);
+    replScratch_.reserve(config_.ways);
 }
 
 void
@@ -60,6 +68,7 @@ Cache::setPrefetcher(std::unique_ptr<Prefetcher> pf)
 {
     prefetcher_ = std::move(pf);
     prefetcher_->setHost(this);
+    pfNeedsCycle_ = prefetcher_->needsCycle();
 }
 
 std::uint32_t
@@ -68,38 +77,54 @@ Cache::setOf(LineAddr line) const
     return static_cast<std::uint32_t>(line & (config_.sets - 1));
 }
 
+std::size_t
+Cache::findWay(LineAddr line) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(line)) * config_.ways;
+    const Line *p = &lines_[base];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (p[w].valid && p[w].tag == line)
+            return base + w;
+    }
+    return kNoWay;
+}
+
 Cache::Line *
 Cache::findLine(LineAddr line)
 {
-    const std::uint32_t set = setOf(line);
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
-    for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    }
-    return nullptr;
+    const std::size_t idx = findWay(line);
+    return idx == kNoWay ? nullptr : &lines_[idx];
 }
 
 const Cache::Line *
 Cache::findLine(LineAddr line) const
 {
-    return const_cast<Cache *>(this)->findLine(line);
+    const std::size_t idx = findWay(line);
+    return idx == kNoWay ? nullptr : &lines_[idx];
 }
 
 bool
 Cache::probe(LineAddr line) const
 {
-    return findLine(line) != nullptr;
+    return findWay(line) != kNoWay;
 }
 
 Cache::Mshr *
 Cache::findMshr(LineAddr line)
 {
-    for (Mshr &m : mshrs_) {
-        if (m.line == line)
-            return &m;
-    }
-    return nullptr;
+    const std::uint32_t slot = mshrIndex_.find(line);
+    return slot == MshrIndex::kNone ? nullptr : &mshrs_[slot];
+}
+
+void
+Cache::pushMshr(Mshr &&fresh)
+{
+    if (!fresh.sent)
+        ++unsentMshrs_;
+    mshrIndex_.insert(fresh.line,
+                      static_cast<std::uint32_t>(mshrs_.size()));
+    mshrs_.push_back(std::move(fresh));
 }
 
 std::uint64_t
@@ -159,7 +184,8 @@ Cache::handleLookup(const MemRequest &req)
     const int t = static_cast<int>(req.type);
     ++stats_.accesses[t];
 
-    Line *line = findLine(req.line);
+    const std::size_t idx = findWay(req.line);
+    Line *line = idx == kNoWay ? nullptr : &lines_[idx];
     const bool hit = line != nullptr;
 
     notifyPrefetcher(req, hit);
@@ -167,10 +193,11 @@ Cache::handleLookup(const MemRequest &req)
     if (hit) {
         ++stats_.hits[t];
         if (isDemand(req.type)) {
-            repl_->touch(setOf(req.line),
+            const std::uint32_t set = setOf(req.line);
+            repl_->touch(set,
                          static_cast<std::uint32_t>(
-                             line - &lines_[static_cast<std::size_t>(
-                                       setOf(req.line)) * config_.ways]),
+                             idx - static_cast<std::size_t>(set) *
+                                       config_.ways),
                          req.ip);
             if (line->prefetched && !line->reused) {
                 line->reused = true;
@@ -226,12 +253,13 @@ Cache::handleLookup(const MemRequest &req)
     if (req.requester != nullptr)
         fresh.targets.push_back(req);
     fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-    mshrs_.push_back(std::move(fresh));
+    pushMshr(std::move(fresh));
 }
 
 void
 Cache::processReadQueue()
 {
+    rqHeadStalled_ = false;
     std::uint32_t lookups = 0;
     while (!rq_.empty() && rq_.front().ready <= now_ &&
            lookups < config_.ports) {
@@ -240,6 +268,7 @@ Cache::processReadQueue()
             findLine(req.line) == nullptr && findMshr(req.line) == nullptr;
         if (miss_needs_mshr && mshrs_.size() >= config_.mshrs) {
             ++stats_.mshrFullStalls;
+            rqHeadStalled_ = true;
             break;  // head-of-line blocking until an MSHR frees up
         }
         MemRequest r = req;
@@ -293,7 +322,7 @@ Cache::handleIncomingPrefetch(const MemRequest &req)
     if (req.requester != nullptr)
         fresh.targets.push_back(req);
     fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-    mshrs_.push_back(std::move(fresh));
+    pushMshr(std::move(fresh));
     return true;
 }
 
@@ -332,12 +361,11 @@ Cache::installLine(const MemRequest &req, bool was_prefetch,
     const std::uint32_t set = setOf(req.line);
     Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
 
-    static thread_local std::vector<bool> valid;
-    valid.assign(config_.ways, false);
+    replScratch_.assign(config_.ways, false);
     for (std::uint32_t w = 0; w < config_.ways; ++w)
-        valid[w] = base[w].valid;
+        replScratch_[w] = base[w].valid;
 
-    const std::uint32_t way = repl_->victim(set, valid);
+    const std::uint32_t way = repl_->victim(set, replScratch_);
     Line &v = base[way];
 
     if (v.valid) {
@@ -397,7 +425,16 @@ Cache::onResponse(const MemRequest &req)
             t.requester->onResponse(t);
     }
 
-    *m = mshrs_.back();
+    // Swap-remove, keeping the line index pointed at the moved entry.
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(m - mshrs_.data());
+    mshrIndex_.erase(m->line);
+    if (!m->sent)
+        --unsentMshrs_;
+    if (slot + 1 != mshrs_.size()) {
+        *m = std::move(mshrs_.back());
+        mshrIndex_.update(m->line, slot);
+    }
     mshrs_.pop_back();
 }
 
@@ -418,6 +455,7 @@ Cache::issuePrefetch(Addr byte_addr, CacheLevel fill_level,
 void
 Cache::processPrefetchQueue()
 {
+    pqHeadBlocked_ = false;
     // Prefetch arrivals from the level above first: they are older.
     std::uint32_t incoming = 0;
     while (!ipq_.empty() && ipq_.front().ready <= now_ &&
@@ -458,8 +496,10 @@ Cache::processPrefetchQueue()
         req.fillLevel = e.fillLevel;
 
         if (e.fillLevel == config_.level) {
-            if (mshrs_.size() >= config_.mshrs)
+            if (mshrs_.size() >= config_.mshrs) {
+                pqHeadBlocked_ = true;
                 break;  // retry next cycle
+            }
             Mshr fresh;
             fresh.line = line;
             fresh.allocCycle = now_;
@@ -469,13 +509,15 @@ Cache::processPrefetchQueue()
             fresh.proto = req;
             fresh.sent =
                 lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-            mshrs_.push_back(std::move(fresh));
+            pushMshr(std::move(fresh));
         } else {
             // Fill stops below us: hand the request straight to the
             // next level, no local MSHR, no response expected.
             req.requester = nullptr;
-            if (lower_ == nullptr || !lower_->acceptRequest(req))
+            if (lower_ == nullptr || !lower_->acceptRequest(req)) {
+                pqHeadBlocked_ = true;
                 break;  // retry next cycle
+            }
         }
         ++stats_.pfIssued;
         ++issued;
@@ -505,14 +547,76 @@ Cache::tick(Cycle cycle)
     ++stats_.tickCount;
     drainOutbound();
     // Retry MSHRs whose downstream send was refused.
-    for (Mshr &m : mshrs_) {
-        if (!m.sent && lower_ != nullptr)
-            m.sent = lower_->acceptRequest(m.proto);
+    if (unsentMshrs_ > 0 && lower_ != nullptr) {
+        for (Mshr &m : mshrs_) {
+            if (!m.sent && lower_->acceptRequest(m.proto)) {
+                m.sent = true;
+                --unsentMshrs_;
+            }
+        }
     }
     processWriteQueue();
     processReadQueue();
     processPrefetchQueue();
     prefetcher_->cycle();
+}
+
+Cycle
+Cache::nextWakeup(Cycle now) const
+{
+    // Work that must retry every cycle: pending writebacks (the retry
+    // bumps the lower level's wbDropped), unsent MSHRs, a prefetcher
+    // with per-cycle housekeeping.
+    if (!outbound_.empty() || unsentMshrs_ > 0 || pfNeedsCycle_)
+        return now + 1;
+
+    Cycle wake = kNeverWakeup;
+
+    if (!wq_.empty()) {
+        wake = std::min(wake, std::max(wq_.front().ready, now + 1));
+        if (wake <= now + 1)
+            return wake;
+    }
+    if (!rq_.empty()) {
+        const Cycle rdy = rq_.front().ready;
+        if (rdy > now)
+            wake = std::min(wake, rdy);
+        else if (!rqHeadStalled_)
+            return now + 1;  // ready head (e.g. over the port cap)
+        // A stalled head waits for an MSHR to free, which only an
+        // external response can do; its per-cycle stall counter is
+        // reconciled in skipCycles.
+        if (wake <= now + 1)
+            return wake;
+    }
+    if (!ipq_.empty()) {
+        // A blocked incoming-prefetch retry re-runs handleLookup-style
+        // accounting, so a ready ipq head is never skippable.
+        wake = std::min(wake, std::max(ipq_.front().ready, now + 1));
+        if (wake <= now + 1)
+            return wake;
+    }
+    if (!pq_.empty()) {
+        const Cycle rdy = pq_.front().ready;
+        if (rdy > now)
+            wake = std::min(wake, rdy);
+        else if (!pqHeadBlocked_)
+            return now + 1;  // ready head (e.g. over the issue cap)
+        // A blocked own-prefetch retry is side-effect-free (translate
+        // is idempotent, probe/findMshr are const), so wait for the
+        // external event that unblocks it.
+    }
+    return wake;
+}
+
+void
+Cache::skipCycles(Cycle count)
+{
+    stats_.tickCount += count;
+    stats_.mshrOccupancySum +=
+        static_cast<std::uint64_t>(mshrs_.size()) * count;
+    if (rqHeadStalled_)
+        stats_.mshrFullStalls += count;
 }
 
 } // namespace bouquet

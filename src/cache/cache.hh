@@ -15,20 +15,126 @@
 #ifndef BOUQUET_CACHE_CACHE_HH
 #define BOUQUET_CACHE_CACHE_HH
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "common/ringbuffer.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace bouquet
 {
+
+/**
+ * Open-addressed hash index mapping a line address to its slot in the
+ * MSHR vector, so `findMshr` is O(1) instead of a linear scan on every
+ * lookup, fill, and prefetch probe. Linear probing with backward-shift
+ * deletion (no tombstones); the table holds at least 2x the MSHR count
+ * so probe chains stay short, and it never allocates after
+ * construction. Lines are unique within the MSHR set, so one slot per
+ * key suffices.
+ */
+class MshrIndex
+{
+  public:
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+    explicit MshrIndex(std::uint32_t entries)
+    {
+        std::size_t cap = 8;
+        while (cap < 2 * static_cast<std::size_t>(entries))
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+    }
+
+    /** Slot of `line` in the MSHR vector, or kNone. */
+    std::uint32_t
+    find(LineAddr line) const
+    {
+        for (std::size_t i = home(line);; i = (i + 1) & mask_) {
+            const Slot &s = slots_[i];
+            if (s.slot == kNone)
+                return kNone;
+            if (s.line == line)
+                return s.slot;
+        }
+    }
+
+    /** Record `line` -> `slot`. The key must not already be present. */
+    void
+    insert(LineAddr line, std::uint32_t slot)
+    {
+        std::size_t i = home(line);
+        while (slots_[i].slot != kNone) {
+            assert(slots_[i].line != line);
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = Slot{line, slot};
+    }
+
+    /** Re-point an existing key at a new MSHR vector slot. */
+    void
+    update(LineAddr line, std::uint32_t slot)
+    {
+        slots_[findSlot(line)].slot = slot;
+    }
+
+    /** Remove a key that is present. */
+    void
+    erase(LineAddr line)
+    {
+        std::size_t hole = findSlot(line);
+        // Backward-shift deletion: pull displaced entries over the hole
+        // so probe chains stay contiguous without tombstones.
+        for (std::size_t j = (hole + 1) & mask_;
+             slots_[j].slot != kNone; j = (j + 1) & mask_) {
+            const std::size_t h = home(slots_[j].line);
+            if (((j - h) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole].slot = kNone;
+    }
+
+  private:
+    struct Slot
+    {
+        LineAddr line = 0;
+        std::uint32_t slot = kNone;
+    };
+
+    /** Preferred table position (Fibonacci hashing spreads the
+     *  low-entropy line-address bits). */
+    std::size_t
+    home(LineAddr line) const
+    {
+        return static_cast<std::size_t>(
+                   (line * 0x9E3779B97F4A7C15ull) >> 32) &
+               mask_;
+    }
+
+    /** Table position of a key that must be present. */
+    std::size_t
+    findSlot(LineAddr line) const
+    {
+        for (std::size_t i = home(line);; i = (i + 1) & mask_) {
+            assert(slots_[i].slot != kNone && "MshrIndex: key missing");
+            if (slots_[i].line == line && slots_[i].slot != kNone)
+                return i;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+};
 
 /** Static configuration of one cache. */
 struct CacheConfig
@@ -132,6 +238,9 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     bool acceptRequest(const MemRequest &req) override;
     void onResponse(const MemRequest &req) override;
     void tick(Cycle cycle) override;
+    Cycle nextWakeup(Cycle now) const override;
+    void skipCycles(Cycle count) override;
+    void syncCycle(Cycle cycle) override { now_ = cycle; }
 
     // --- PrefetchHost --------------------------------------------------
     bool issuePrefetch(Addr byte_addr, CacheLevel fill_level,
@@ -198,10 +307,21 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         Cycle ready = 0;
     };
 
+    /** Sentinel returned by findWay when the line is not resident. */
+    static constexpr std::size_t kNoWay = ~std::size_t{0};
+
     std::uint32_t setOf(LineAddr line) const;
+
+    /** Index of the resident line in `lines_`, or kNoWay. The shared
+     *  const implementation behind both findLine overloads. */
+    std::size_t findWay(LineAddr line) const;
+
     Line *findLine(LineAddr line);
     const Line *findLine(LineAddr line) const;
     Mshr *findMshr(LineAddr line);
+
+    /** Append an MSHR, maintaining the line index and unsent count. */
+    void pushMshr(Mshr &&fresh);
 
     void handleLookup(const MemRequest &req);
     bool handleIncomingPrefetch(const MemRequest &req);
@@ -224,12 +344,33 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     std::function<Addr(Addr)> translator_;
     std::function<std::uint64_t()> instrSource_;
 
-    std::deque<RqEntry> rq_;
-    std::deque<RqEntry> wq_;
-    std::deque<PqEntry> pq_;   //!< own prefetcher's pending requests
-    std::deque<RqEntry> ipq_;  //!< prefetch requests from the level above
+    RingBuffer<RqEntry> rq_;
+    RingBuffer<RqEntry> wq_;
+    RingBuffer<PqEntry> pq_;   //!< own prefetcher's pending requests
+    RingBuffer<RqEntry> ipq_;  //!< prefetch requests from the level above
     std::vector<Mshr> mshrs_;
-    std::deque<MemRequest> outbound_;  //!< writebacks awaiting the bus
+    MshrIndex mshrIndex_;      //!< line -> slot in mshrs_
+    RingBuffer<MemRequest> outbound_;  //!< writebacks awaiting the bus
+
+    std::uint32_t unsentMshrs_ = 0;  //!< MSHRs awaiting a downstream send
+
+    /**
+     * Head-of-line state captured by the queue-processing loops each
+     * tick, consumed by nextWakeup/skipCycles (DESIGN.md §5c): a
+     * stalled rq head accrues mshrFullStalls every cycle (reconciled
+     * on skip); a blocked pq head's retry is side-effect-free, so the
+     * cycle is skippable and wakeup comes from the event that unblocks
+     * it.
+     */
+    bool rqHeadStalled_ = false;
+    bool pqHeadBlocked_ = false;
+
+    /** Cached prefetcher_->needsCycle() (stable after attachment). */
+    bool pfNeedsCycle_ = false;
+
+    /** Scratch for installLine's victim search (avoids per-fill
+     *  allocation; one System is confined to one runner thread). */
+    std::vector<bool> replScratch_;
 
     Cycle now_ = 0;
     /**

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight simulator-throughput instrumentation: a wall-clock timer
+ * and the per-run counter bundle (cycles simulated, ticks actually
+ * executed, cycles skipped by the event-skipping loop, instructions)
+ * that `bench_throughput` and `ipcp_sim --perf` report from.
+ *
+ * Everything here is host-side measurement; nothing feeds back into
+ * simulated state, so perf counters never affect simulated outcomes.
+ */
+
+#ifndef BOUQUET_COMMON_PERFCOUNT_HH
+#define BOUQUET_COMMON_PERFCOUNT_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace bouquet
+{
+
+/**
+ * Counters of one simulation run (or one System lifetime). Ticks are
+ * tick rounds actually executed by System::run; skipped cycles are
+ * quiescent cycles the event-skipping loop jumped over. Their sum is
+ * the number of simulated cycles.
+ */
+struct PerfCounters
+{
+    std::uint64_t ticksExecuted = 0;
+    std::uint64_t skippedCycles = 0;
+
+    std::uint64_t cyclesSimulated() const
+    {
+        return ticksExecuted + skippedCycles;
+    }
+
+    /** Fraction of simulated cycles that were skipped, in [0,1]. */
+    double
+    skipRatio() const
+    {
+        const std::uint64_t total = cyclesSimulated();
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(skippedCycles) /
+                         static_cast<double>(total);
+    }
+
+    void reset() { *this = PerfCounters{}; }
+};
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/** Simulated kilo-instructions per wall-second (the headline metric). */
+inline double
+kips(std::uint64_t instructions, double seconds)
+{
+    return seconds > 0.0
+               ? static_cast<double>(instructions) / seconds / 1e3
+               : 0.0;
+}
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_PERFCOUNT_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A fixed-capacity FIFO ring buffer for the simulator's hot queues
+ * (cache read/write/prefetch queues, core pending-issue, outbound
+ * writebacks). Unlike std::deque it never allocates per element: one
+ * power-of-two backing array is reserved up front and reused, so the
+ * steady-state push/pop path is two index updates and a copy.
+ *
+ * Capacity grows by doubling only if a push exceeds the reserved
+ * size — a safety valve for the one queue (outbound writebacks) whose
+ * bound is configuration-dependent rather than configured; with the
+ * recommended reservations growth never happens after construction.
+ */
+
+#ifndef BOUQUET_COMMON_RINGBUFFER_HH
+#define BOUQUET_COMMON_RINGBUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bouquet
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Reserve space for at least `capacity` elements (rounded up to a
+     *  power of two; 0 defers allocation to the first push). */
+    explicit RingBuffer(std::size_t capacity = 0)
+    {
+        if (capacity > 0)
+            buf_.resize(roundUpPow2(capacity));
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+    bool full() const { return count_ == buf_.size(); }
+
+    T &front()
+    {
+        assert(count_ > 0);
+        return buf_[head_];
+    }
+
+    const T &front() const
+    {
+        assert(count_ > 0);
+        return buf_[head_];
+    }
+
+    T &back()
+    {
+        assert(count_ > 0);
+        return buf_[wrap(head_ + count_ - 1)];
+    }
+
+    const T &back() const
+    {
+        assert(count_ > 0);
+        return buf_[wrap(head_ + count_ - 1)];
+    }
+
+    /** i-th element from the front (0 = front). */
+    T &operator[](std::size_t i)
+    {
+        assert(i < count_);
+        return buf_[wrap(head_ + i)];
+    }
+
+    const T &operator[](std::size_t i) const
+    {
+        assert(i < count_);
+        return buf_[wrap(head_ + i)];
+    }
+
+    void push_back(const T &v)
+    {
+        if (full())
+            grow();
+        buf_[wrap(head_ + count_)] = v;
+        ++count_;
+    }
+
+    void push_back(T &&v)
+    {
+        if (full())
+            grow();
+        buf_[wrap(head_ + count_)] = std::move(v);
+        ++count_;
+    }
+
+    void pop_front()
+    {
+        assert(count_ > 0);
+        buf_[head_] = T{};  // release resources held by the slot
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    void clear()
+    {
+        while (count_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+    void
+    grow()
+    {
+        const std::size_t new_cap =
+            buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<T> bigger(new_cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = std::move(buf_[wrap(head_ + i)]);
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_RINGBUFFER_HH

@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bouquet
@@ -10,6 +11,7 @@ Core::Core(CoreId id, CoreConfig cfg, TlbConfig tlb_cfg, Cache *l1i,
     : id_(id), config_(cfg), tlbs_(tlb_cfg), l1i_(l1i), l1d_(l1d),
       vmem_(vmem), workload_(workload),
       rob_(cfg.robSize),
+      pendingIssue_(cfg.robSize),
       loadSlotOf_(static_cast<std::size_t>(cfg.robSize) * 2, 0)
 {
     assert(l1d_ != nullptr);
@@ -193,6 +195,55 @@ Core::tick(Cycle cycle)
     retireInstructions();
     issuePending();
     dispatchInstructions();
+}
+
+Cycle
+Core::nextWakeup(Cycle now) const
+{
+    // An unstalled front end dispatches every cycle (workloads are
+    // endless), so the core is only quiescent while fully stalled.
+    if (robFree() > 0 && inflightFetches_ < config_.maxInflightFetches)
+        return now + 1;
+
+    Cycle wake = kNeverWakeup;
+
+    if (robCount_ > 0) {
+        const RobEntry &head = rob_[robHead_];
+        if (head.complete) {
+            wake = std::min(wake, std::max(head.completeAt, now + 1));
+            if (wake <= now + 1)
+                return wake;
+        }
+        // An incomplete head waits on a load response (external).
+    }
+    if (!pendingIssue_.empty()) {
+        const PendingIssue &pi = pendingIssue_.front();
+        if (pi.ready > now)
+            wake = std::min(wake, pi.ready);
+        // A ready head is blocked — on serialization (silent, freed by
+        // a load response) or on a full L1D queue (the per-cycle
+        // issueRejects retry is reconciled in skipCycles); both wait
+        // for external events.
+    }
+    return wake;
+}
+
+void
+Core::skipCycles(Cycle count)
+{
+    // Reproduce the stall counters the skipped no-op ticks would have
+    // accumulated: one dispatch-stall and (when the issue head is
+    // ready but rejected) one issue-reject per cycle.
+    if (robFree() == 0)
+        stats_.robFullStalls += count;
+    else if (inflightFetches_ >= config_.maxInflightFetches)
+        stats_.fetchStalls += count;
+    if (!pendingIssue_.empty()) {
+        const PendingIssue &pi = pendingIssue_.front();
+        if (pi.ready <= now_ &&
+            !(pi.serialize && serializedInFlight_ > 0))
+            stats_.issueRejects += count;
+    }
 }
 
 } // namespace bouquet

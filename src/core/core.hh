@@ -17,11 +17,11 @@
 #define BOUQUET_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
+#include "common/ringbuffer.hh"
 #include "common/types.hh"
 #include "mem/request.hh"
 #include "mem/vmem.hh"
@@ -64,6 +64,9 @@ class Core : public RespTarget, public Clocked
     // --- Clocked / RespTarget ------------------------------------------
     void tick(Cycle cycle) override;
     void onResponse(const MemRequest &req) override;
+    Cycle nextWakeup(Cycle now) const override;
+    void skipCycles(Cycle count) override;
+    void syncCycle(Cycle cycle) override { now_ = cycle; }
 
     // --- progress -------------------------------------------------------
     /** Instructions retired since construction. */
@@ -144,7 +147,7 @@ class Core : public RespTarget, public Clocked
     std::uint32_t robTail_ = 0;
     std::uint32_t robCount_ = 0;
 
-    std::deque<PendingIssue> pendingIssue_;
+    RingBuffer<PendingIssue> pendingIssue_;
     std::vector<std::uint32_t> loadSlotOf_;  //!< loadId % N -> rob slot
 
     // Trace expansion state.

@@ -1,6 +1,8 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace bouquet
@@ -56,11 +58,27 @@ System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
     Core *core0 = cores_[0].get();
     llc_->setInstructionSource(
         [core0] { return core0->retiredSinceReset(); });
+
+    clocked_.push_back(dram_.get());
+    clocked_.push_back(llc_.get());
+    for (unsigned c = 0; c < n; ++c) {
+        clocked_.push_back(l2s_[c].get());
+        clocked_.push_back(l1ds_[c].get());
+        clocked_.push_back(l1is_[c].get());
+        clocked_.push_back(cores_[c].get());
+    }
+
+    noSkip_ = config_.tickEveryCycle;
+    if (const char *env = std::getenv("IPCP_NO_SKIP");
+        env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0'))
+        noSkip_ = true;
 }
 
 void
 System::tickAll(Cycle cycle)
 {
+    ++perf_.ticksExecuted;
     // Lower levels first so responses propagate upward within a cycle.
     dram_->tick(cycle);
     llc_->tick(cycle);
@@ -72,6 +90,53 @@ System::tickAll(Cycle cycle)
         l1i->tick(cycle);
     for (auto &core : cores_)
         core->tick(cycle);
+}
+
+Cycle
+System::nextWakeupAll(Cycle now) const
+{
+    Cycle wake = kNeverWakeup;
+    for (const auto &core : cores_) {
+        wake = std::min(wake, core->nextWakeup(now));
+        if (wake <= now + 1)
+            return wake;
+    }
+    for (const auto &c : l1ds_) {
+        wake = std::min(wake, c->nextWakeup(now));
+        if (wake <= now + 1)
+            return wake;
+    }
+    for (const auto &c : l1is_) {
+        wake = std::min(wake, c->nextWakeup(now));
+        if (wake <= now + 1)
+            return wake;
+    }
+    for (const auto &c : l2s_) {
+        wake = std::min(wake, c->nextWakeup(now));
+        if (wake <= now + 1)
+            return wake;
+    }
+    wake = std::min(wake, llc_->nextWakeup(now));
+    if (wake <= now + 1)
+        return wake;
+    return std::min(wake, dram_->nextWakeup(now));
+}
+
+void
+System::skipTo(Cycle target)
+{
+    const Cycle skipped = target - cycle_;
+    for (Clocked *c : clocked_) {
+        // skipCycles first: reconciliation reads the pre-sync `now`.
+        c->skipCycles(skipped);
+        // Sync to target - 1, the value `now` would hold after a tick
+        // at target - 1 — so response handlers that fire during
+        // tickAll(target) before the component's own tick observe the
+        // same (one-behind) timestamp per-cycle ticking produces.
+        c->syncCycle(target - 1);
+    }
+    perf_.skippedCycles += skipped;
+    cycle_ = target;
 }
 
 void
@@ -117,12 +182,57 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
         }
     };
 
+    /**
+     * Watchdog emulation for a skipped span: the per-cycle loop would
+     * have called watchdog() at every 0x10000-boundary cycle_ value in
+     * (cycle_, target]. Progress recorded since the last call is
+     * credited at the first such boundary; if the last one still
+     * exceeds the deadline, throw exactly as the per-cycle loop would.
+     */
+    auto watchdog_over_skip = [&](Cycle target) {
+        const Cycle first = (cycle_ & ~Cycle{0xFFFF}) + 0x10000;
+        if (first > target)
+            return;  // no boundary inside the span
+        const Cycle last = target & ~Cycle{0xFFFF};
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < n; ++c)
+            total += cores_[c]->retired();
+        if (total != last_progress_total) {
+            last_progress_total = total;
+            last_progress_cycle = first;
+        }
+        if (last - last_progress_cycle > config_.watchdogCycles)
+            throw std::runtime_error(
+                "simulation watchdog: no instruction retired for too "
+                "long (deadlock?)");
+    };
+
+    /**
+     * Event skipping (DESIGN.md §5c): after an iteration's tick and
+     * checks, jump straight to the earliest cycle any component can
+     * act in. `clamp_to_check` stops the jump one cycle short of the
+     * next 256-cycle completion check so a core already past its
+     * instruction target is recorded at the same boundary as under
+     * per-cycle ticking.
+     */
+    auto advance = [&](bool clamp_to_check) {
+        Cycle wake = nextWakeupAll(cycle_ - 1);
+        if (clamp_to_check)
+            wake = std::min(wake, (((cycle_ >> 8) + 1) << 8) - 1);
+        if (wake <= cycle_)
+            return;
+        watchdog_over_skip(wake);
+        skipTo(wake);
+    };
+
     // Warmup.
     while (!all_reached(warmup_instrs)) {
         tickAll(cycle_);
         ++cycle_;
         if ((cycle_ & 0xFFFF) == 0)
             watchdog();
+        if (!noSkip_ && !all_reached(warmup_instrs))
+            advance(false);
     }
     resetAllStats();
     const Cycle measure_start = cycle_;
@@ -155,6 +265,22 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
         }
         if ((cycle_ & 0xFFFF) == 0)
             watchdog();
+        if (!noSkip_ && remaining > 0) {
+            // A core past its target whose completion has not been
+            // recorded yet (multi-core: checks run every 256 cycles)
+            // pins the jump to the next check boundary.
+            bool pending = false;
+            if (n > 1) {
+                for (unsigned c = 0; c < n; ++c) {
+                    if (!done[c] &&
+                        cores_[c]->retiredSinceReset() >= sim_instrs) {
+                        pending = true;
+                        break;
+                    }
+                }
+            }
+            advance(pending);
+        }
     }
     result.measuredCycles = cycle_ - measure_start;
     return result;

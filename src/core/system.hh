@@ -15,6 +15,7 @@
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
+#include "common/perfcount.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
 #include "mem/vmem.hh"
@@ -55,6 +56,14 @@ struct SystemConfig
 
     /** Abort if no core retires for this many cycles (deadlock guard). */
     Cycle watchdogCycles = 4'000'000;
+
+    /**
+     * Disable the event-skipping loop and tick every cycle (also
+     * forced by the IPCP_NO_SKIP=1 environment escape hatch). Both
+     * modes produce bit-identical simulated results; this exists for
+     * verification and debugging (see DESIGN.md §5c).
+     */
+    bool tickEveryCycle = false;
 };
 
 /** Per-core outcome of a measured run. */
@@ -101,9 +110,30 @@ class System
      */
     RunResult run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs);
 
+    /** Host-side throughput counters (never affect simulated state). */
+    const PerfCounters &perf() const { return perf_; }
+
+    /** True when the event-skipping loop is disabled for this system. */
+    bool tickEveryCycle() const { return noSkip_; }
+
   private:
     void tickAll(Cycle cycle);
     void resetAllStats();
+
+    /**
+     * Minimum nextWakeup over every component, evaluated after the
+     * tick at `now` (cores first — they are the most likely to report
+     * now + 1, which short-circuits the scan).
+     */
+    Cycle nextWakeupAll(Cycle now) const;
+
+    /**
+     * Jump the clock to `target` without ticking: reconcile every
+     * component's per-cycle-sampled stats for the skipped span and
+     * sync their `now` to target - 1, so the next tickAll(target)
+     * behaves exactly as if cycles cycle_..target-1 had been ticked.
+     */
+    void skipTo(Cycle target);
 
     SystemConfig config_;
     std::vector<GeneratorPtr> workloads_;
@@ -114,7 +144,10 @@ class System
     std::vector<std::unique_ptr<Cache>> l1ds_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Clocked *> clocked_;  //!< every component, for skipTo
     Cycle cycle_ = 0;
+    bool noSkip_ = false;
+    PerfCounters perf_;
 };
 
 } // namespace bouquet

@@ -75,6 +75,8 @@ runSingleCore(const TraceSpec &spec, const AttachFn &attach,
     out.llc = sys.llc().stats();
     out.dram = sys.dram().stats();
     out.dramBytes = sys.dram().bytesTransferred();
+    out.ticksExecuted = sys.perf().ticksExecuted;
+    out.skippedCycles = sys.perf().skippedCycles;
     return out;
 }
 
@@ -125,6 +127,8 @@ runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
     out.system.llc = sys.llc().stats();
     out.system.dram = sys.dram().stats();
     out.system.dramBytes = sys.dram().bytesTransferred();
+    out.system.ticksExecuted = sys.perf().ticksExecuted;
+    out.system.skippedCycles = sys.perf().skippedCycles;
     return out;
 }
 

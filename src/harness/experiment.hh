@@ -59,6 +59,14 @@ struct Outcome
     Dram::Stats dram;
     std::uint64_t dramBytes = 0;
 
+    /**
+     * Host-side throughput counters (System::perf). Excluded from
+     * simulated-result comparisons: skip and tick-every-cycle modes
+     * produce identical simulated stats but different tick counts.
+     */
+    std::uint64_t ticksExecuted = 0;
+    std::uint64_t skippedCycles = 0;
+
     /** Demand MPKI at a level. */
     double mpkiL1() const;
     double mpkiL2() const;

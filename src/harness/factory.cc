@@ -144,6 +144,8 @@ class FillAtL2 : public Prefetcher, private PrefetchHost
 
     void cycle() override { inner_->cycle(); }
 
+    bool needsCycle() const override { return inner_->needsCycle(); }
+
     std::string name() const override { return inner_->name() + "@l2"; }
 
     std::size_t storageBits() const override

@@ -136,4 +136,32 @@ Dram::tick(Cycle cycle)
     }
 }
 
+Cycle
+Dram::nextWakeup(Cycle now) const
+{
+    Cycle wake = kNeverWakeup;
+    const Cycle window = 8 * config_.busCyclesPerLine;
+
+    for (const Channel &ch : channels_) {
+        for (const Pending &p : ch.inflight)
+            wake = std::min(wake, std::max(p.readyAt, now + 1));
+
+        if (!ch.queue.empty()) {
+            // First cycle any queued request's bank is ready...
+            Cycle t = kNeverWakeup;
+            for (const MemRequest &req : ch.queue)
+                t = std::min(t, ch.banks[bankOf(req.line)].readyAt);
+            t = std::max(t, now + 1);
+            // ...and the command-issue window re-opens (schedule
+            // requires busFreeAt < t + window).
+            if (ch.busFreeAt >= t + window)
+                t = ch.busFreeAt - window + 1;
+            wake = std::min(wake, t);
+        }
+        if (wake <= now + 1)
+            return wake;
+    }
+    return wake;
+}
+
 } // namespace bouquet

@@ -69,6 +69,15 @@ class Dram : public ReqSink, public Clocked
 
     void tick(Cycle cycle) override;
 
+    /**
+     * Earliest future cycle with work: the soonest in-flight
+     * completion, or the first cycle a queued request could start
+     * (its bank ready and the command window open). No-op DRAM ticks
+     * touch no state or statistics, so skipping needs no
+     * reconciliation (no skipCycles/syncCycle overrides).
+     */
+    Cycle nextWakeup(Cycle now) const override;
+
     const Stats &stats() const { return stats_; }
     Stats &stats() { return stats_; }
 

@@ -61,6 +61,9 @@ class RespTarget
     virtual void onResponse(const MemRequest &req) = 0;
 };
 
+/** Wakeup value meaning "no self-scheduled activity, ever". */
+inline constexpr Cycle kNeverWakeup = ~Cycle{0};
+
 /** A component advanced once per core clock cycle. */
 class Clocked
 {
@@ -69,6 +72,45 @@ class Clocked
 
     /** Advance internal state to `cycle`. */
     virtual void tick(Cycle cycle) = 0;
+
+    /**
+     * Earliest cycle > `now` at which tick() could do anything, given
+     * that no external event (acceptRequest/onResponse) is delivered
+     * in between. `now` is the cycle of the component's most recent
+     * tick. Components that cannot prove quiescence return `now + 1`
+     * (the default): the driver then ticks every cycle, which is
+     * always correct. kNeverWakeup means "only an external event can
+     * wake me". See DESIGN.md §5c for the full contract.
+     */
+    virtual Cycle
+    nextWakeup(Cycle now) const
+    {
+        return now + 1;
+    }
+
+    /**
+     * Account for `count` consecutive quiescent cycles the driver
+     * skipped instead of ticking. Implementations reproduce exactly
+     * the statistics a per-cycle tick sequence would have accumulated
+     * in that window (occupancy sums, tick counts, stall counters);
+     * no other state may change.
+     */
+    virtual void
+    skipCycles(Cycle count)
+    {
+        (void)count;
+    }
+
+    /**
+     * Set the component's notion of "now" to `cycle` without ticking,
+     * so that event handlers invoked before its next tick observe the
+     * same timestamp they would under per-cycle ticking.
+     */
+    virtual void
+    syncCycle(Cycle cycle)
+    {
+        (void)cycle;
+    }
 };
 
 } // namespace bouquet

@@ -107,6 +107,14 @@ class Prefetcher
     /** Per-cycle housekeeping (most prefetchers need none). */
     virtual void cycle() {}
 
+    /**
+     * Must return true when cycle() does real work, so the hosting
+     * cache never reports quiescence while housekeeping is pending
+     * (the event-skipping loop would otherwise skip cycle() calls).
+     * Prefetchers overriding cycle() must override this too.
+     */
+    virtual bool needsCycle() const { return false; }
+
     /** Human-readable name used in reports. */
     virtual std::string name() const = 0;
 

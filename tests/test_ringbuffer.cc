@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RingBuffer unit tests: FIFO order across wrap-around, full/empty
+ * transitions, the capacity-1 degenerate case, slot reuse after
+ * pop_front, indexing, and the doubling-growth safety valve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/ringbuffer.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+TEST(RingBuffer, StartsEmptyWithRoundedUpCapacity)
+{
+    RingBuffer<int> rb(5);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_GE(rb.capacity(), 5u);
+    // Backing store is a power of two.
+    EXPECT_EQ(rb.capacity() & (rb.capacity() - 1), 0u);
+}
+
+TEST(RingBuffer, FifoOrderPreservedAcrossWrapAround)
+{
+    RingBuffer<int> rb(4);
+    // Cycle through many push/pop rounds so head wraps repeatedly.
+    int next_push = 0;
+    int next_pop = 0;
+    for (int round = 0; round < 100; ++round) {
+        while (rb.size() < rb.capacity())
+            rb.push_back(next_push++);
+        // Drain a prime-ish number so the head lands on every offset.
+        for (int i = 0; i < 3 && !rb.empty(); ++i) {
+            EXPECT_EQ(rb.front(), next_pop);
+            rb.pop_front();
+            ++next_pop;
+        }
+    }
+    while (!rb.empty()) {
+        EXPECT_EQ(rb.front(), next_pop++);
+        rb.pop_front();
+    }
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingBuffer, CapacityOneAlternatesFullAndEmpty)
+{
+    RingBuffer<int> rb(1);
+    EXPECT_EQ(rb.capacity(), 1u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(rb.empty());
+        rb.push_back(i);
+        EXPECT_EQ(rb.size(), 1u);
+        EXPECT_EQ(rb.front(), i);
+        EXPECT_EQ(rb.back(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, IndexingIsFrontRelative)
+{
+    RingBuffer<int> rb(8);
+    for (int i = 0; i < 6; ++i)
+        rb.push_back(i);
+    rb.pop_front();
+    rb.pop_front();
+    // Contents are now {2,3,4,5}; push two more to cross the seam.
+    rb.push_back(6);
+    rb.push_back(7);
+    ASSERT_EQ(rb.size(), 6u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], static_cast<int>(i) + 2);
+    EXPECT_EQ(rb.back(), 7);
+}
+
+TEST(RingBuffer, PopFrontResetsSlotToDefault)
+{
+    // Queue entries hold owning handles in the simulator; the popped
+    // slot must not keep the old value alive.
+    RingBuffer<std::string> rb(2);
+    rb.push_back(std::string(64, 'x'));
+    rb.pop_front();
+    rb.push_back("y");
+    EXPECT_EQ(rb.front(), "y");
+    EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, GrowthPreservesOrderWhenOverfilled)
+{
+    // The simulator reserves queues at their architectural bound, so
+    // growth is a safety valve — but it must still be correct.
+    RingBuffer<int> rb(2);
+    const std::size_t initial = rb.capacity();
+    // Wrap first so the seam is mid-buffer when growth copies it out.
+    rb.push_back(-2);
+    rb.push_back(-1);
+    rb.pop_front();
+    rb.pop_front();
+    for (int i = 0; i < 50; ++i)
+        rb.push_back(i);
+    EXPECT_GT(rb.capacity(), initial);
+    EXPECT_EQ(rb.size(), 50u);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+} // namespace
+} // namespace bouquet

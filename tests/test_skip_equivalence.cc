@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Event-skipping equivalence tests: running a workload with the
+ * default event-skipping loop and with tickEveryCycle (the IPCP_NO_SKIP
+ * escape hatch) must produce bit-identical simulated results — same
+ * RunResult, same full CacheStats at every level, same core and DRAM
+ * counters. Only the host-side perf counters (ticks executed, cycles
+ * skipped) may differ. See DESIGN.md §5c for the wakeup/skip contract
+ * these tests enforce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.hh"
+#include "harness/factory.hh"
+#include "trace/suite.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+struct Snapshot
+{
+    RunResult run;
+    Core::Stats core0;
+    CacheStats l1i, l1d, l2, llc;
+    Dram::Stats dram;
+    std::uint64_t dramBytes = 0;
+    PerfCounters perf;
+};
+
+/** Build, attach, run, and capture every simulated counter. */
+Snapshot
+simulate(const std::vector<std::string> &traces,
+         const std::string &combo, bool tick_every_cycle)
+{
+    SystemConfig cfg;
+    cfg.tickEveryCycle = tick_every_cycle;
+    cfg.dram.channels = traces.size() > 1 ? 2 : 1;
+
+    std::vector<GeneratorPtr> workloads;
+    for (const std::string &t : traces)
+        workloads.push_back(makeWorkload(findTrace(t)));
+
+    System sys(cfg, std::move(workloads));
+    applyCombo(sys, combo);
+
+    Snapshot s;
+    s.run = sys.run(20'000, 120'000);
+    s.core0 = sys.core(0).stats();
+    s.l1i = sys.l1i(0).stats();
+    s.l1d = sys.l1d(0).stats();
+    s.l2 = sys.l2(0).stats();
+    s.llc = sys.llc().stats();
+    s.dram = sys.dram().stats();
+    s.dramBytes = sys.dram().bytesTransferred();
+    s.perf = sys.perf();
+    return s;
+}
+
+/** Byte-compare two all-uint64 stat structs. */
+template <typename T>
+::testing::AssertionResult
+bitIdentical(const T &a, const T &b, const char *what)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (std::memcmp(&a, &b, sizeof(T)) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << " differs between skip and no-skip runs";
+}
+
+void
+expectEquivalent(const Snapshot &skip, const Snapshot &noskip)
+{
+    ASSERT_EQ(skip.run.cores.size(), noskip.run.cores.size());
+    for (std::size_t c = 0; c < skip.run.cores.size(); ++c) {
+        EXPECT_EQ(skip.run.cores[c].instructions,
+                  noskip.run.cores[c].instructions);
+        EXPECT_EQ(skip.run.cores[c].cycles, noskip.run.cores[c].cycles);
+        EXPECT_EQ(skip.run.cores[c].ipc, noskip.run.cores[c].ipc);
+    }
+    EXPECT_EQ(skip.run.measuredCycles, noskip.run.measuredCycles);
+    EXPECT_TRUE(bitIdentical(skip.core0, noskip.core0, "core stats"));
+    EXPECT_TRUE(bitIdentical(skip.l1i, noskip.l1i, "L1I stats"));
+    EXPECT_TRUE(bitIdentical(skip.l1d, noskip.l1d, "L1D stats"));
+    EXPECT_TRUE(bitIdentical(skip.l2, noskip.l2, "L2 stats"));
+    EXPECT_TRUE(bitIdentical(skip.llc, noskip.llc, "LLC stats"));
+    EXPECT_TRUE(bitIdentical(skip.dram, noskip.dram, "DRAM stats"));
+    EXPECT_EQ(skip.dramBytes, noskip.dramBytes);
+}
+
+TEST(SkipEquivalence, SingleCoreNoPrefetchBitIdentical)
+{
+    const std::vector<std::string> traces = {"605.mcf_s-472B"};
+    const Snapshot skip = simulate(traces, "none", false);
+    const Snapshot noskip = simulate(traces, "none", true);
+    expectEquivalent(skip, noskip);
+    EXPECT_EQ(noskip.perf.skippedCycles, 0u);
+    EXPECT_EQ(noskip.perf.ticksExecuted, noskip.perf.cyclesSimulated());
+    // Both modes simulated the same number of cycles.
+    EXPECT_EQ(skip.perf.cyclesSimulated(),
+              noskip.perf.cyclesSimulated());
+    // The default-mode run must actually have exercised the skipping
+    // loop — unless IPCP_NO_SKIP globally disabled it (CI runs the
+    // suite in both modes).
+    const char *env = std::getenv("IPCP_NO_SKIP");
+    const bool env_noskip =
+        env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0');
+    if (!env_noskip) {
+        EXPECT_GT(skip.perf.skippedCycles, 0u);
+    }
+}
+
+TEST(SkipEquivalence, SingleCoreMultiLevelIpcpBitIdentical)
+{
+    const std::vector<std::string> traces = {"605.mcf_s-472B"};
+    expectEquivalent(simulate(traces, "ipcp", false),
+                     simulate(traces, "ipcp", true));
+}
+
+TEST(SkipEquivalence, SingleCoreL1IpcpOnLbmBitIdentical)
+{
+    const std::vector<std::string> traces = {"619.lbm_s-2676B"};
+    expectEquivalent(simulate(traces, "ipcp-l1", false),
+                     simulate(traces, "ipcp-l1", true));
+}
+
+TEST(SkipEquivalence, MultiCoreMixBitIdentical)
+{
+    // Heterogeneous 4-core mix: cores finish at different times, so
+    // this covers the pending-completion clamp in System::run.
+    const std::vector<std::string> traces = {
+        "605.mcf_s-472B", "619.lbm_s-2676B", "603.bwaves_s-891B",
+        "602.gcc_s-734B"};
+    expectEquivalent(simulate(traces, "ipcp", false),
+                     simulate(traces, "ipcp", true));
+}
+
+TEST(SkipEquivalence, ConfigFlagForcesTickEveryCycle)
+{
+    SystemConfig cfg;
+    cfg.tickEveryCycle = true;
+    std::vector<GeneratorPtr> w;
+    w.push_back(makeWorkload(findTrace("603.bwaves_s-891B")));
+    System sys(cfg, std::move(w));
+    EXPECT_TRUE(sys.tickEveryCycle());
+    sys.run(1'000, 5'000);
+    EXPECT_EQ(sys.perf().skippedCycles, 0u);
+}
+
+} // namespace
+} // namespace bouquet

@@ -24,6 +24,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/perfcount.hh"
 #include "common/stats.hh"
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
@@ -61,6 +62,8 @@ usage()
         "  --out PATH           output path for --record\n"
         "  --strict             exit nonzero if any job fails (default:\n"
         "                       only when all fail; also IPCP_STRICT)\n"
+        "  --perf               print per-job wall time, KIPS, and the\n"
+        "                       event-skipping tick/skip split (stderr)\n"
         "  --list-traces        list every named workload\n";
 }
 
@@ -92,6 +95,31 @@ printCacheReport(const char *name, const CacheStats &s,
     }
 }
 
+/**
+ * The --perf line: host wall time, simulated-KIPS, and how much of the
+ * simulated time the event-skipping loop actually ticked. Goes to
+ * stderr like all throughput reporting, so stdout stays bit-identical
+ * run to run.
+ */
+void
+printPerfReport(const std::string &label, double seconds,
+                std::uint64_t instrs, std::uint64_t ticks,
+                std::uint64_t skipped)
+{
+    const std::uint64_t cycles = ticks + skipped;
+    std::cerr << "[perf] " << label << ": wall "
+              << TablePrinter::num(seconds, 3) << " s, "
+              << TablePrinter::num(kips(instrs, seconds), 1)
+              << " KIPS, ticks " << ticks << " / " << cycles
+              << " cycles (skip ratio "
+              << TablePrinter::num(
+                     cycles == 0 ? 0.0
+                                 : static_cast<double>(skipped) /
+                                       static_cast<double>(cycles),
+                     3)
+              << ")\n";
+}
+
 } // namespace
 
 int
@@ -106,6 +134,7 @@ main(int argc, char **argv)
     std::uint64_t records = 1'000'000;
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     bool strict = false;
+    bool perf = false;
     if (const char *env = std::getenv("IPCP_STRICT");
         env != nullptr && *env != '\0')
         strict = true;
@@ -139,6 +168,8 @@ main(int argc, char **argv)
             out_path = value();
         } else if (arg == "--strict") {
             strict = true;
+        } else if (arg == "--perf") {
+            perf = true;
         } else if (arg == "--list-traces") {
             for (const auto *suite :
                  {&fullSuiteTraces(), &cloudSuiteTraces(),
@@ -249,8 +280,17 @@ main(int argc, char **argv)
                     continue;
                 }
                 banner(name);
+                WallTimer timer;
                 const RunResult r =
                     sys.run(cfg.warmupInstrs, cfg.simInstrs);
+                if (perf) {
+                    std::uint64_t instrs = 0;
+                    for (unsigned c = 0; c < cores; ++c)
+                        instrs += r.cores[c].instructions;
+                    printPerfReport(name, timer.seconds(), instrs,
+                                    sys.perf().ticksExecuted,
+                                    sys.perf().skippedCycles);
+                }
                 for (unsigned c = 0; c < cores; ++c) {
                     std::cout << "core " << c << ": IPC "
                               << TablePrinter::num(r.cores[c].ipc)
@@ -295,6 +335,11 @@ main(int argc, char **argv)
                 }
                 ++ok_jobs;
                 const Outcome &o = jo.outcome;
+                if (perf)
+                    printPerfReport(jobs[j].label,
+                                    runner.lastBatch().perJob[j].seconds,
+                                    o.instructions, o.ticksExecuted,
+                                    o.skippedCycles);
                 banner(jobs[j].label);
                 std::cout << "core 0: IPC " << TablePrinter::num(o.ipc)
                           << " (" << o.instructions << " instructions, "
@@ -322,6 +367,15 @@ main(int argc, char **argv)
                 }
                 ++ok_jobs;
                 const MixOutcome &o = jo.outcome;
+                if (perf) {
+                    std::uint64_t instrs = 0;
+                    for (std::uint64_t i : o.instructions)
+                        instrs += i;
+                    printPerfReport(jobs[j].label,
+                                    runner.lastBatch().perJob[j].seconds,
+                                    instrs, o.system.ticksExecuted,
+                                    o.system.skippedCycles);
+                }
                 banner(jobs[j].label);
                 for (unsigned c = 0; c < cores; ++c) {
                     std::cout << "core " << c << ": IPC "

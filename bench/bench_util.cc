@@ -253,6 +253,11 @@ globalStore()
 Runner &
 runner()
 {
+    // First use arms graceful Ctrl-C/SIGTERM handling: in-flight jobs
+    // finish (flushing pending checkpoints), the rest fail as
+    // interrupted, and the partial batch summary still prints.
+    static const bool handlers = (installSignalHandlers(), true);
+    (void)handlers;
     static Runner r;
     return r;
 }

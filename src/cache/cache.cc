@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
 #include "common/faultinject.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -617,6 +620,103 @@ Cache::skipCycles(Cycle count)
         static_cast<std::uint64_t>(mshrs_.size()) * count;
     if (rqHeadStalled_)
         stats_.mshrFullStalls += count;
+}
+
+void
+Cache::serialize(StateIO &io)
+{
+    io.beginSection(config_.name.c_str());
+    io.io(lines_);
+    repl_->serialize(io);
+    prefetcher_->serialize(io);
+    io.io(rq_);
+    io.io(wq_);
+    io.io(pq_);
+    io.io(ipq_);
+    io.io(mshrs_);
+    io.io(outbound_);
+    io.io(rqHeadStalled_);
+    io.io(pqHeadBlocked_);
+    io.io(now_);
+    io.io(operateIp_);
+    stats_.serialize(io);
+
+    if (io.reading()) {
+        if (lines_.size() !=
+            static_cast<std::size_t>(config_.sets) * config_.ways)
+            StateIO::failCorrupt(config_.name +
+                                 ": line array does not match geometry");
+        if (mshrs_.size() > config_.mshrs)
+            StateIO::failCorrupt(config_.name +
+                                 ": checkpoint holds more MSHRs than "
+                                 "configured");
+        // Derived structures are rebuilt, not deserialized: the line
+        // index and unsent count must agree with the MSHR vector by
+        // construction.
+        mshrIndex_ = MshrIndex(config_.mshrs);
+        unsentMshrs_ = 0;
+        for (std::uint32_t i = 0; i < mshrs_.size(); ++i) {
+            if (mshrIndex_.find(mshrs_[i].line) != MshrIndex::kNone)
+                StateIO::failCorrupt(config_.name +
+                                     ": duplicate MSHR line address");
+            mshrIndex_.insert(mshrs_[i].line, i);
+            if (!mshrs_[i].sent)
+                ++unsentMshrs_;
+        }
+        replScratch_.reserve(config_.ways);
+    }
+}
+
+void
+Cache::audit(bool deep) const
+{
+    auto fail = [this](const std::string &why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, config_.name + ": " + why));
+    };
+
+    if (rq_.size() > config_.rqSize)
+        fail("read queue overflows its configured bound");
+    if (wq_.size() > config_.wqSize)
+        fail("write queue overflows its configured bound");
+    if (pq_.size() > config_.pqSize)
+        fail("prefetch queue overflows its configured bound");
+    if (ipq_.size() > config_.pqSize)
+        fail("incoming prefetch queue overflows its configured bound");
+    if (mshrs_.size() > config_.mshrs)
+        fail("MSHR vector overflows its configured bound");
+
+    std::uint32_t unsent = 0;
+    for (std::uint32_t i = 0; i < mshrs_.size(); ++i) {
+        if (mshrIndex_.find(mshrs_[i].line) != i)
+            fail("MSHR index does not map a line to its slot");
+        if (!mshrs_[i].sent)
+            ++unsent;
+    }
+    if (unsent != unsentMshrs_)
+        fail("unsent MSHR count is out of sync with the MSHR vector");
+
+    if (!deep)
+        return;
+
+    for (std::uint32_t set = 0; set < config_.sets; ++set) {
+        const Line *base =
+            &lines_[static_cast<std::size_t>(set) * config_.ways];
+        for (std::uint32_t w = 0; w < config_.ways; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (setOf(base[w].tag) != set)
+                fail("valid line is resident in the wrong set");
+            for (std::uint32_t v = w + 1; v < config_.ways; ++v) {
+                if (base[v].valid && base[v].tag == base[w].tag)
+                    fail("duplicate line within a set");
+            }
+            if (mshrIndex_.find(base[w].tag) != MshrIndex::kNone)
+                fail("line is both resident and in flight");
+        }
+    }
+    repl_->audit();
+    prefetcher_->audit();
 }
 
 } // namespace bouquet

@@ -31,6 +31,8 @@
 namespace bouquet
 {
 
+class StateIO;
+
 /**
  * Open-addressed hash index mapping a line address to its slot in the
  * MSHR vector, so `findMshr` is O(1) instead of a linear scan on every
@@ -199,6 +201,41 @@ struct CacheStats
     std::uint64_t demandAccesses() const;
     std::uint64_t demandHits() const;
     std::uint64_t demandMisses() const;
+
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        for (auto &v : accesses)
+            io.io(v);
+        for (auto &v : hits)
+            io.io(v);
+        for (auto &v : misses)
+            io.io(v);
+        io.io(mshrMerges);
+        io.io(latePrefetches);
+        io.io(mshrFullStalls);
+        io.io(pfRequested);
+        io.io(pfIssued);
+        io.io(pfDroppedFull);
+        io.io(pfDroppedHitCache);
+        io.io(pfDroppedHitMshr);
+        io.io(pfFills);
+        io.io(pfUseful);
+        io.io(pfUnused);
+        io.io(writebacks);
+        io.io(wbDropped);
+        io.io(missLatencySum);
+        io.io(missLatencyCount);
+        io.io(mshrOccupancySum);
+        io.io(tickCount);
+        for (auto &v : pfClassFills)
+            io.io(v);
+        for (auto &v : pfClassUseful)
+            io.io(v);
+        for (auto &v : pfClassUnused)
+            io.io(v);
+    }
 };
 
 /**
@@ -268,6 +305,24 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     /** PQ occupancy: own pending prefetches + arrivals from above. */
     std::size_t pqOccupancy() const { return pq_.size() + ipq_.size(); }
 
+    /**
+     * Checkpoint every mutable field; on restore the MSHR line index
+     * and unsent count are rebuilt from the MSHR vector. The wiring
+     * (lower level, translator, prefetcher identity) is configuration
+     * and must be re-established before loading.
+     */
+    void serialize(StateIO &io);
+
+    /**
+     * Validate structural invariants; throws ErrorException
+     * (Errc::corrupt) on the first violation. Shallow checks cover
+     * queue bounds and MSHR-index consistency (cheap enough for every
+     * tick under IPCP_AUDIT=1); `deep` adds full tag-array set
+     * membership/uniqueness scans plus the replacement and prefetcher
+     * auditors, and runs at checkpoint boundaries.
+     */
+    void audit(bool deep) const;
+
   private:
     struct Line
     {
@@ -277,6 +332,18 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         bool prefetched = false;
         bool reused = false;
         std::uint8_t pfClass = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(tag);
+            io.io(valid);
+            io.io(dirty);
+            io.io(prefetched);
+            io.io(reused);
+            io.io(pfClass);
+        }
     };
 
     struct Mshr
@@ -289,6 +356,20 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         Cycle allocCycle = 0;
         MemRequest proto;            //!< request to forward downward
         std::vector<MemRequest> targets;  //!< responses owed upward
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(line);
+            io.io(pfOrigin);
+            io.io(demandMerged);
+            io.io(sent);
+            io.io(pfClass);
+            io.io(allocCycle);
+            io.io(proto);
+            io.io(targets);
+        }
     };
 
     struct PqEntry
@@ -299,12 +380,32 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         std::uint8_t pfClass = 0;
         Ip triggerIp = 0;  //!< IP of the access that trained this
         Cycle ready = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(byteAddr);
+            io.io(fillLevel);
+            io.io(metadata);
+            io.io(pfClass);
+            io.io(triggerIp);
+            io.io(ready);
+        }
     };
 
     struct RqEntry
     {
         MemRequest req;
         Cycle ready = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(req);
+            io.io(ready);
+        }
     };
 
     /** Sentinel returned by findWay when the line is not resident. */

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -26,6 +28,13 @@ parseReplPolicy(const std::string &name)
 
 namespace
 {
+
+[[noreturn]] void
+auditFail(const std::string &policy, const std::string &why)
+{
+    throw ErrorException(
+        makeError(Errc::corrupt, policy + " replacement: " + why));
+}
 
 /** True LRU via a monotonically increasing timestamp per line. */
 class LruRepl : public Replacement
@@ -65,6 +74,29 @@ class LruRepl : public Replacement
 
     std::string name() const override { return "lru"; }
 
+    void
+    serialize(StateIO &io) override
+    {
+        const std::size_t expect = stamp_.size();
+        io.io(clock_);
+        io.io(stamp_);
+        if (io.reading()) {
+            if (stamp_.size() != expect)
+                StateIO::failCorrupt("lru stamp array size mismatch");
+            audit();
+        }
+    }
+
+    void
+    audit() const override
+    {
+        // LRU-stack sanity: no line may be stamped in the future.
+        for (const std::uint64_t s : stamp_) {
+            if (s > clock_)
+                auditFail("lru", "line stamp is ahead of the clock");
+        }
+    }
+
   private:
     std::size_t
     idx(std::uint32_t set, std::uint32_t way) const
@@ -99,6 +131,12 @@ class RandomRepl : public Replacement
     }
 
     std::string name() const override { return "random"; }
+
+    void
+    serialize(StateIO &io) override
+    {
+        rng_.serialize(io);
+    }
 
   private:
     std::uint32_t ways_;
@@ -148,6 +186,27 @@ class SrripRepl : public Replacement
 
     std::string name() const override { return "srrip"; }
 
+    void
+    serialize(StateIO &io) override
+    {
+        const std::size_t expect = rrpv_.size();
+        io.io(rrpv_);
+        if (io.reading()) {
+            if (rrpv_.size() != expect)
+                StateIO::failCorrupt("srrip rrpv array size mismatch");
+            audit();
+        }
+    }
+
+    void
+    audit() const override
+    {
+        for (const std::uint8_t v : rrpv_) {
+            if (v > kMaxRrpv)
+                auditFail(name(), "RRPV exceeds its 2-bit range");
+        }
+    }
+
   protected:
     std::size_t
     idx(std::uint32_t set, std::uint32_t way) const
@@ -195,6 +254,24 @@ class DrripRepl : public SrripRepl
     }
 
     std::string name() const override { return "drrip"; }
+
+    void
+    serialize(StateIO &io) override
+    {
+        SrripRepl::serialize(io);
+        io.io(psel_);
+        rng_.serialize(io);
+        if (io.reading())
+            audit();
+    }
+
+    void
+    audit() const override
+    {
+        SrripRepl::audit();
+        if (psel_ > kPselMax)
+            auditFail("drrip", "PSEL exceeds its 10-bit range");
+    }
 
   private:
     static constexpr std::uint32_t kPselMax = 1023;
@@ -265,6 +342,33 @@ class ShipRepl : public SrripRepl
     }
 
     std::string name() const override { return "ship"; }
+
+    void
+    serialize(StateIO &io) override
+    {
+        const std::size_t lines = lineSig_.size();
+        SrripRepl::serialize(io);
+        io.io(lineSig_);
+        io.io(lineReused_);
+        io.io(shct_);
+        if (io.reading()) {
+            if (lineSig_.size() != lines ||
+                lineReused_.size() != lines ||
+                shct_.size() != (1u << 14))
+                StateIO::failCorrupt("ship table size mismatch");
+            audit();
+        }
+    }
+
+    void
+    audit() const override
+    {
+        SrripRepl::audit();
+        for (const std::uint8_t c : shct_) {
+            if (c > 3)
+                auditFail("ship", "SHCT counter exceeds its range");
+        }
+    }
 
   private:
     std::vector<std::uint16_t> lineSig_;

@@ -21,6 +21,8 @@
 namespace bouquet
 {
 
+class StateIO;
+
 /** Replacement policy selector. */
 enum class ReplPolicy
 {
@@ -55,6 +57,12 @@ class Replacement
                                  const std::vector<bool> &valid) = 0;
 
     virtual std::string name() const = 0;
+
+    /** Checkpoint mutable policy state (stateless policies no-op). */
+    virtual void serialize(StateIO &io) { (void)io; }
+
+    /** Validate internal invariants; throws ErrorException. */
+    virtual void audit() const {}
 };
 
 /** Factory. */

@@ -47,12 +47,36 @@ class Tlb
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /** Geometry is configuration; entries and LRU clock checkpoint. */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(clock_);
+        io.io(entries_);
+        io.io(stats_.accesses);
+        io.io(stats_.misses);
+        if (io.reading() &&
+            entries_.size() !=
+                static_cast<std::size_t>(sets_) * ways_)
+            io.failCorrupt("TLB entry count does not match geometry");
+    }
+
   private:
     struct Entry
     {
         Addr vpn = 0;
         bool valid = false;
         std::uint64_t stamp = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(vpn);
+            io.io(valid);
+            io.io(stamp);
+        }
     };
 
     std::uint32_t sets_;
@@ -96,6 +120,15 @@ class TlbStack
     const Tlb &stlb() const { return stlb_; }
 
     void resetStats();
+
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        itlb_.serialize(io);
+        dtlb_.serialize(io);
+        stlb_.serialize(io);
+    }
 
   private:
     Cycle translate(Tlb &first, Addr vaddr);

@@ -64,6 +64,8 @@ inline constexpr const char *kStoreWrite = "store.write";
 inline constexpr const char *kStoreFlock = "store.flock";
 inline constexpr const char *kJobBody = "job.body";
 inline constexpr const char *kCacheFill = "cache.fill";
+inline constexpr const char *kCkptWrite = "ckpt.write";
+inline constexpr const char *kCkptRead = "ckpt.read";
 } // namespace faults
 
 /** One parsed IPCP_FAULTS clause plus its firing counters. */

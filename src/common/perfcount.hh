@@ -46,6 +46,19 @@ struct PerfCounters
     }
 
     void reset() { *this = PerfCounters{}; }
+
+    /**
+     * Checkpointed so a resumed run reports totals over the whole
+     * logical run, not just the post-resume slice. Host-side only:
+     * excluded from resume-equivalence comparisons.
+     */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(ticksExecuted);
+        io.io(skippedCycles);
+    }
 };
 
 /** Monotonic wall-clock stopwatch. */

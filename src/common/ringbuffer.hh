@@ -17,6 +17,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -106,6 +107,32 @@ class RingBuffer
         while (count_ > 0)
             pop_front();
         head_ = 0;
+    }
+
+    /**
+     * Checkpoint: capacity and the live elements in FIFO order. On
+     * restore the buffer is rebuilt with head at slot 0; the FIFO
+     * contents (all that is observable) are preserved exactly.
+     */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        std::uint64_t cap = buf_.size();
+        std::uint64_t n = count_;
+        io.io(cap);
+        io.io(n);
+        if (io.reading()) {
+            if ((cap & (cap - 1)) != 0 || n > cap)
+                io.failCorrupt("ring buffer with non-power-of-two "
+                               "capacity or overfull count");
+            buf_.clear();
+            buf_.resize(static_cast<std::size_t>(cap));
+            head_ = 0;
+            count_ = static_cast<std::size_t>(n);
+        }
+        for (std::size_t i = 0; i < count_; ++i)
+            io.io(buf_[wrap(head_ + i)]);
     }
 
   private:

@@ -88,6 +88,15 @@ class Rng
     /** Bernoulli draw with probability p of returning true. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Checkpoint the full 256-bit generator state. */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        for (auto &word : state_)
+            io.io(word);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

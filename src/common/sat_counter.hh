@@ -72,6 +72,13 @@ class SatCounter
     /** True when the most significant bit is set (>= half range). */
     bool msb() const { return value_ >= (1u << (Bits - 1)); }
 
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(value_);
+    }
+
   private:
     std::uint32_t value_ = 0;
 };
@@ -118,6 +125,13 @@ class BiasedCounter
 
     std::uint32_t value() const { return value_; }
 
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(value_);
+    }
+
   private:
     std::uint32_t value_;
 };
@@ -146,6 +160,14 @@ class SignedSatCounter
     }
 
     int value() const { return value_; }
+
+    /** Bounds are configuration; only the value is checkpointed. */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(value_);
+    }
 
   private:
     int min_;

@@ -1,0 +1,199 @@
+#include "common/stateio.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/faultinject.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+/**
+ * Container header, fixed 36 bytes, little-endian. The build id that
+ * follows is informational (recorded for post-mortems, never
+ * validated): a checkpoint is portable across builds as long as the
+ * format version and config hash agree.
+ */
+constexpr char kMagic[8] = {'I', 'P', 'C', 'P', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kHeaderBytes = 36;
+
+const char *
+buildId()
+{
+    return __DATE__ " " __TIME__;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+struct CrcTable
+{
+    std::uint32_t entries[256];
+
+    CrcTable()
+    {
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[n] = c;
+        }
+    }
+};
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const CrcTable table;
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table.entries[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+Status
+writeCheckpointFile(const std::string &path, std::uint64_t config_hash,
+                    const std::vector<std::uint8_t> &payload)
+{
+    if (auto err = faultCheck(faults::kCkptWrite, path))
+        return *err;
+
+    const std::string build = buildId();
+    std::vector<std::uint8_t> image;
+    image.reserve(kHeaderBytes + build.size() + payload.size());
+    image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(image, kCheckpointVersion);
+    putU32(image, static_cast<std::uint32_t>(build.size()));
+    putU64(image, config_hash);
+    putU64(image, payload.size());
+    putU32(image, crc32(payload.data(), payload.size()));
+    image.insert(image.end(), build.begin(), build.end());
+    image.insert(image.end(), payload.begin(), payload.end());
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return makeError(Errc::io, "cannot open " + tmp + " for writing",
+                         true);
+    bool ok = std::fwrite(image.data(), 1, image.size(), f) ==
+              image.size();
+    ok = std::fflush(f) == 0 && ok;
+    if (ok)
+        ok = ::fsync(::fileno(f)) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io, "short write to " + tmp, true);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io,
+                         "cannot rename " + tmp + " to " + path, true);
+    }
+    return Status();
+}
+
+Result<std::vector<std::uint8_t>>
+readCheckpointFile(const std::string &path, std::uint64_t config_hash)
+{
+    if (auto err = faultCheck(faults::kCkptRead, path))
+        return *err;
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return makeError(Errc::io, "cannot open checkpoint " + path);
+
+    std::vector<std::uint8_t> image;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        image.insert(image.end(), chunk, chunk + got);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        return makeError(Errc::io, "read error on checkpoint " + path,
+                         true);
+
+    if (image.size() < sizeof(kMagic) ||
+        std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+        return makeError(Errc::bad_magic,
+                         path + " is not a checkpoint file");
+    if (image.size() < kHeaderBytes)
+        return makeError(Errc::truncated,
+                         "checkpoint " + path + " has a short header");
+
+    const std::uint32_t version = getU32(image.data() + 8);
+    const std::uint32_t build_len = getU32(image.data() + 12);
+    const std::uint64_t file_hash = getU64(image.data() + 16);
+    const std::uint64_t payload_size = getU64(image.data() + 24);
+    const std::uint32_t payload_crc = getU32(image.data() + 32);
+
+    if (version != kCheckpointVersion)
+        return makeError(Errc::bad_version,
+                         "checkpoint " + path + " is format version " +
+                             std::to_string(version) + ", expected " +
+                             std::to_string(kCheckpointVersion));
+
+    const std::uint64_t expect =
+        kHeaderBytes + std::uint64_t{build_len} + payload_size;
+    if (image.size() < expect)
+        return makeError(Errc::truncated,
+                         "checkpoint " + path + " is truncated: " +
+                             std::to_string(image.size()) + " of " +
+                             std::to_string(expect) + " bytes");
+    if (image.size() > expect)
+        return makeError(Errc::oversized,
+                         "checkpoint " + path + " has trailing bytes");
+
+    if (file_hash != config_hash)
+        return makeError(Errc::corrupt,
+                         "checkpoint " + path +
+                             " was written for a different system "
+                             "configuration");
+
+    const std::uint8_t *payload =
+        image.data() + kHeaderBytes + build_len;
+    if (crc32(payload, payload_size) != payload_crc)
+        return makeError(Errc::corrupt,
+                         "checkpoint " + path + " failed CRC validation");
+
+    return std::vector<std::uint8_t>(payload, payload + payload_size);
+}
+
+} // namespace bouquet

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Checkpoint serialization for the simulator: a single `StateIO`
+ * visitor that both writes and reads a flat little-endian byte image
+ * of the machine, plus the versioned/checksummed checkpoint file
+ * container around it.
+ *
+ * Every stateful component implements
+ *
+ *   void serialize(StateIO &io);        // or a template member
+ *
+ * listing its fields with `io.io(field)`. The same member function
+ * runs in both directions — in Write mode it appends bytes, in Read
+ * mode it consumes them — so the save and load field order can never
+ * drift apart. Read-mode failures (short buffer, section-tag
+ * mismatch, illegal index) throw ErrorException with
+ * Errc::truncated/Errc::corrupt; the checkpoint entry points catch
+ * and convert to Status.
+ *
+ * Pointers to response targets (`MemRequest::requester`) are encoded
+ * as indices into a registry filled by `registerTarget()` calls made
+ * in the same fixed order on save and load. See DESIGN.md §5d.
+ */
+
+#ifndef BOUQUET_COMMON_STATEIO_HH
+#define BOUQUET_COMMON_STATEIO_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/errors.hh"
+
+namespace bouquet
+{
+
+class RespTarget;
+
+/** Current checkpoint payload/container format version. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-based. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** FNV-1a over a string, chainable through `h`. */
+inline std::uint64_t
+fnv1a(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** FNV-1a over one integer (little-endian bytes), chainable. */
+inline std::uint64_t
+fnv1a(std::uint64_t v, std::uint64_t h)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= static_cast<std::uint8_t>(v >> (8 * i));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * The bidirectional serialization visitor. One instance is either a
+ * writer (appends to an internal buffer) or a reader (consumes a
+ * caller-supplied payload).
+ */
+class StateIO
+{
+  public:
+    static StateIO
+    writer()
+    {
+        return StateIO(Mode::Write, {});
+    }
+
+    static StateIO
+    reader(std::vector<std::uint8_t> payload)
+    {
+        return StateIO(Mode::Read, std::move(payload));
+    }
+
+    bool writing() const { return mode_ == Mode::Write; }
+    bool reading() const { return mode_ == Mode::Read; }
+
+    /** Bytes not yet consumed (Read mode). */
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+    /** Move the written image out (Write mode). */
+    std::vector<std::uint8_t>
+    takeBuffer()
+    {
+        return std::move(buf_);
+    }
+
+    /**
+     * Write (or verify) a short section tag. A mismatch on read means
+     * the payload is structurally off the rails; failing at the tag
+     * names the component instead of misparsing its fields.
+     */
+    void
+    beginSection(const char *name)
+    {
+        std::string tag = name;
+        if (writing()) {
+            io(tag);
+            return;
+        }
+        std::string found;
+        io(found);
+        if (found != name)
+            fail(Errc::corrupt, "checkpoint section mismatch: expected '" +
+                                    tag + "', found '" + found + "'");
+    }
+
+    /** Raise Errc::corrupt from a component's serialize() member. */
+    [[noreturn]] static void
+    failCorrupt(std::string message)
+    {
+        fail(Errc::corrupt, std::move(message));
+    }
+
+    /** Read mode: every payload byte must have been consumed. */
+    void
+    expectEnd() const
+    {
+        if (reading() && remaining() != 0)
+            fail(Errc::corrupt,
+                 "checkpoint payload has " + std::to_string(remaining()) +
+                     " trailing bytes");
+    }
+
+    /**
+     * Register a response target. Save and load must make identical
+     * registerTarget() call sequences before serializing any
+     * MemRequest, so the index written by one run resolves to the
+     * equivalent object in the other.
+     */
+    void
+    registerTarget(RespTarget *t)
+    {
+        targets_.push_back(t);
+    }
+
+    /** Serialize a response-target pointer as a registry index. */
+    void
+    ioTarget(RespTarget *&t)
+    {
+        std::uint32_t idx = kNullTarget;
+        if (writing()) {
+            if (t != nullptr) {
+                idx = 0;
+                while (idx < targets_.size() && targets_[idx] != t)
+                    ++idx;
+                if (idx == targets_.size())
+                    fail(Errc::corrupt,
+                         "checkpoint save hit an unregistered response "
+                         "target");
+            }
+            io(idx);
+            return;
+        }
+        io(idx);
+        if (idx == kNullTarget) {
+            t = nullptr;
+            return;
+        }
+        if (idx >= targets_.size())
+            fail(Errc::corrupt, "checkpoint response-target index " +
+                                    std::to_string(idx) + " out of range");
+        t = targets_[idx];
+    }
+
+    /**
+     * Generic scalar/struct dispatch: enums go through their
+     * underlying integer, floating point through its bit pattern,
+     * integers as fixed-width little-endian, anything else via its
+     * own serialize() member.
+     */
+    template <typename T>
+    void
+    io(T &v)
+    {
+        if constexpr (std::is_enum_v<T>) {
+            auto u = static_cast<std::underlying_type_t<T>>(v);
+            io(u);
+            v = static_cast<T>(u);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            static_assert(sizeof(T) == sizeof(std::uint64_t) ||
+                          sizeof(T) == sizeof(std::uint32_t));
+            using Bits =
+                std::conditional_t<sizeof(T) == sizeof(std::uint64_t),
+                                   std::uint64_t, std::uint32_t>;
+            Bits bits = 0;
+            if (writing())
+                std::memcpy(&bits, &v, sizeof(bits));
+            io(bits);
+            if (reading())
+                std::memcpy(&v, &bits, sizeof(bits));
+        } else if constexpr (std::is_integral_v<T>) {
+            ioInt(v);
+        } else {
+            v.serialize(*this);
+        }
+    }
+
+    void
+    io(bool &v)
+    {
+        std::uint8_t b = v ? 1 : 0;
+        ioInt(b);
+        v = b != 0;
+    }
+
+    void
+    io(std::string &v)
+    {
+        std::uint32_t n = static_cast<std::uint32_t>(v.size());
+        io(n);
+        if (writing()) {
+            buf_.insert(buf_.end(), v.begin(), v.end());
+            return;
+        }
+        need(n);
+        v.assign(reinterpret_cast<const char *>(buf_.data() + pos_), n);
+        pos_ += n;
+    }
+
+    void
+    io(std::vector<bool> &v)
+    {
+        std::uint64_t n = v.size();
+        io(n);
+        if (reading()) {
+            guardCount(n);
+            v.assign(static_cast<std::size_t>(n), false);
+        }
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            bool b = v[i];
+            io(b);
+            v[i] = b;
+        }
+    }
+
+    template <typename T>
+    void
+    io(std::vector<T> &v)
+    {
+        std::uint64_t n = v.size();
+        io(n);
+        if (reading()) {
+            guardCount(n);
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+        }
+        for (T &e : v)
+            io(e);
+    }
+
+    template <typename T>
+    void
+    io(std::deque<T> &v)
+    {
+        std::uint64_t n = v.size();
+        io(n);
+        if (reading()) {
+            guardCount(n);
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+        }
+        for (T &e : v)
+            io(e);
+    }
+
+    template <typename T, std::size_t N>
+    void
+    io(std::array<T, N> &v)
+    {
+        for (T &e : v)
+            io(e);
+    }
+
+  private:
+    enum class Mode
+    {
+        Write,
+        Read
+    };
+
+    static constexpr std::uint32_t kNullTarget = 0xFFFFFFFFu;
+
+    StateIO(Mode mode, std::vector<std::uint8_t> buf)
+        : mode_(mode), buf_(std::move(buf))
+    {
+    }
+
+    [[noreturn]] static void
+    fail(Errc code, std::string message)
+    {
+        throw ErrorException(makeError(code, std::move(message)));
+    }
+
+    void
+    need(std::size_t n) const
+    {
+        if (remaining() < n)
+            fail(Errc::truncated,
+                 "checkpoint payload truncated: wanted " +
+                     std::to_string(n) + " bytes, have " +
+                     std::to_string(remaining()));
+    }
+
+    /**
+     * An element count larger than the bytes left cannot be honest
+     * (every element serializes at least one byte); rejecting it here
+     * keeps a fuzzed length field from forcing a huge allocation.
+     */
+    void
+    guardCount(std::uint64_t n) const
+    {
+        if (n > remaining())
+            fail(Errc::corrupt,
+                 "checkpoint element count " + std::to_string(n) +
+                     " exceeds remaining payload");
+    }
+
+    template <typename T>
+    void
+    ioInt(T &v)
+    {
+        using U = std::make_unsigned_t<T>;
+        if (writing()) {
+            const U u = static_cast<U>(v);
+            for (std::size_t i = 0; i < sizeof(U); ++i)
+                buf_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+            return;
+        }
+        need(sizeof(U));
+        U u = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            u |= static_cast<U>(buf_[pos_ + i]) << (8 * i);
+        pos_ += sizeof(U);
+        v = static_cast<T>(u);
+    }
+
+    Mode mode_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::vector<RespTarget *> targets_;
+};
+
+/**
+ * Write `payload` to `path` inside the checkpoint container:
+ * magic + version + build id + config hash + size + CRC, written to
+ * a temp file and atomically renamed into place so a crash mid-write
+ * never leaves a half-valid checkpoint. Fault point: `ckpt.write`.
+ */
+Status writeCheckpointFile(const std::string &path,
+                           std::uint64_t config_hash,
+                           const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read and validate a checkpoint container: magic, version, payload
+ * size, CRC, and the config hash against `config_hash`. Returns the
+ * payload on success. Fault point: `ckpt.read`.
+ */
+Result<std::vector<std::uint8_t>>
+readCheckpointFile(const std::string &path, std::uint64_t config_hash);
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_STATEIO_HH

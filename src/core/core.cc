@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -84,6 +88,7 @@ Core::dispatchInstructions()
         }
         if (!haveRecord_) {
             workload_->next(current_);
+            ++recordsConsumed_;
             bubblesLeft_ = current_.bubble;
             haveRecord_ = true;
         }
@@ -121,7 +126,7 @@ Core::dispatchInstructions()
         PendingIssue pi;
         pi.ready = now_ + 1 + penalty;
         pi.robSlot = slot;
-        pi.serialize = current_.serialize;
+        pi.serialLoad = current_.serialize;
 
         if (current_.type == AccessType::Load) {
             ++stats_.loads;
@@ -152,15 +157,15 @@ Core::issuePending()
         PendingIssue &pi = pendingIssue_.front();
         if (pi.ready > now_)
             break;
-        if (pi.serialize && serializedInFlight_ > 0)
+        if (pi.serialLoad && serializedInFlight_ > 0)
             break;  // dependent load: wait for the previous pointer
         if (!l1d_->acceptRequest(pi.req)) {
             ++stats_.issueRejects;
             break;
         }
         if (pi.req.type == AccessType::Load) {
-            rob_[pi.robSlot].serialized = pi.serialize;
-            if (pi.serialize)
+            rob_[pi.robSlot].serialized = pi.serialLoad;
+            if (pi.serialLoad)
                 ++serializedInFlight_;
         }
         pendingIssue_.pop_front();
@@ -229,6 +234,88 @@ Core::nextWakeup(Cycle now) const
 }
 
 void
+Core::serialize(StateIO &io)
+{
+    tlbs_.serialize(io);
+    io.io(rob_);
+    io.io(robHead_);
+    io.io(robTail_);
+    io.io(robCount_);
+    io.io(pendingIssue_);
+    io.io(loadSlotOf_);
+
+    // TraceRecord is serialized field-wise (its `serialize` data
+    // member shadows the method-name convention).
+    io.io(current_.ip);
+    io.io(current_.vaddr);
+    io.io(current_.type);
+    io.io(current_.bubble);
+    io.io(current_.serialize);
+
+    io.io(recordsConsumed_);
+    io.io(bubblesLeft_);
+    io.io(haveRecord_);
+    io.io(fetchIp_);
+    io.io(lastFetchLine_);
+    io.io(inflightFetches_);
+    io.io(serializedInFlight_);
+    io.io(nextLoadId_);
+    io.io(retired_);
+    io.io(retiredAtReset_);
+    io.io(now_);
+    stats_.serialize(io);
+
+    if (io.reading()) {
+        if (rob_.size() != config_.robSize ||
+            loadSlotOf_.size() !=
+                static_cast<std::size_t>(config_.robSize) * 2)
+            StateIO::failCorrupt("core ROB geometry mismatch");
+        // Re-derive the workload cursor: generators are deterministic
+        // and endless, so rewinding and replaying the consumed prefix
+        // restores their internal state exactly. The last replayed
+        // record must match the checkpointed one.
+        workload_->reset();
+        TraceRecord replayed;
+        for (std::uint64_t i = 0; i < recordsConsumed_; ++i)
+            workload_->next(replayed);
+        if (recordsConsumed_ > 0 && !(replayed == current_))
+            StateIO::failCorrupt(
+                "workload replay diverged from the checkpointed trace "
+                "cursor (different workload or generator version?)");
+        audit();
+    }
+}
+
+void
+Core::audit() const
+{
+    auto fail = [this](const std::string &why) {
+        throw ErrorException(makeError(
+            Errc::corrupt,
+            "core " + std::to_string(id_) + ": " + why));
+    };
+    if (robCount_ > config_.robSize)
+        fail("ROB count exceeds capacity");
+    if (robHead_ >= config_.robSize || robTail_ >= config_.robSize)
+        fail("ROB ring pointer out of range");
+    if ((robHead_ + robCount_) % config_.robSize != robTail_)
+        fail("ROB ring pointers disagree with the count");
+    std::uint32_t valid = 0;
+    for (const RobEntry &e : rob_) {
+        if (e.valid)
+            ++valid;
+    }
+    if (valid != robCount_)
+        fail("valid ROB entries disagree with the count");
+    if (pendingIssue_.size() > config_.robSize)
+        fail("pending-issue queue exceeds the ROB size");
+    if (inflightFetches_ > config_.maxInflightFetches)
+        fail("in-flight fetch count exceeds its bound");
+    if (haveRecord_ && recordsConsumed_ == 0)
+        fail("trace cursor holds a record that was never consumed");
+}
+
+void
 Core::skipCycles(Cycle count)
 {
     // Reproduce the stall counters the skipped no-op ticks would have
@@ -241,7 +328,7 @@ Core::skipCycles(Cycle count)
     if (!pendingIssue_.empty()) {
         const PendingIssue &pi = pendingIssue_.front();
         if (pi.ready <= now_ &&
-            !(pi.serialize && serializedInFlight_ > 0))
+            !(pi.serialLoad && serializedInFlight_ > 0))
             stats_.issueRejects += count;
     }
 }

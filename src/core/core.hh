@@ -56,6 +56,17 @@ class Core : public RespTarget, public Clocked
         std::uint64_t issueRejects = 0;
 
         void reset() { *this = Stats{}; }
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(loads);
+            io.io(stores);
+            io.io(robFullStalls);
+            io.io(fetchStalls);
+            io.io(issueRejects);
+        }
     };
 
     Core(CoreId id, CoreConfig cfg, TlbConfig tlb_cfg, Cache *l1i,
@@ -106,6 +117,18 @@ class Core : public RespTarget, public Clocked
         return vmem_->translate(id_, vaddr);
     }
 
+    /**
+     * Checkpoint the core. The workload generator's position is
+     * recorded as the number of records consumed; on restore the
+     * generator is rewound and replayed to that point (generators are
+     * deterministic), with the final record cross-checked against the
+     * serialized one.
+     */
+    void serialize(StateIO &io);
+
+    /** Validate ROB ring/count and fetch bookkeeping invariants. */
+    void audit() const;
+
   private:
     struct RobEntry
     {
@@ -115,14 +138,36 @@ class Core : public RespTarget, public Clocked
         bool serialized = false;
         Cycle completeAt = 0;
         std::uint64_t loadId = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(isLoad);
+            io.io(complete);
+            io.io(serialized);
+            io.io(completeAt);
+            io.io(loadId);
+        }
     };
 
     struct PendingIssue
     {
         MemRequest req;
         Cycle ready = 0;
-        bool serialize = false;
+        bool serialLoad = false;  //!< depends on the previous load
         std::uint32_t robSlot = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(req);
+            io.io(ready);
+            io.io(serialLoad);
+            io.io(robSlot);
+        }
     };
 
     void retireInstructions();
@@ -152,6 +197,7 @@ class Core : public RespTarget, public Clocked
 
     // Trace expansion state.
     TraceRecord current_;
+    std::uint64_t recordsConsumed_ = 0;  //!< next() calls on workload_
     std::uint16_t bubblesLeft_ = 0;
     bool haveRecord_ = false;
     Ip fetchIp_ = 0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -73,6 +76,12 @@ System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
         env != nullptr && env[0] != '\0' &&
         !(env[0] == '0' && env[1] == '\0'))
         noSkip_ = true;
+
+    auditTick_ = config_.auditEveryTick;
+    if (const char *env = std::getenv("IPCP_AUDIT");
+        env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0'))
+        auditTick_ = true;
 }
 
 void
@@ -157,6 +166,22 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
 {
     const unsigned n = numCores();
 
+    if (rs_.phase == Phase::Idle) {
+        rs_.phase = Phase::Warmup;
+        rs_.warmupInstrs = warmup_instrs;
+        rs_.simInstrs = sim_instrs;
+        rs_.lastProgressTotal = 0;
+        rs_.lastProgressCycle = cycle_;
+    } else if (rs_.warmupInstrs != warmup_instrs ||
+               rs_.simInstrs != sim_instrs) {
+        // A resumed run continues toward the targets the checkpoint
+        // was taken with; different arguments mean a different
+        // experiment was pointed at this checkpoint.
+        throw ErrorException(makeError(
+            Errc::corrupt,
+            "resumed run targets differ from the checkpointed ones"));
+    }
+
     auto all_reached = [&](std::uint64_t target) {
         for (unsigned c = 0; c < n; ++c) {
             if (cores_[c]->retired() < target)
@@ -165,16 +190,14 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
         return true;
     };
 
-    std::uint64_t last_progress_total = 0;
-    Cycle last_progress_cycle = cycle_;
     auto watchdog = [&] {
         std::uint64_t total = 0;
         for (unsigned c = 0; c < n; ++c)
             total += cores_[c]->retired();
-        if (total != last_progress_total) {
-            last_progress_total = total;
-            last_progress_cycle = cycle_;
-        } else if (cycle_ - last_progress_cycle >
+        if (total != rs_.lastProgressTotal) {
+            rs_.lastProgressTotal = total;
+            rs_.lastProgressCycle = cycle_;
+        } else if (cycle_ - rs_.lastProgressCycle >
                    config_.watchdogCycles) {
             throw std::runtime_error(
                 "simulation watchdog: no instruction retired for too "
@@ -197,11 +220,11 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
         std::uint64_t total = 0;
         for (unsigned c = 0; c < n; ++c)
             total += cores_[c]->retired();
-        if (total != last_progress_total) {
-            last_progress_total = total;
-            last_progress_cycle = first;
+        if (total != rs_.lastProgressTotal) {
+            rs_.lastProgressTotal = total;
+            rs_.lastProgressCycle = first;
         }
-        if (last - last_progress_cycle > config_.watchdogCycles)
+        if (last - rs_.lastProgressCycle > config_.watchdogCycles)
             throw std::runtime_error(
                 "simulation watchdog: no instruction retired for too "
                 "long (deadlock?)");
@@ -225,65 +248,240 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
         skipTo(wake);
     };
 
-    // Warmup.
-    while (!all_reached(warmup_instrs)) {
-        tickAll(cycle_);
-        ++cycle_;
-        if ((cycle_ & 0xFFFF) == 0)
-            watchdog();
-        if (!noSkip_ && !all_reached(warmup_instrs))
-            advance(false);
+    // Warmup. Skipped entirely when resuming from a checkpoint taken
+    // in the measured region.
+    if (rs_.phase == Phase::Warmup) {
+        while (!all_reached(rs_.warmupInstrs)) {
+            tickAll(cycle_);
+            ++cycle_;
+            if ((cycle_ & 0xFFFF) == 0)
+                watchdog();
+            if (auditTick_)
+                audit(false);
+            if (!noSkip_ && !all_reached(rs_.warmupInstrs))
+                advance(false);
+            maybeCheckpoint();
+        }
+        resetAllStats();
+        rs_.measureStart = cycle_;
+        rs_.phase = Phase::Measured;
+        rs_.result = RunResult{};
+        rs_.result.cores.assign(n, CoreResult{});
+        rs_.done.assign(n, 0);
+        rs_.remaining = n;
     }
-    resetAllStats();
-    const Cycle measure_start = cycle_;
 
-    // Measured region: run until every core has retired sim_instrs,
+    // Measured region: run until every core has retired simInstrs,
     // recording each core's completion point; fast cores keep running
     // (their workloads are endless) so contention stays realistic —
     // the paper's replay methodology.
-    RunResult result;
-    result.cores.assign(n, CoreResult{});
-    std::vector<bool> done(n, false);
-    unsigned remaining = n;
-
-    while (remaining > 0) {
-        tickAll(cycle_);
-        ++cycle_;
-        if ((cycle_ & 0xFF) == 0 || n == 1) {
-            for (unsigned c = 0; c < n; ++c) {
-                if (!done[c] &&
-                    cores_[c]->retiredSinceReset() >= sim_instrs) {
-                    done[c] = true;
-                    --remaining;
-                    CoreResult &r = result.cores[c];
-                    r.instructions = cores_[c]->retiredSinceReset();
-                    r.cycles = cycle_ - measure_start;
-                    r.ipc = static_cast<double>(r.instructions) /
-                            static_cast<double>(r.cycles);
-                }
-            }
-        }
-        if ((cycle_ & 0xFFFF) == 0)
-            watchdog();
-        if (!noSkip_ && remaining > 0) {
-            // A core past its target whose completion has not been
-            // recorded yet (multi-core: checks run every 256 cycles)
-            // pins the jump to the next check boundary.
-            bool pending = false;
-            if (n > 1) {
+    if (rs_.phase == Phase::Measured) {
+        while (rs_.remaining > 0) {
+            tickAll(cycle_);
+            ++cycle_;
+            if ((cycle_ & 0xFF) == 0 || n == 1) {
                 for (unsigned c = 0; c < n; ++c) {
-                    if (!done[c] &&
-                        cores_[c]->retiredSinceReset() >= sim_instrs) {
-                        pending = true;
-                        break;
+                    if (rs_.done[c] == 0 &&
+                        cores_[c]->retiredSinceReset() >=
+                            rs_.simInstrs) {
+                        rs_.done[c] = 1;
+                        --rs_.remaining;
+                        CoreResult &r = rs_.result.cores[c];
+                        r.instructions = cores_[c]->retiredSinceReset();
+                        r.cycles = cycle_ - rs_.measureStart;
+                        r.ipc = static_cast<double>(r.instructions) /
+                                static_cast<double>(r.cycles);
                     }
                 }
             }
-            advance(pending);
+            if ((cycle_ & 0xFFFF) == 0)
+                watchdog();
+            if (auditTick_)
+                audit(false);
+            if (!noSkip_ && rs_.remaining > 0) {
+                // A core past its target whose completion has not been
+                // recorded yet (multi-core: checks run every 256
+                // cycles) pins the jump to the next check boundary.
+                bool pending = false;
+                if (n > 1) {
+                    for (unsigned c = 0; c < n; ++c) {
+                        if (rs_.done[c] == 0 &&
+                            cores_[c]->retiredSinceReset() >=
+                                rs_.simInstrs) {
+                            pending = true;
+                            break;
+                        }
+                    }
+                }
+                advance(pending);
+            }
+            maybeCheckpoint();
         }
+        rs_.result.measuredCycles = cycle_ - rs_.measureStart;
+        rs_.phase = Phase::Done;
     }
-    result.measuredCycles = cycle_ - measure_start;
-    return result;
+    return rs_.result;
+}
+
+void
+System::maybeCheckpoint()
+{
+    if (ckptEvery_ == 0 || cycle_ - lastCkptCycle_ < ckptEvery_)
+        return;
+    lastCkptCycle_ = cycle_;
+    const Status st = saveCheckpoint(ckptPath_);
+    if (!st.ok() && !ckptWarned_) {
+        ckptWarned_ = true;
+        std::fprintf(stderr,
+                     "warning: periodic checkpoint to '%s' failed "
+                     "(%s: %s); the run continues without it\n",
+                     ckptPath_.c_str(), errcName(st.error().code),
+                     st.error().message.c_str());
+    }
+}
+
+std::uint64_t
+System::configHash() const
+{
+    std::uint64_t h = fnv1a("ipcp-system-v1");
+    auto mix = [&h](std::uint64_t v) { h = fnv1a(v, h); };
+
+    mix(numCores());
+    mix(config_.frameBits);
+    mix(config_.seed);
+
+    mix(config_.core.width);
+    mix(config_.core.robSize);
+    mix(config_.core.maxInflightFetches);
+    mix(config_.core.modelInstructionFetch ? 1 : 0);
+
+    mix(config_.tlb.itlbEntries);
+    mix(config_.tlb.itlbWays);
+    mix(config_.tlb.dtlbEntries);
+    mix(config_.tlb.dtlbWays);
+    mix(config_.tlb.stlbEntries);
+    mix(config_.tlb.stlbWays);
+    mix(config_.tlb.stlbLatency);
+    mix(config_.tlb.walkLatency);
+
+    mix(config_.dram.channels);
+    mix(config_.dram.banksPerChannel);
+    mix(config_.dram.rowBytes);
+    mix(config_.dram.rowHitLatency);
+    mix(config_.dram.rowMissLatency);
+    mix(config_.dram.busCyclesPerLine);
+    mix(config_.dram.controllerLatency);
+    mix(config_.dram.queueSize);
+
+    auto mix_cache = [&](Cache &cache) {
+        const CacheConfig &c = cache.config();
+        h = fnv1a(c.name, h);
+        mix(static_cast<std::uint64_t>(c.level));
+        mix(c.sets);
+        mix(c.ways);
+        mix(c.latency);
+        mix(c.mshrs);
+        mix(c.pqSize);
+        mix(c.rqSize);
+        mix(c.wqSize);
+        mix(c.ports);
+        mix(c.pfIssuePerCycle);
+        mix(static_cast<std::uint64_t>(c.repl));
+        // The attached prefetcher defines what the serialized
+        // predictor tables mean; a name mismatch must reject the load.
+        const Prefetcher *pf = cache.prefetcher();
+        h = fnv1a(pf != nullptr ? pf->name() : "none", h);
+    };
+
+    mix_cache(*llc_);
+    for (unsigned c = 0; c < numCores(); ++c) {
+        mix_cache(*l2s_[c]);
+        mix_cache(*l1ds_[c]);
+        mix_cache(*l1is_[c]);
+        h = fnv1a(workloads_[c]->name(), h);
+    }
+    return h;
+}
+
+void
+System::serialize(StateIO &io)
+{
+    // Identical registration order on save and load resolves every
+    // MemRequest::requester index to the equivalent object.
+    io.registerTarget(llc_.get());
+    for (unsigned c = 0; c < numCores(); ++c) {
+        io.registerTarget(l2s_[c].get());
+        io.registerTarget(l1ds_[c].get());
+        io.registerTarget(l1is_[c].get());
+        io.registerTarget(cores_[c].get());
+    }
+
+    io.beginSection("system");
+    io.io(cycle_);
+    perf_.serialize(io);
+    rs_.serialize(io);
+    if (io.reading() && rs_.done.size() != numCores() &&
+        rs_.phase != Phase::Idle && rs_.phase != Phase::Warmup)
+        StateIO::failCorrupt(
+            "run-state completion flags disagree with the core count");
+
+    vmem_->serialize(io);
+    dram_->serialize(io);
+    llc_->serialize(io);
+    for (unsigned c = 0; c < numCores(); ++c) {
+        l2s_[c]->serialize(io);
+        l1ds_[c]->serialize(io);
+        l1is_[c]->serialize(io);
+        cores_[c]->serialize(io);
+    }
+}
+
+Status
+System::saveCheckpoint(const std::string &path)
+{
+    try {
+        audit(true);
+        StateIO io = StateIO::writer();
+        serialize(io);
+        return writeCheckpointFile(path, configHash(),
+                                   io.takeBuffer());
+    } catch (const ErrorException &e) {
+        return e.error();
+    }
+}
+
+Status
+System::loadCheckpoint(const std::string &path)
+{
+    try {
+        Result<std::vector<std::uint8_t>> payload =
+            readCheckpointFile(path, configHash());
+        if (!payload.ok())
+            return payload.status();
+        StateIO io = StateIO::reader(payload.take());
+        serialize(io);
+        io.expectEnd();
+        audit(true);
+    } catch (const ErrorException &e) {
+        return e.error();
+    }
+    resumed_ = true;
+    resumedAtCycle_ = cycle_;
+    lastCkptCycle_ = cycle_;
+    return Status();
+}
+
+void
+System::audit(bool deep) const
+{
+    dram_->audit();
+    llc_->audit(deep);
+    for (unsigned c = 0; c < numCores(); ++c) {
+        l2s_[c]->audit(deep);
+        l1ds_[c]->audit(deep);
+        l1is_[c]->audit(deep);
+        cores_[c]->audit();
+    }
 }
 
 } // namespace bouquet

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
+#include "common/errors.hh"
 #include "common/perfcount.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
@@ -23,6 +25,8 @@
 
 namespace bouquet
 {
+
+class StateIO;
 
 /** Full-system configuration (defaults reproduce the paper's Table II). */
 struct SystemConfig
@@ -64,6 +68,13 @@ struct SystemConfig
      * verification and debugging (see DESIGN.md §5c).
      */
     bool tickEveryCycle = false;
+
+    /**
+     * Run the shallow invariant audit after every tick (also forced by
+     * the IPCP_AUDIT=1 environment variable). Deep audits still only
+     * run at checkpoint save/load boundaries.
+     */
+    bool auditEveryTick = false;
 };
 
 /** Per-core outcome of a measured run. */
@@ -72,6 +83,15 @@ struct CoreResult
     std::uint64_t instructions = 0;
     Cycle cycles = 0;
     double ipc = 0.0;
+
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(instructions);
+        io.io(cycles);
+        io.io(ipc);
+    }
 };
 
 /** Outcome of System::run. */
@@ -79,6 +99,14 @@ struct RunResult
 {
     std::vector<CoreResult> cores;
     Cycle measuredCycles = 0;  //!< cycles until the last core finished
+
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(cores);
+        io.io(measuredCycles);
+    }
 };
 
 /**
@@ -116,9 +144,120 @@ class System
     /** True when the event-skipping loop is disabled for this system. */
     bool tickEveryCycle() const { return noSkip_; }
 
+    /** Current simulated cycle. */
+    Cycle cycle() const { return cycle_; }
+
+    // --- checkpoint / restore ------------------------------------------
+
+    /**
+     * FNV-1a hash of everything that must match between the saving and
+     * the loading run for a checkpoint payload to make sense: cache
+     * geometries, core/TLB/DRAM parameters, core count, workload names
+     * and attached prefetcher names. Stored in the checkpoint header;
+     * a mismatch is rejected before any payload byte is parsed, so
+     * compute it (and call loadCheckpoint()) only after prefetchers
+     * are attached.
+     */
+    std::uint64_t configHash() const;
+
+    /**
+     * Serialize the whole machine through `io` (both directions).
+     * On read, derived structures are rebuilt, geometry is verified
+     * and a deep audit runs; throws ErrorException on any mismatch.
+     */
+    void serialize(StateIO &io);
+
+    /**
+     * Deep-audit the machine and atomically write a checkpoint of it
+     * to `path`. Never throws; failures come back as a Status so a
+     * periodic save cannot kill a healthy simulation.
+     */
+    Status saveCheckpoint(const std::string &path);
+
+    /**
+     * Restore the machine from `path`, validating the container
+     * (magic/version/size/CRC) and the config hash first. On failure
+     * the System may be left partially restored — rebuild it before
+     * running. Must be called after prefetchers are attached and
+     * before run().
+     */
+    Status loadCheckpoint(const std::string &path);
+
+    /**
+     * Save a checkpoint to `path` every `interval` cycles while run()
+     * executes (0 disables). Periodic save failures print one warning
+     * to stderr and never interrupt the run.
+     */
+    void
+    setCheckpointEvery(Cycle interval, std::string path)
+    {
+        ckptEvery_ = interval;
+        ckptPath_ = std::move(path);
+        lastCkptCycle_ = cycle_;
+    }
+
+    /** True when this System continued from a loaded checkpoint. */
+    bool resumed() const { return resumed_; }
+
+    /** Cycle the loaded checkpoint was taken at (0 if not resumed). */
+    Cycle resumedAtCycle() const { return resumedAtCycle_; }
+
+    /**
+     * Validate runtime invariants across every component; throws
+     * ErrorException (Errc::corrupt) on the first violation. The
+     * shallow pass (deep = false) is cheap enough for per-tick use;
+     * deep adds full tag-array and predictor-table scans.
+     */
+    void audit(bool deep) const;
+
   private:
+    /** Where run() is within its warmup/measure sequence. */
+    enum class Phase : std::uint8_t
+    {
+        Idle,      //!< run() not entered yet
+        Warmup,
+        Measured,
+        Done,
+    };
+
+    /**
+     * Every run() local that must survive a checkpoint so a resumed
+     * run continues mid-warmup or mid-measurement exactly where the
+     * saved one stopped.
+     */
+    struct RunState
+    {
+        Phase phase = Phase::Idle;
+        std::uint64_t warmupInstrs = 0;
+        std::uint64_t simInstrs = 0;
+        Cycle measureStart = 0;
+        std::vector<std::uint8_t> done;  //!< per-core completion flags
+        std::uint32_t remaining = 0;
+        std::uint64_t lastProgressTotal = 0;  //!< watchdog bookkeeping
+        Cycle lastProgressCycle = 0;
+        RunResult result;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(phase);
+            io.io(warmupInstrs);
+            io.io(simInstrs);
+            io.io(measureStart);
+            io.io(done);
+            io.io(remaining);
+            io.io(lastProgressTotal);
+            io.io(lastProgressCycle);
+            io.io(result);
+        }
+    };
+
     void tickAll(Cycle cycle);
     void resetAllStats();
+
+    /** Save to ckptPath_ when the periodic interval has elapsed. */
+    void maybeCheckpoint();
 
     /**
      * Minimum nextWakeup over every component, evaluated after the
@@ -147,7 +286,18 @@ class System
     std::vector<Clocked *> clocked_;  //!< every component, for skipTo
     Cycle cycle_ = 0;
     bool noSkip_ = false;
+    bool auditTick_ = false;
     PerfCounters perf_;
+    RunState rs_;
+
+    // Periodic checkpointing (setCheckpointEvery).
+    Cycle ckptEvery_ = 0;
+    std::string ckptPath_;
+    Cycle lastCkptCycle_ = 0;
+    bool ckptWarned_ = false;
+
+    bool resumed_ = false;
+    Cycle resumedAtCycle_ = 0;
 };
 
 } // namespace bouquet

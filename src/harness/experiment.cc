@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <sys/stat.h>
 
 #include "common/rng.hh"
+#include "common/stateio.hh"
 #include "common/stats.hh"
 
 namespace bouquet
@@ -21,7 +24,80 @@ envU64(const char *name, std::uint64_t fallback)
     return std::strtoull(v, nullptr, 10);
 }
 
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+/** A freshly built + attached System plus its checkpointing plan. */
+struct PreparedSystem
+{
+    std::unique_ptr<System> sys;
+    std::string savePath;   //!< periodic save target ("" = none)
+    bool derived = false;   //!< savePath is key-derived (delete on
+                            //!< success, resume opportunistically)
+};
+
+/**
+ * Build a system via `build`, resolve where (if anywhere) it should
+ * checkpoint, restore a prior checkpoint per cfg, and arm periodic
+ * saves. An explicit resumePath must load (failure throws, failing
+ * the job); a leftover key-derived checkpoint is best-effort — if it
+ * does not load, the partially restored system is rebuilt and the
+ * run starts fresh.
+ */
+template <typename BuildFn>
+PreparedSystem
+prepareSystem(const BuildFn &build, const ExperimentConfig &cfg,
+              const std::string &ckpt_key)
+{
+    PreparedSystem p;
+    p.sys = build();
+
+    p.savePath = cfg.ckptPath;
+    if (p.savePath.empty() && cfg.ckptEvery > 0 &&
+        !cfg.ckptDir.empty() && !ckpt_key.empty()) {
+        p.savePath = checkpointPathFor(cfg, ckpt_key);
+        p.derived = true;
+        ::mkdir(cfg.ckptDir.c_str(), 0777);  // best effort; saves warn
+    }
+
+    if (!cfg.resumePath.empty()) {
+        const Status st = p.sys->loadCheckpoint(cfg.resumePath);
+        if (!st.ok())
+            throw ErrorException(st.error());
+    } else if (p.derived && fileExists(p.savePath)) {
+        const Status st = p.sys->loadCheckpoint(p.savePath);
+        if (!st.ok()) {
+            std::fprintf(stderr,
+                         "[harness] checkpoint %s unusable (%s: %s); "
+                         "starting fresh\n",
+                         p.savePath.c_str(), errcName(st.error().code),
+                         st.error().message.c_str());
+            p.sys = build();  // loadCheckpoint may half-restore
+        }
+    }
+
+    if (!p.savePath.empty() && cfg.ckptEvery > 0)
+        p.sys->setCheckpointEvery(cfg.ckptEvery, p.savePath);
+    return p;
+}
+
 } // namespace
+
+std::string
+checkpointPathFor(const ExperimentConfig &cfg, const std::string &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return cfg.ckptDir + "/ckpt-" + hex + ".ckpt";
+}
 
 ExperimentConfig
 ExperimentConfig::fromEnv()
@@ -30,6 +106,10 @@ ExperimentConfig::fromEnv()
     cfg.simInstrs = envU64("IPCP_SIM_INSTRS", cfg.simInstrs);
     cfg.warmupInstrs = envU64("IPCP_WARMUP_INSTRS", cfg.warmupInstrs);
     cfg.mixes = static_cast<unsigned>(envU64("IPCP_MIXES", cfg.mixes));
+    cfg.ckptEvery = envU64("IPCP_CKPT_EVERY", cfg.ckptEvery);
+    if (const char *dir = std::getenv("IPCP_CKPT_DIR");
+        dir != nullptr && *dir != '\0')
+        cfg.ckptDir = dir;
     return cfg;
 }
 
@@ -53,17 +133,25 @@ Outcome::mpkiLlc() const
 
 Outcome
 runSingleCore(const TraceSpec &spec, const AttachFn &attach,
-              const ExperimentConfig &cfg)
+              const ExperimentConfig &cfg, const std::string &ckpt_key)
 {
     SystemConfig sys_cfg = cfg.system;
     sys_cfg.dram.channels = 1;  // Table II: 1 channel per 1-core
 
-    std::vector<GeneratorPtr> workloads;
-    workloads.push_back(makeWorkload(spec));
-
-    System sys(sys_cfg, std::move(workloads));
-    attach(sys);
+    PreparedSystem p = prepareSystem(
+        [&] {
+            std::vector<GeneratorPtr> workloads;
+            workloads.push_back(makeWorkload(spec));
+            auto s = std::make_unique<System>(sys_cfg,
+                                              std::move(workloads));
+            attach(*s);
+            return s;
+        },
+        cfg, ckpt_key);
+    System &sys = *p.sys;
     const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+    if (p.derived)
+        std::remove(p.savePath.c_str());
 
     Outcome out;
     out.ipc = r.cores[0].ipc;
@@ -77,6 +165,8 @@ runSingleCore(const TraceSpec &spec, const AttachFn &attach,
     out.dramBytes = sys.dram().bytesTransferred();
     out.ticksExecuted = sys.perf().ticksExecuted;
     out.skippedCycles = sys.perf().skippedCycles;
+    out.resumed = sys.resumed();
+    out.ckptCycle = sys.resumedAtCycle();
     return out;
 }
 
@@ -97,19 +187,27 @@ systemFingerprint(const SystemConfig &cfg)
 
 MixOutcome
 runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
-       const ExperimentConfig &cfg)
+       const ExperimentConfig &cfg, const std::string &ckpt_key)
 {
     SystemConfig sys_cfg = cfg.system;
     sys_cfg.dram.channels = 2;  // Table II: 2 channels for multi-core
 
-    std::vector<GeneratorPtr> workloads;
-    workloads.reserve(specs.size());
-    for (const TraceSpec &s : specs)
-        workloads.push_back(makeWorkload(s));
-
-    System sys(sys_cfg, std::move(workloads));
-    attach(sys);
+    PreparedSystem p = prepareSystem(
+        [&] {
+            std::vector<GeneratorPtr> workloads;
+            workloads.reserve(specs.size());
+            for (const TraceSpec &s : specs)
+                workloads.push_back(makeWorkload(s));
+            auto sys = std::make_unique<System>(sys_cfg,
+                                                std::move(workloads));
+            attach(*sys);
+            return sys;
+        },
+        cfg, ckpt_key);
+    System &sys = *p.sys;
     const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
+    if (p.derived)
+        std::remove(p.savePath.c_str());
 
     MixOutcome out;
     for (std::size_t c = 0; c < specs.size(); ++c) {
@@ -129,6 +227,8 @@ runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
     out.system.dramBytes = sys.dram().bytesTransferred();
     out.system.ticksExecuted = sys.perf().ticksExecuted;
     out.system.skippedCycles = sys.perf().skippedCycles;
+    out.system.resumed = sys.resumed();
+    out.system.ckptCycle = sys.resumedAtCycle();
     return out;
 }
 

@@ -39,6 +39,24 @@ struct ExperimentConfig
     SystemConfig system;  //!< base system (per-core DRAM channels set
                           //!< by the runner)
 
+    /**
+     * Crash-safe checkpointing (see DESIGN.md §5d). When ckptEvery is
+     * non-zero every run saves a checkpoint that often (in cycles) —
+     * to `ckptPath` when set, else to a key-derived file under
+     * `ckptDir` when the caller supplies a checkpoint key. A
+     * key-derived checkpoint left behind by a crashed attempt is
+     * resumed from opportunistically (an unusable file just means a
+     * fresh start) and deleted once the run succeeds. `resumePath`
+     * restores an explicitly named checkpoint instead; there a
+     * missing or invalid file fails the run.
+     *   IPCP_CKPT_EVERY  checkpoint interval in cycles (0 = off)
+     *   IPCP_CKPT_DIR    directory for key-derived checkpoints
+     */
+    Cycle ckptEvery = 0;
+    std::string ckptDir;
+    std::string ckptPath;
+    std::string resumePath;
+
     /** Read IPCP_* environment overrides into a config. */
     static ExperimentConfig fromEnv();
 };
@@ -67,15 +85,35 @@ struct Outcome
     std::uint64_t ticksExecuted = 0;
     std::uint64_t skippedCycles = 0;
 
+    /**
+     * Provenance: whether this run continued from a checkpoint and,
+     * if so, the cycle the checkpoint was taken at. Like the perf
+     * counters these are excluded from simulated-result comparisons —
+     * a resumed run is byte-identical to an uninterrupted one in
+     * every simulated stat.
+     */
+    bool resumed = false;
+    Cycle ckptCycle = 0;
+
     /** Demand MPKI at a level. */
     double mpkiL1() const;
     double mpkiL2() const;
     double mpkiLlc() const;
 };
 
-/** Run one workload on a single-core Table II system. */
+/**
+ * Run one workload on a single-core Table II system. `ckpt_key`
+ * (typically the runner's job key) names the run for key-derived
+ * checkpointing; empty disables the derived path (explicit
+ * ckptPath/resumePath still apply).
+ */
 Outcome runSingleCore(const TraceSpec &spec, const AttachFn &attach,
-                      const ExperimentConfig &cfg);
+                      const ExperimentConfig &cfg,
+                      const std::string &ckpt_key = {});
+
+/** The key-derived checkpoint file for `key` under cfg.ckptDir. */
+std::string checkpointPathFor(const ExperimentConfig &cfg,
+                              const std::string &key);
 
 /**
  * Fingerprint the non-default parts of a system config so memoized
@@ -96,7 +134,8 @@ struct MixOutcome
 
 /** Run a mix (one workload per core) on an N-core system. */
 MixOutcome runMix(const std::vector<TraceSpec> &specs,
-                  const AttachFn &attach, const ExperimentConfig &cfg);
+                  const AttachFn &attach, const ExperimentConfig &cfg,
+                  const std::string &ckpt_key = {});
 
 /**
  * Memoizing runner keyed by (trace, label): used for baseline IPCs

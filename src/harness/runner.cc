@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -43,6 +44,17 @@ humanRate(double per_second)
 }
 
 std::mutex progressMutex;
+
+std::atomic<bool> shutdownFlag{false};
+
+void
+onTerminateSignal(int sig)
+{
+    shutdownFlag.store(true, std::memory_order_relaxed);
+    // Restore the default disposition so a second signal kills the
+    // process immediately instead of being swallowed.
+    std::signal(sig, SIG_DFL);
+}
 
 unsigned
 envUnsigned(const char *name, unsigned fallback)
@@ -156,6 +168,31 @@ class WatchdogMonitor
 
 } // namespace
 
+void
+requestShutdown()
+{
+    shutdownFlag.store(true, std::memory_order_relaxed);
+}
+
+bool
+shutdownRequested()
+{
+    return shutdownFlag.load(std::memory_order_relaxed);
+}
+
+void
+clearShutdownRequest()
+{
+    shutdownFlag.store(false, std::memory_order_relaxed);
+}
+
+void
+installSignalHandlers()
+{
+    std::signal(SIGINT, onTerminateSignal);
+    std::signal(SIGTERM, onTerminateSignal);
+}
+
 std::string
 jobKey(const Job &job)
 {
@@ -194,6 +231,10 @@ BatchStats::print(std::ostream &os) const
     if (retried > 0 || timedOut > 0 || storeFailures > 0) {
         os << "[runner] retried=" << retried << " timed-out="
            << timedOut << " store-failures=" << storeFailures << "\n";
+    }
+    if (resumed > 0 || interrupted > 0) {
+        os << "[runner] resumed=" << resumed << " interrupted="
+           << interrupted << "\n";
     }
     for (const JobFailure &f : failures) {
         os << "[runner] FAILED job " << f.index << " " << f.key
@@ -235,8 +276,11 @@ Runner::dispatch(std::size_t count, const Task &task)
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(threads_, count));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            if (shutdownRequested())
+                return;
             task(i);
+        }
         return;
     }
 
@@ -248,6 +292,10 @@ Runner::dispatch(std::size_t count, const Task &task)
     std::mutex errorMutex;
     auto worker = [&] {
         for (;;) {
+            // Stop claiming work once a shutdown is requested; the
+            // job in flight on each worker runs to completion.
+            if (shutdownRequested())
+                return;
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
@@ -386,11 +434,13 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
         watchdog.beginJob(i, t.key);
         executeWithPolicy(
             t.key, [&] { return runSingleCore(job.spec, job.attach,
-                                              job.cfg); },
+                                              job.cfg, t.key); },
             results[i]);
         watchdog.endJob(i);
         t.seconds = secondsSince(start);
         if (results[i].ok) {
+            results[i].resumed = results[i].outcome.resumed;
+            results[i].ckptCycle = results[i].outcome.ckptCycle;
             t.instrs = results[i].outcome.instructions;
             if (store) {
                 // A store-hook failure loses a cache entry, not a
@@ -418,6 +468,21 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
         }
     });
 
+    // A shutdown request leaves the tail of `exec` untouched: those
+    // outcomes are still default-constructed (attempts == 0). Fail
+    // them explicitly so the batch summary and exit code report the
+    // truncation.
+    if (shutdownRequested()) {
+        for (const std::size_t i : exec) {
+            if (results[i].attempts == 0 && !results[i].ok) {
+                results[i].error =
+                    "interrupted: shutdown requested before this job "
+                    "ran";
+                ++last_.interrupted;
+            }
+        }
+    }
+
     // Fan results out to deduplicated submissions (including
     // failures: a copy of a failed job fails identically). Sources
     // are always earlier canonical indices, so they are resolved.
@@ -438,8 +503,11 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
                     JobFailure{i, t.key, results[i].error,
                                results[i].attempts,
                                results[i].timedOut});
-        } else if (results[i].attempts > 1) {
-            ++last_.retried;
+        } else {
+            if (results[i].attempts > 1)
+                ++last_.retried;
+            if (results[i].resumed)
+                ++last_.resumed;
         }
     }
     last_.storeFailures = store_failures.load();
@@ -470,11 +538,13 @@ Runner::runMixes(const std::vector<MixJob> &jobs)
         watchdog.beginJob(i, t.key);
         executeWithPolicy(
             t.key, [&] { return runMix(job.specs, job.attach,
-                                       job.cfg); },
+                                       job.cfg, t.key); },
             results[i]);
         watchdog.endJob(i);
         t.seconds = secondsSince(start);
         if (results[i].ok) {
+            results[i].resumed = results[i].outcome.system.resumed;
+            results[i].ckptCycle = results[i].outcome.system.ckptCycle;
             for (const std::uint64_t instrs :
                  results[i].outcome.instructions)
                 t.instrs += instrs;
@@ -491,6 +561,17 @@ Runner::runMixes(const std::vector<MixJob> &jobs)
         }
     });
 
+    if (shutdownRequested()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (results[i].attempts == 0 && !results[i].ok) {
+                results[i].error =
+                    "interrupted: shutdown requested before this job "
+                    "ran";
+                ++last_.interrupted;
+            }
+        }
+    }
+
     for (std::size_t i = 0; i < n; ++i) {
         const JobTiming &t = last_.perJob[i];
         last_.busySeconds += t.seconds;
@@ -502,8 +583,11 @@ Runner::runMixes(const std::vector<MixJob> &jobs)
             last_.failures.push_back(
                 JobFailure{i, t.key, results[i].error,
                            results[i].attempts, results[i].timedOut});
-        } else if (results[i].attempts > 1) {
-            ++last_.retried;
+        } else {
+            if (results[i].attempts > 1)
+                ++last_.retried;
+            if (results[i].resumed)
+                ++last_.resumed;
         }
     }
     last_.wallSeconds = secondsSince(batch_start);

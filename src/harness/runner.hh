@@ -71,6 +71,29 @@ struct MixJob
  */
 std::string jobKey(const Job &job);
 
+// --- graceful shutdown --------------------------------------------------
+//
+// A shutdown request (SIGINT/SIGTERM via installSignalHandlers, or
+// requestShutdown from a test) stops every live batch from
+// dispatching further jobs: running simulations finish normally —
+// writing their pending periodic checkpoints on the way — and the
+// batch returns with its partial summary; jobs that never started are
+// failed with an "interrupted" error so the PR 2 exit contract (any
+// failed job => nonzero exit) reports the truncation.
+
+/** Flip the process-wide shutdown flag (async-signal-safe). */
+void requestShutdown();
+
+/** True once a shutdown was requested. */
+bool shutdownRequested();
+
+/** Reset the flag (tests; a fresh batch after a handled interrupt). */
+void clearShutdownRequest();
+
+/** Route SIGINT/SIGTERM to requestShutdown(); a second signal of the
+ *  same kind falls through to the default (immediate) disposition. */
+void installSignalHandlers();
+
 /** Final state of one submitted single-core job. */
 struct JobOutcome
 {
@@ -79,6 +102,8 @@ struct JobOutcome
     std::string error;       //!< why the job failed (empty when ok)
     unsigned attempts = 0;   //!< simulation attempts (0 = cache/dedup)
     bool timedOut = false;   //!< failed by the wall-clock watchdog
+    bool resumed = false;    //!< continued from a checkpoint
+    Cycle ckptCycle = 0;     //!< cycle of the resumed checkpoint
 };
 
 /** Final state of one submitted mix job. */
@@ -89,6 +114,8 @@ struct MixJobOutcome
     std::string error;
     unsigned attempts = 0;
     bool timedOut = false;
+    bool resumed = false;
+    Cycle ckptCycle = 0;
 };
 
 /** One failed job, for the batch summary. */
@@ -123,6 +150,8 @@ struct BatchStats
     std::size_t retried = 0;   //!< jobs that needed more than 1 attempt
     std::size_t timedOut = 0;  //!< jobs failed by the watchdog
     std::size_t storeFailures = 0;  //!< store-hook errors (job still ok)
+    std::size_t resumed = 0;   //!< jobs that continued from a checkpoint
+    std::size_t interrupted = 0;  //!< jobs skipped by a shutdown request
     std::vector<JobFailure> failures;  //!< one per failed unique job
     double wallSeconds = 0.0;  //!< batch wall-clock
     double busySeconds = 0.0;  //!< sum of per-job wall times

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -499,6 +501,66 @@ IpcpL1::operate(Addr addr, Ip ip, bool, AccessType type, std::uint32_t)
           default:
             break;
         }
+    }
+}
+
+void
+IpcpL1::serialize(StateIO &io)
+{
+    const std::size_t ip = ipTable_.size();
+    const std::size_t cspt = cspt_.size();
+    const std::size_t rst = rst_.size();
+    const std::size_t rr = rrFilter_.size();
+    io.io(ipTable_);
+    io.io(cspt_);
+    io.io(rst_);
+    io.io(rrFilter_);
+    for (ClassThrottle &t : throttle_)
+        t.serialize(io);
+    io.io(nlEnabled_);
+    io.io(epochStartInstr_);
+    io.io(epochStartMisses_);
+    if (io.reading()) {
+        if (ipTable_.size() != ip || cspt_.size() != cspt ||
+            rst_.size() != rst || rrFilter_.size() != rr)
+            StateIO::failCorrupt("ipcp-l1 table size mismatch");
+        audit();
+    }
+}
+
+void
+IpcpL1::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("ipcp-l1: ") + why));
+    };
+    for (const IpEntry &e : ipTable_) {
+        if (!e.valid)
+            continue;
+        if (e.lastLineOffset >= 64)
+            fail("IP-table line offset outside the page");
+        if (e.lastVpage >= 4)
+            fail("IP-table vpage tag wider than 2 bits");
+        if (e.signature >= 128)
+            fail("CPLX signature wider than 7 bits");
+    }
+    for (const RstEntry &e : rst_) {
+        if (!e.valid)
+            continue;
+        if (e.lastLineOffset >= 32)
+            fail("RST line offset outside the region");
+        if (e.lru >= rst_.size())
+            fail("RST LRU rank outside the table");
+        if (e.regionId >= 8)
+            fail("RST region id wider than 3 bits");
+    }
+    // Note: useful may legitimately exceed fills within an epoch — a
+    // prefetch filled in the previous epoch (before the counters were
+    // reset) can turn useful in this one.
+    for (const ClassThrottle &t : throttle_) {
+        if (t.degree < 1)
+            fail("class throttle degree fell below one");
     }
 }
 

@@ -101,6 +101,16 @@ class IpcpL1 : public Prefetcher
     /** True when the tentative-NL gate is currently open. */
     bool nlEnabled() const { return nlEnabled_; }
 
+    void serialize(StateIO &io) override;
+
+    /**
+     * Table-entry legality per the paper's field widths: IP-table
+     * offsets within the page (6-bit), vpage tags 2-bit, RST offsets
+     * within the region (5-bit) and LRU ranks within the 8-entry
+     * table.
+     */
+    void audit() const override;
+
   private:
     struct IpEntry
     {
@@ -113,12 +123,35 @@ class IpcpL1 : public Prefetcher
         bool streamValid = false;        //!< GS class membership
         bool directionPositive = true;   //!< GS direction
         std::uint8_t signature = 0;      //!< 7-bit CPLX signature
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(tag);
+            io.io(valid);
+            io.io(lastVpage);
+            io.io(lastLineOffset);
+            io.io(stride);
+            confidence.serialize(io);
+            io.io(streamValid);
+            io.io(directionPositive);
+            io.io(signature);
+        }
     };
 
     struct CsptEntry
     {
         int stride = 0;
         SatCounter<2> confidence;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(stride);
+            confidence.serialize(io);
+        }
     };
 
     struct RstEntry
@@ -142,6 +175,22 @@ class IpcpL1 : public Prefetcher
         bool trained = false;
         bool tentative = false;
         std::uint8_t lru = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(regionTag);
+            io.io(regionId);
+            io.io(lastLineOffset);
+            io.io(bitVector);
+            denseCount.serialize(io);
+            posNeg.serialize(io);
+            io.io(trained);
+            io.io(tentative);
+            io.io(lru);
+        }
     };
 
     /** Per-class throttling state. */
@@ -151,6 +200,16 @@ class IpcpL1 : public Prefetcher
         std::uint64_t fills = 0;
         std::uint64_t useful = 0;
         double lastAccuracy = 1.0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(degree);
+            io.io(fills);
+            io.io(useful);
+            io.io(lastAccuracy);
+        }
     };
 
     std::uint8_t regionIdOf(Addr region) const;

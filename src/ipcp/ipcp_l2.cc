@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -131,6 +133,34 @@ IpcpL2::operate(Addr addr, Ip ip, bool, AccessType type,
         break;
       case MetaClass::None:
         break;
+    }
+}
+
+void
+IpcpL2::serialize(StateIO &io)
+{
+    const std::size_t expect = table_.size();
+    io.io(table_);
+    io.io(nlEnabled_);
+    io.io(epochStartInstr_);
+    io.io(epochStartMisses_);
+    if (io.reading()) {
+        if (table_.size() != expect)
+            StateIO::failCorrupt("ipcp-l2 table size mismatch");
+        audit();
+    }
+}
+
+void
+IpcpL2::audit() const
+{
+    for (const IpEntry &e : table_) {
+        if (!e.valid)
+            continue;
+        if (e.cls != MetaClass::None && e.cls != MetaClass::CS &&
+            e.cls != MetaClass::GS && e.cls != MetaClass::NL)
+            throw ErrorException(makeError(
+                Errc::corrupt, "ipcp-l2: illegal metadata class"));
     }
 }
 

@@ -47,6 +47,9 @@ class IpcpL2 : public Prefetcher
 
     bool nlEnabled() const { return nlEnabled_; }
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct IpEntry
     {
@@ -54,6 +57,16 @@ class IpcpL2 : public Prefetcher
         bool valid = false;
         MetaClass cls = MetaClass::None;
         int stride = 0;  //!< 7-bit stride or stream direction
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(tag);
+            io.io(valid);
+            io.io(cls);
+            io.io(stride);
+        }
     };
 
     void updateMpkiGate();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
 
 namespace bouquet
 {
@@ -133,6 +135,22 @@ Dram::tick(Cycle cycle)
         }
         // Start new accesses while the bus has room this cycle.
         schedule(ch, cycle);
+    }
+}
+
+void
+Dram::audit() const
+{
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        const Channel &ch = channels_[c];
+        if (ch.queue.size() > config_.queueSize)
+            throw ErrorException(makeError(
+                Errc::corrupt, "DRAM channel " + std::to_string(c) +
+                                   " queue overflows its bound"));
+        if (ch.banks.size() != config_.banksPerChannel)
+            throw ErrorException(makeError(
+                Errc::corrupt, "DRAM channel " + std::to_string(c) +
+                                   " bank count mismatch"));
     }
 }
 

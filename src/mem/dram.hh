@@ -61,6 +61,18 @@ class Dram : public ReqSink, public Clocked
         std::uint64_t dataCycles = 0;   //!< bus-occupied cycles
 
         void reset() { *this = Stats{}; }
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(reads);
+            io.io(writes);
+            io.io(rowHits);
+            io.io(rowMisses);
+            io.io(busyRejects);
+            io.io(dataCycles);
+        }
     };
 
     explicit Dram(DramConfig cfg);
@@ -90,17 +102,54 @@ class Dram : public ReqSink, public Clocked
         return (stats_.reads + stats_.writes) * kLineSize;
     }
 
+    /**
+     * Channel count is configuration and must match; queues, bank
+     * rows/timers and in-flight completions checkpoint in container
+     * order (swap-removal makes the order state, not presentation).
+     */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        std::uint32_t n = static_cast<std::uint32_t>(channels_.size());
+        io.io(n);
+        if (io.reading() && n != channels_.size())
+            io.failCorrupt("checkpoint DRAM channel count mismatch");
+        for (auto &ch : channels_)
+            ch.serialize(io);
+        stats_.serialize(io);
+    }
+
+    /** Structural invariants; throws ErrorException on violation. */
+    void audit() const;
+
   private:
     struct Pending
     {
         MemRequest req;
         Cycle readyAt;  //!< when the data transfer completes
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(req);
+            io.io(readyAt);
+        }
     };
 
     struct Bank
     {
         std::uint64_t openRow = ~0ull;
         Cycle readyAt = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(openRow);
+            io.io(readyAt);
+        }
     };
 
     struct Channel
@@ -109,6 +158,16 @@ class Dram : public ReqSink, public Clocked
         std::vector<Bank> banks;
         Cycle busFreeAt = 0;
         std::vector<Pending> inflight;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(queue);
+            io.io(banks);
+            io.io(busFreeAt);
+            io.io(inflight);
+        }
     };
 
     unsigned channelOf(LineAddr line) const;

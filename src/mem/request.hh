@@ -36,6 +36,23 @@ struct MemRequest
     CacheLevel fillLevel = CacheLevel::L1D;  //!< deepest fill target
     std::uint64_t id = 0;         //!< core-side completion token
     RespTarget *requester = nullptr;  //!< where the response goes
+
+    /** The requester pointer travels as a checkpoint registry index. */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(line);
+        io.io(vaddr);
+        io.io(ip);
+        io.io(type);
+        io.io(core);
+        io.io(metadata);
+        io.io(pfClass);
+        io.io(fillLevel);
+        io.io(id);
+        io.ioTarget(requester);
+    }
 };
 
 /** Downstream interface: something requests can be sent to. */

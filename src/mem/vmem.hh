@@ -15,8 +15,11 @@
 #ifndef BOUQUET_MEM_VMEM_HH
 #define BOUQUET_MEM_VMEM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -51,6 +54,39 @@ class VirtualMemory
 
     /** True if the page is already mapped (no allocation side effect). */
     bool isMapped(std::uint32_t process, Addr vaddr) const;
+
+    /**
+     * The page table serializes as a key-sorted (key, pfn) vector so
+     * the byte image is independent of unordered_map iteration order.
+     */
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        io.io(nextIndex_);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> flat;
+        if (io.writing()) {
+            flat.assign(pageTable_.begin(), pageTable_.end());
+            std::sort(flat.begin(), flat.end());
+        }
+        std::uint64_t n = flat.size();
+        io.io(n);
+        if (io.reading()) {
+            if (n > io.remaining())
+                io.failCorrupt("page-table entry count exceeds payload");
+            flat.resize(static_cast<std::size_t>(n));
+        }
+        for (auto &e : flat) {
+            io.io(e.first);
+            io.io(e.second);
+        }
+        if (io.reading()) {
+            pageTable_.clear();
+            pageTable_.reserve(flat.size());
+            for (const auto &e : flat)
+                pageTable_.emplace(e.first, e.second);
+        }
+    }
 
   private:
     std::uint64_t frameFor(std::uint32_t process, Addr vpn);

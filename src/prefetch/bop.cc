@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -136,6 +138,46 @@ BopPrefetcher::onFill(Addr addr, bool, std::uint8_t)
     // later access to X+D scores offset D; inserting X itself (as the
     // paper does with X - D at issue of X) approximates timeliness.
     rrInsert(lineAddr(addr));
+}
+
+void
+BopPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t rr = rr_.size();
+    const std::size_t offsets = offsets_.size();
+    io.io(rr_);
+    io.io(scores_);
+    io.io(bestOffset_);
+    io.io(prefetchOn_);
+    io.io(testIndex_);
+    io.io(roundCount_);
+    io.io(bestScoreSeen_);
+    if (io.reading()) {
+        if (rr_.size() != rr || scores_.size() != offsets)
+            StateIO::failCorrupt("bop table size mismatch");
+        audit();
+    }
+}
+
+void
+BopPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("bop: ") + why));
+    };
+    if (testIndex_ >= offsets_.size())
+        fail("test index outside the offset list");
+    for (const unsigned s : scores_) {
+        if (s > params_.scoreMax)
+            fail("offset score exceeds its maximum");
+    }
+    if (bestScoreSeen_ > params_.scoreMax)
+        fail("best score exceeds its maximum");
+    if (bestOffset_ != 0 &&
+        std::find(offsets_.begin(), offsets_.end(), bestOffset_) ==
+            offsets_.end())
+        fail("selected offset is not a candidate");
 }
 
 } // namespace bouquet

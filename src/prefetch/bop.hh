@@ -46,6 +46,9 @@ class BopPrefetcher : public Prefetcher
     /** Currently selected offset (0 when prefetching is off). */
     int bestOffset() const { return bestOffset_; }
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     bool rrProbe(LineAddr line) const;
     void rrInsert(LineAddr line);

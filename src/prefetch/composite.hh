@@ -85,6 +85,20 @@ class CompositePrefetcher : public Prefetcher
         return total;
     }
 
+    void
+    serialize(StateIO &io) override
+    {
+        for (auto &c : children_)
+            c->serialize(io);
+    }
+
+    void
+    audit() const override
+    {
+        for (const auto &c : children_)
+            c->audit();
+    }
+
   private:
     std::vector<std::unique_ptr<Prefetcher>> children_;
 };

@@ -1,5 +1,8 @@
 #include "prefetch/dol.hh"
 
+#include "common/errors.hh"
+#include "common/stateio.hh"
+
 namespace bouquet
 {
 
@@ -113,6 +116,32 @@ DolPrefetcher::operate(Addr addr, Ip ip, bool, AccessType type,
                                      fill, 0, 0))
                 ++pushed;
         }
+    }
+}
+
+void
+DolPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t strides = strides_.size();
+    const std::size_t regions = regions_.size();
+    io.io(strides_);
+    io.io(regions_);
+    io.io(clock_);
+    if (io.reading()) {
+        if (strides_.size() != strides || regions_.size() != regions)
+            StateIO::failCorrupt("dol table size mismatch");
+        audit();
+    }
+}
+
+void
+DolPrefetcher::audit() const
+{
+    for (const RegionEntry &r : regions_) {
+        if (r.valid && r.lastUse > clock_)
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                "dol: region entry used ahead of the clock"));
     }
 }
 

@@ -52,6 +52,9 @@ class DolPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct StrideEntry
     {
@@ -60,6 +63,17 @@ class DolPrefetcher : public Prefetcher
         LineAddr lastLine = 0;
         int stride = 0;
         SatCounter<2> confidence;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(tag);
+            io.io(lastLine);
+            io.io(stride);
+            confidence.serialize(io);
+        }
     };
 
     struct RegionEntry
@@ -70,6 +84,18 @@ class DolPrefetcher : public Prefetcher
         unsigned count = 0;
         bool streamed = false;   //!< never declassified (DOL weakness)
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(region);
+            io.io(bitmap);
+            io.io(count);
+            io.io(streamed);
+            io.io(lastUse);
+        }
     };
 
     DolParams params_;

@@ -1,6 +1,8 @@
 #include "prefetch/dspatch.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -120,6 +122,43 @@ void
 DspatchPrefetcher::onPrefetchUseful(Addr, std::uint8_t)
 {
     ++useful_;
+}
+
+void
+DspatchPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t pages = pages_.size();
+    const std::size_t spt = spt_.size();
+    io.io(pages_);
+    io.io(spt_);
+    io.io(clock_);
+    io.io(fills_);
+    io.io(useful_);
+    io.io(accuracy_);
+    if (io.reading()) {
+        if (pages_.size() != pages || spt_.size() != spt)
+            StateIO::failCorrupt("dspatch table size mismatch");
+        audit();
+    }
+}
+
+void
+DspatchPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("dspatch: ") + why));
+    };
+    for (const PageEntry &p : pages_) {
+        if (!p.valid)
+            continue;
+        if (p.lastUse > clock_)
+            fail("page entry used ahead of the clock");
+        if (p.triggerOffset >= 64)
+            fail("trigger offset outside the page");
+    }
+    if (useful_ > fills_)
+        fail("more useful prefetches than fills");
 }
 
 } // namespace bouquet

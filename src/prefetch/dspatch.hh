@@ -50,6 +50,9 @@ class DspatchPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct PageEntry
     {
@@ -59,6 +62,18 @@ class DspatchPrefetcher : public Prefetcher
         std::uint8_t triggerOffset = 0;
         std::uint64_t bitmap = 0;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(page);
+            io.io(triggerPc);
+            io.io(triggerOffset);
+            io.io(bitmap);
+            io.io(lastUse);
+        }
     };
 
     struct SptEntry
@@ -68,6 +83,17 @@ class DspatchPrefetcher : public Prefetcher
         std::uint64_t covP = 0;  //!< coverage-biased (OR)
         std::uint64_t accP = 0;  //!< accuracy-biased (AND)
         std::uint8_t trained = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(pcTag);
+            io.io(covP);
+            io.io(accP);
+            io.io(trained);
+        }
     };
 
     /** Rotate a 64-bit page bitmap so the trigger offset is bit 0. */

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/errors.hh"
+#include "common/stateio.hh"
+
 namespace bouquet
 {
 
@@ -120,6 +123,43 @@ MlopPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
             continue;
         host_->issuePrefetch(target, host_->level(), 0, 0);
     }
+}
+
+void
+MlopPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t maps = maps_.size();
+    const std::size_t scores = scores_.size();
+    io.io(maps_);
+    io.io(scores_);
+    io.io(selected_);
+    io.io(events_);
+    io.io(clock_);
+    if (io.reading()) {
+        if (maps_.size() != maps || scores_.size() != scores)
+            StateIO::failCorrupt("mlop table size mismatch");
+        audit();
+    }
+}
+
+void
+MlopPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("mlop: ") + why));
+    };
+    for (const MapEntry &m : maps_) {
+        if (m.valid && m.lastUse > clock_)
+            fail("access map used ahead of the clock");
+    }
+    for (const int off : selected_) {
+        if (off == 0 || off < -params_.maxOffset ||
+            off > params_.maxOffset)
+            fail("selected offset outside the candidate range");
+    }
+    if (events_ > params_.epochEvents)
+        fail("epoch event count exceeds the epoch length");
 }
 
 } // namespace bouquet

@@ -49,6 +49,9 @@ class MlopPrefetcher : public Prefetcher
     /** Offsets currently selected for prefetching (tests). */
     const std::vector<int> &selectedOffsets() const { return selected_; }
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct MapEntry
     {
@@ -56,6 +59,16 @@ class MlopPrefetcher : public Prefetcher
         Addr page = 0;
         std::uint64_t bitmap = 0;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(page);
+            io.io(bitmap);
+            io.io(lastUse);
+        }
     };
 
     MapEntry *findMap(Addr page);

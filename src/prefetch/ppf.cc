@@ -1,6 +1,8 @@
 #include "prefetch/ppf.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -190,6 +192,41 @@ PpfPrefetcher::onPrefetchUseful(Addr addr, std::uint8_t)
             const int sum = sumWeights(r->features);
             if (sum < params_.trainTheta)
                 train(r->features, true);
+        }
+    }
+}
+
+void
+PpfPrefetcher::serialize(StateIO &io)
+{
+    spp_->serialize(io);
+    for (auto &table : weights_) {
+        const std::size_t expect = table.size();
+        io.io(table);
+        if (io.reading() && table.size() != expect)
+            StateIO::failCorrupt("ppf weight table size mismatch");
+    }
+    const std::size_t issued = issued_.size();
+    const std::size_t rejected = rejected_.size();
+    io.io(issued_);
+    io.io(rejected_);
+    if (io.reading()) {
+        if (issued_.size() != issued || rejected_.size() != rejected)
+            StateIO::failCorrupt("ppf record table size mismatch");
+        audit();
+    }
+}
+
+void
+PpfPrefetcher::audit() const
+{
+    spp_->audit();
+    for (const auto &table : weights_) {
+        for (const int w : table) {
+            if (w < params_.weightMin || w > params_.weightMax)
+                throw ErrorException(makeError(
+                    Errc::corrupt,
+                    "ppf: perceptron weight outside its 5-bit range"));
         }
     }
 }

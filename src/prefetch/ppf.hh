@@ -62,6 +62,9 @@ class PpfPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct Record
     {
@@ -69,6 +72,16 @@ class PpfPrefetcher : public Prefetcher
         std::uint32_t tag = 0;
         std::array<std::uint16_t, kPpfFeatures> features{};
         bool used = false;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(tag);
+            io.io(features);
+            io.io(used);
+        }
     };
 
     static bool gateTramp(void *ctx, Addr target, Addr trigger,

@@ -21,6 +21,8 @@
 namespace bouquet
 {
 
+class StateIO;
+
 /**
  * Services a cache provides to its prefetcher.
  */
@@ -120,6 +122,19 @@ class Prefetcher
 
     /** Modeled hardware budget in bits (Table I accounting). */
     virtual std::size_t storageBits() const = 0;
+
+    /**
+     * Checkpoint all mutable predictor state. The default no-op is
+     * only correct for stateless prefetchers; every table-bearing
+     * prefetcher overrides this.
+     */
+    virtual void serialize(StateIO &io) { (void)io; }
+
+    /**
+     * Validate table-entry legality (field ranges, LRU sanity);
+     * throws ErrorException (Errc::corrupt) on violation.
+     */
+    virtual void audit() const {}
 
   protected:
     PrefetchHost *host_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -121,6 +123,41 @@ SandboxPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
                 break;
             host_->issuePrefetch(t, host_->level(), 0, 0);
         }
+    }
+}
+
+void
+SandboxPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t bloom = bloom_.size();
+    io.io(trialIndex_);
+    io.io(trialAccesses_);
+    io.io(trialScore_);
+    io.io(bloom_);
+    io.io(active_);
+    if (io.reading()) {
+        if (bloom_.size() != bloom)
+            StateIO::failCorrupt("sandbox bloom filter size mismatch");
+        audit();
+    }
+}
+
+void
+SandboxPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("sandbox: ") + why));
+    };
+    if (trialIndex_ >= candidates_.size())
+        fail("trial index outside the candidate list");
+    if (trialAccesses_ > params_.evaluationPeriod)
+        fail("trial access count exceeds the evaluation period");
+    if (active_.size() > params_.maxActive)
+        fail("more active offsets than the configured maximum");
+    for (const Active &a : active_) {
+        if (a.offset == 0)
+            fail("active offset of zero");
     }
 }
 

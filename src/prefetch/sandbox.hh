@@ -48,10 +48,22 @@ class SandboxPrefetcher : public Prefetcher
         int offset;
         unsigned degree;
         unsigned score;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(offset);
+            io.io(degree);
+            io.io(score);
+        }
     };
 
     /** Currently promoted offsets with their degrees (for tests). */
     const std::vector<Active> &activeOffsets() const { return active_; }
+
+    void serialize(StateIO &io) override;
+    void audit() const override;
 
   private:
     void bloomInsert(LineAddr line);

@@ -1,6 +1,8 @@
 #include "prefetch/simple.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -251,6 +253,58 @@ StreamPrefetcher::operate(Addr addr, Ip, bool cache_hit,
         victim2->lastLine = line;
         victim2->direction = -1;
         victim2->lastUse = clock_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+void
+ThrottledNextLine::serialize(StateIO &io)
+{
+    io.io(fills_);
+    io.io(useful_);
+    io.io(disabledMisses_);
+    io.io(enabled_);
+}
+
+void
+IpStridePrefetcher::serialize(StateIO &io)
+{
+    const std::size_t expect = table_.size();
+    io.io(table_);
+    if (io.reading() && table_.size() != expect)
+        StateIO::failCorrupt("ip-stride table size mismatch");
+}
+
+void
+StreamPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t expect = streams_.size();
+    io.io(streams_);
+    io.io(clock_);
+    if (io.reading()) {
+        if (streams_.size() != expect)
+            StateIO::failCorrupt("stream table size mismatch");
+        audit();
+    }
+}
+
+void
+StreamPrefetcher::audit() const
+{
+    for (const Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        if (s.lastUse > clock_)
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                "stream prefetcher: entry used ahead of the clock"));
+        if (s.direction != 1 && s.direction != -1)
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                "stream prefetcher: illegal stream direction"));
     }
 }
 

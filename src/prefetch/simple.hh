@@ -65,6 +65,8 @@ class ThrottledNextLine : public Prefetcher
     /** Two 16-bit counters. */
     std::size_t storageBits() const override { return 32; }
 
+    void serialize(StateIO &io) override;
+
   private:
     std::uint64_t fills_ = 0;
     std::uint64_t useful_ = 0;
@@ -97,6 +99,8 @@ class IpStridePrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+
   private:
     struct Entry
     {
@@ -105,6 +109,17 @@ class IpStridePrefetcher : public Prefetcher
         LineAddr lastLine = 0;
         int stride = 0;
         SatCounter<2> confidence;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(tag);
+            io.io(valid);
+            io.io(lastLine);
+            io.io(stride);
+            confidence.serialize(io);
+        }
     };
 
     IpStrideParams params_;
@@ -137,6 +152,9 @@ class StreamPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct Stream
     {
@@ -146,6 +164,18 @@ class StreamPrefetcher : public Prefetcher
         LineAddr lastLine = 0;
         unsigned trainHits = 0;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(trained);
+            io.io(direction);
+            io.io(lastLine);
+            io.io(trainHits);
+            io.io(lastUse);
+        }
     };
 
     StreamParams params_;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -226,6 +228,69 @@ BingoPrefetcher::predict(unsigned trigger_offset, std::uint32_t pc_hash,
             out |= 1ull << ((trigger_offset + bit) % lines);
     }
     return out;
+}
+
+void
+SpatialPatternBase::serialize(StateIO &io)
+{
+    const std::size_t expect = regions_.size();
+    io.io(regions_);
+    io.io(clock_);
+    serializeHistory(io);
+    if (io.reading()) {
+        if (regions_.size() != expect)
+            StateIO::failCorrupt(
+                "spatial accumulation table size mismatch");
+        audit();
+    }
+}
+
+void
+SpatialPatternBase::audit() const
+{
+    for (const ActiveRegion &r : regions_) {
+        if (!r.valid)
+            continue;
+        if (r.triggerOffset >= linesPerRegion())
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                name() + ": trigger offset outside the region"));
+        if (r.lastUse > clock_)
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                name() + ": region used ahead of the clock"));
+    }
+    auditHistory();
+}
+
+void
+SmsPrefetcher::serializeHistory(StateIO &io)
+{
+    const std::size_t expect = pht_.size();
+    io.io(pht_);
+    if (io.reading() && pht_.size() != expect)
+        StateIO::failCorrupt("sms pattern history size mismatch");
+}
+
+void
+BingoPrefetcher::serializeHistory(StateIO &io)
+{
+    const std::size_t expect = pht_.size();
+    io.io(pht_);
+    io.io(clock_);
+    if (io.reading() && pht_.size() != expect)
+        StateIO::failCorrupt("bingo pattern history size mismatch");
+}
+
+void
+BingoPrefetcher::auditHistory() const
+{
+    for (const PhtEntry &e : pht_) {
+        if (e.valid && e.lastUse > clock_)
+            throw ErrorException(makeError(
+                Errc::corrupt,
+                "bingo: history entry used ahead of the clock"));
+    }
 }
 
 } // namespace bouquet

@@ -42,6 +42,9 @@ class SpatialPatternBase : public Prefetcher
     void operate(Addr addr, Ip ip, bool cache_hit, AccessType type,
                  std::uint32_t meta_in) override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   protected:
     struct ActiveRegion
     {
@@ -52,7 +55,26 @@ class SpatialPatternBase : public Prefetcher
         std::uint64_t bitmap = 0;
         std::uint64_t pending = 0;  //!< predicted lines not yet issued
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(region);
+            io.io(triggerPc);
+            io.io(triggerOffset);
+            io.io(bitmap);
+            io.io(pending);
+            io.io(lastUse);
+        }
     };
+
+    /** Checkpoint the derived class's pattern history. */
+    virtual void serializeHistory(StateIO &io) = 0;
+
+    /** Audit the derived class's pattern history. */
+    virtual void auditHistory() const {}
 
     /** Store a finished region's pattern into the history. */
     virtual void recordPattern(const ActiveRegion &r) = 0;
@@ -89,6 +111,7 @@ class SmsPrefetcher : public SpatialPatternBase
     void recordPattern(const ActiveRegion &r) override;
     std::uint64_t predict(unsigned trigger_offset,
                           std::uint32_t pc_hash, Addr region) override;
+    void serializeHistory(StateIO &io) override;
 
   private:
     struct PhtEntry
@@ -96,6 +119,15 @@ class SmsPrefetcher : public SpatialPatternBase
         bool valid = false;
         std::uint32_t key = 0;
         std::uint64_t pattern = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(key);
+            io.io(pattern);
+        }
     };
 
     std::vector<PhtEntry> pht_;
@@ -114,6 +146,8 @@ class BingoPrefetcher : public SpatialPatternBase
     void recordPattern(const ActiveRegion &r) override;
     std::uint64_t predict(unsigned trigger_offset,
                           std::uint32_t pc_hash, Addr region) override;
+    void serializeHistory(StateIO &io) override;
+    void auditHistory() const override;
 
   private:
     struct PhtEntry
@@ -123,6 +157,17 @@ class BingoPrefetcher : public SpatialPatternBase
         std::uint32_t shortKey = 0;  //!< hash of PC + offset
         std::uint64_t pattern = 0;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(longKey);
+            io.io(shortKey);
+            io.io(pattern);
+            io.io(lastUse);
+        }
     };
 
     static std::uint32_t longKeyOf(std::uint32_t pc_hash, Addr region);

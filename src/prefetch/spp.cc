@@ -1,6 +1,8 @@
 #include "prefetch/spp.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -167,6 +169,58 @@ SppPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
             lookahead(page_base, offset, st.signature, addr);
             break;
         }
+    }
+}
+
+void
+SppPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t st = st_.size();
+    const std::size_t pt = pt_.size();
+    const std::size_t ghr = ghr_.size();
+    const std::size_t filter = filter_.size();
+    io.io(st_);
+    io.io(pt_);
+    io.io(ghr_);
+    io.io(filter_);
+    if (io.reading()) {
+        if (st_.size() != st || pt_.size() != pt ||
+            ghr_.size() != ghr || filter_.size() != filter)
+            StateIO::failCorrupt("spp table size mismatch");
+        audit();
+    }
+}
+
+void
+SppPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("spp: ") + why));
+    };
+    for (const StEntry &e : st_) {
+        if (!e.valid)
+            continue;
+        if (e.lastOffset >= 64)
+            fail("signature-table offset outside the page");
+        if (e.signature > 0xFFF)
+            fail("signature wider than 12 bits");
+    }
+    for (const PtEntry &e : pt_) {
+        if (e.sigCount > 15)
+            fail("pattern-table signature count wider than 4 bits");
+        if (e.deltas.size() != params_.deltasPerEntry)
+            fail("pattern-table entry delta list resized");
+        for (const PtDelta &d : e.deltas) {
+            if (d.count > 15)
+                fail("delta count wider than 4 bits");
+            if (d.count > e.sigCount)
+                fail("delta counted more often than its signature");
+        }
+    }
+    for (const GhrEntry &e : ghr_) {
+        if (e.valid && e.lastOffset >= 64)
+            fail("global-history offset outside the page");
     }
 }
 

@@ -68,6 +68,10 @@ class SppPrefetcher : public Prefetcher
         gateCtx_ = ctx;
     }
 
+    /** The gate callback/context are wiring, not state: not saved. */
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct StEntry
     {
@@ -75,18 +79,44 @@ class SppPrefetcher : public Prefetcher
         std::uint32_t pageTag = 0;
         std::uint8_t lastOffset = 0;
         std::uint16_t signature = 0;  //!< 12 bits
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(pageTag);
+            io.io(lastOffset);
+            io.io(signature);
+        }
     };
 
     struct PtDelta
     {
         int delta = 0;
         std::uint8_t count = 0;  //!< 4-bit
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(delta);
+            io.io(count);
+        }
     };
 
     struct PtEntry
     {
         std::uint8_t sigCount = 0;  //!< 4-bit
         std::vector<PtDelta> deltas;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(sigCount);
+            io.io(deltas);
+        }
     };
 
     struct GhrEntry
@@ -96,6 +126,17 @@ class SppPrefetcher : public Prefetcher
         double confidence = 0;
         std::uint8_t lastOffset = 0;
         int delta = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(signature);
+            io.io(confidence);
+            io.io(lastOffset);
+            io.io(delta);
+        }
     };
 
     static std::uint16_t

@@ -1,6 +1,8 @@
 #include "prefetch/tskid.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -150,6 +152,43 @@ TskidPrefetcher::onPrefetchUseful(Addr addr, std::uint8_t)
             ++e.lookahead;
     }
     s.valid = false;
+}
+
+void
+TskidPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t table = table_.size();
+    const std::size_t samples = samples_.size();
+    io.io(table_);
+    io.io(samples_);
+    io.io(clock_);
+    if (io.reading()) {
+        if (table_.size() != table || samples_.size() != samples)
+            StateIO::failCorrupt("tskid table size mismatch");
+        audit();
+    }
+}
+
+void
+TskidPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("tskid: ") + why));
+    };
+    for (const Entry &e : table_) {
+        if (!e.valid)
+            continue;
+        if (e.lookahead < params_.minLookahead ||
+            e.lookahead > params_.maxLookahead)
+            fail("lookahead outside its configured window");
+        if (e.lastUse > clock_)
+            fail("table entry used ahead of the clock");
+    }
+    for (const InflightSample &s : samples_) {
+        if (s.valid && s.entryIdx >= table_.size())
+            fail("in-flight sample points outside the table");
+    }
 }
 
 } // namespace bouquet

@@ -50,6 +50,9 @@ class TskidPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct Entry
     {
@@ -60,6 +63,19 @@ class TskidPrefetcher : public Prefetcher
         SatCounter<2> confidence;
         unsigned lookahead = 4;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(tag);
+            io.io(lastLine);
+            io.io(stride);
+            confidence.serialize(io);
+            io.io(lookahead);
+            io.io(lastUse);
+        }
     };
 
     struct InflightSample
@@ -69,6 +85,17 @@ class TskidPrefetcher : public Prefetcher
         std::uint32_t entryIdx = 0;
         Cycle fillCycle = 0;
         bool filled = false;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(lineTag);
+            io.io(entryIdx);
+            io.io(fillCycle);
+            io.io(filled);
+        }
     };
 
     Entry *lookup(Ip ip, std::uint32_t &idx_out);

@@ -1,6 +1,8 @@
 #include "prefetch/vldp.hh"
 
 #include "common/bitops.hh"
+#include "common/errors.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -173,6 +175,45 @@ VldpPrefetcher::operate(Addr addr, Ip, bool, AccessType type,
         walk.deltas[0] = next;
         if (walk.numDeltas < kVldpTables)
             ++walk.numDeltas;
+    }
+}
+
+void
+VldpPrefetcher::serialize(StateIO &io)
+{
+    const std::size_t dhb = dhb_.size();
+    io.io(dhb_);
+    for (auto &table : dpt_) {
+        const std::size_t expect = table.size();
+        io.io(table);
+        if (io.reading() && table.size() != expect)
+            StateIO::failCorrupt("vldp prediction table size mismatch");
+    }
+    io.io(opt_);
+    io.io(clock_);
+    if (io.reading()) {
+        if (dhb_.size() != dhb)
+            StateIO::failCorrupt("vldp history buffer size mismatch");
+        audit();
+    }
+}
+
+void
+VldpPrefetcher::audit() const
+{
+    auto fail = [](const char *why) {
+        throw ErrorException(
+            makeError(Errc::corrupt, std::string("vldp: ") + why));
+    };
+    for (const DhbEntry &e : dhb_) {
+        if (!e.valid)
+            continue;
+        if (e.lastOffset >= 64)
+            fail("history offset outside the page");
+        if (e.numDeltas > kVldpTables)
+            fail("delta history longer than its buffer");
+        if (e.lastUse > clock_)
+            fail("history entry used ahead of the clock");
     }
 }
 

@@ -45,6 +45,9 @@ class VldpPrefetcher : public Prefetcher
 
     std::size_t storageBits() const override;
 
+    void serialize(StateIO &io) override;
+    void audit() const override;
+
   private:
     struct DhbEntry
     {
@@ -54,6 +57,18 @@ class VldpPrefetcher : public Prefetcher
         std::array<int, kVldpTables> deltas{};  //!< newest first
         unsigned numDeltas = 0;
         std::uint64_t lastUse = 0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(page);
+            io.io(lastOffset);
+            io.io(deltas);
+            io.io(numDeltas);
+            io.io(lastUse);
+        }
     };
 
     struct DptEntry
@@ -62,12 +77,30 @@ class VldpPrefetcher : public Prefetcher
         std::uint32_t key = 0;
         int prediction = 0;
         SatCounter<2> confidence;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(valid);
+            io.io(key);
+            io.io(prediction);
+            confidence.serialize(io);
+        }
     };
 
     struct OptEntry
     {
         int delta = 0;
         SatCounter<2> confidence;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(delta);
+            confidence.serialize(io);
+        }
     };
 
     static std::uint32_t hashDeltas(const int *deltas, unsigned n);

@@ -40,6 +40,13 @@ struct TraceRecord
     AccessType type = AccessType::Load;
     std::uint16_t bubble = 0;         //!< preceding non-memory instrs
     bool serialize = false;           //!< depends on previous load
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return ip == o.ip && vaddr == o.vaddr && type == o.type &&
+               bubble == o.bubble && serialize == o.serialize;
+    }
 };
 
 /**

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Tests for the crash-safe checkpoint/resume subsystem: StateIO
+ * round-trips, the checkpoint file container's rejection matrix
+ * (corruption, truncation, version and config-hash mismatches),
+ * kill-and-resume equivalence across skip/no-skip modes and core
+ * counts, the runner's automatic resume-on-retry, the ckpt.* fault
+ * points, graceful shutdown, and the runtime invariant auditor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/faultinject.hh"
+#include "common/stateio.hh"
+#include "core/system.hh"
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/runner.hh"
+#include "trace/suite.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+/** Every test starts and ends with clean fault/shutdown state. */
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FaultRegistry::instance().clear();
+        clearShutdownRequest();
+    }
+
+    void
+    TearDown() override
+    {
+        FaultRegistry::instance().clear();
+        clearShutdownRequest();
+    }
+};
+
+/** RAII temp directory for checkpoint files. */
+struct TempDir
+{
+    TempDir()
+    {
+        char buf[] = "/tmp/bouquet_ckpt_XXXXXX";
+        path = ::mkdtemp(buf);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+
+    std::string path;
+};
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg;
+    cfg.warmupInstrs = 3'000;
+    cfg.simInstrs = 15'000;
+    return cfg;
+}
+
+AttachFn
+comboAttach(const std::string &name)
+{
+    return [name](System &s) { applyCombo(s, name); };
+}
+
+const TraceSpec &
+testTrace()
+{
+    return findTrace("603.bwaves_s-891B");
+}
+
+/**
+ * Byte-identical simulated results. The host-side perf counters and
+ * the resume provenance fields are deliberately excluded: skip and
+ * no-skip modes (and resumed vs uninterrupted runs) must agree on
+ * every simulated stat but not on how the host got there.
+ */
+bool
+sameStats(const Outcome &a, const Outcome &b)
+{
+    return a.ipc == b.ipc && a.instructions == b.instructions &&
+           a.cycles == b.cycles && a.dramBytes == b.dramBytes &&
+           std::memcmp(&a.l1i, &b.l1i, sizeof(CacheStats)) == 0 &&
+           std::memcmp(&a.l1d, &b.l1d, sizeof(CacheStats)) == 0 &&
+           std::memcmp(&a.l2, &b.l2, sizeof(CacheStats)) == 0 &&
+           std::memcmp(&a.llc, &b.llc, sizeof(CacheStats)) == 0 &&
+           std::memcmp(&a.dram, &b.dram, sizeof(Dram::Stats)) == 0;
+}
+
+bool
+sameMix(const MixOutcome &a, const MixOutcome &b)
+{
+    return a.ipc == b.ipc && a.traces == b.traces &&
+           a.instructions == b.instructions && a.cycles == b.cycles &&
+           sameStats(a.system, b.system);
+}
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+Errc
+loadErrc(const std::string &path, std::uint64_t hash)
+{
+    auto r = readCheckpointFile(path, hash);
+    return r.ok() ? Errc::ok : r.error().code;
+}
+
+// ---- StateIO round-trips ----
+
+enum class Flavor : std::uint8_t
+{
+    Plain,
+    Spicy
+};
+
+TEST_F(CheckpointTest, StateIoRoundTripsEveryKind)
+{
+    std::uint64_t u64 = 0xDEADBEEFCAFEF00Dull;
+    std::int32_t neg = -12345;
+    bool flag = true;
+    double d = 3.14159265358979;
+    Flavor flavor = Flavor::Spicy;
+    std::string s = "bouquet";
+    std::vector<std::uint32_t> vec = {1, 2, 3, 0xFFFFFFFFu};
+    std::deque<std::uint16_t> dq = {7, 8, 9};
+    std::vector<bool> bits = {true, false, true, true};
+    std::array<std::uint8_t, 3> arr = {10, 20, 30};
+
+    StateIO w = StateIO::writer();
+    w.beginSection("kinds");
+    w.io(u64);
+    w.io(neg);
+    w.io(flag);
+    w.io(d);
+    w.io(flavor);
+    w.io(s);
+    w.io(vec);
+    w.io(dq);
+    w.io(bits);
+    w.io(arr);
+
+    StateIO r = StateIO::reader(w.takeBuffer());
+    std::uint64_t u64r = 0;
+    std::int32_t negr = 0;
+    bool flagr = false;
+    double dr = 0.0;
+    Flavor flavorr = Flavor::Plain;
+    std::string sr;
+    std::vector<std::uint32_t> vecr;
+    std::deque<std::uint16_t> dqr;
+    std::vector<bool> bitsr;
+    std::array<std::uint8_t, 3> arrr = {};
+    r.beginSection("kinds");
+    r.io(u64r);
+    r.io(negr);
+    r.io(flagr);
+    r.io(dr);
+    r.io(flavorr);
+    r.io(sr);
+    r.io(vecr);
+    r.io(dqr);
+    r.io(bitsr);
+    r.io(arrr);
+    r.expectEnd();
+
+    EXPECT_EQ(u64r, u64);
+    EXPECT_EQ(negr, neg);
+    EXPECT_EQ(flagr, flag);
+    EXPECT_EQ(dr, d);
+    EXPECT_EQ(flavorr, flavor);
+    EXPECT_EQ(sr, s);
+    EXPECT_EQ(vecr, vec);
+    EXPECT_EQ(dqr, dq);
+    EXPECT_EQ(bitsr, bits);
+    EXPECT_EQ(arrr, arr);
+}
+
+TEST_F(CheckpointTest, StateIoRejectsShortBuffersAndFuzzedCounts)
+{
+    // A read past the end of the payload is a truncation.
+    StateIO r = StateIO::reader({0x01, 0x02});
+    std::uint64_t v = 0;
+    try {
+        r.io(v);
+        FAIL() << "short read did not throw";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code, Errc::truncated);
+    }
+
+    // A container length larger than the remaining bytes cannot be
+    // honest and must be rejected before any allocation.
+    StateIO w = StateIO::writer();
+    std::uint64_t huge = 1ull << 40;
+    w.io(huge);
+    StateIO r2 = StateIO::reader(w.takeBuffer());
+    std::vector<std::uint32_t> vec;
+    try {
+        r2.io(vec);
+        FAIL() << "fuzzed count did not throw";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code, Errc::corrupt);
+    }
+
+    // A mismatched section tag names the structural failure.
+    StateIO w2 = StateIO::writer();
+    w2.beginSection("dram");
+    StateIO r3 = StateIO::reader(w2.takeBuffer());
+    try {
+        r3.beginSection("cache");
+        FAIL() << "section mismatch did not throw";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code, Errc::corrupt);
+    }
+}
+
+// ---- checkpoint container rejection matrix ----
+
+TEST_F(CheckpointTest, ContainerRejectionMatrix)
+{
+    TempDir dir;
+    const std::string path = dir.file("a.ckpt");
+    const std::uint64_t hash = 0x1234567890ABCDEFull;
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7};
+
+    ASSERT_TRUE(writeCheckpointFile(path, hash, payload).ok());
+
+    // Pristine file round-trips.
+    auto good = readCheckpointFile(path, hash);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.take(), payload);
+
+    const std::vector<std::uint8_t> image = readAll(path);
+    ASSERT_GE(image.size(), 36u + payload.size());
+
+    // Bit flip in the payload (last byte of the file) fails the CRC.
+    std::vector<std::uint8_t> flipped = image;
+    flipped.back() ^= 0x40;
+    writeAll(path, flipped);
+    EXPECT_EQ(loadErrc(path, hash), Errc::corrupt);
+
+    // Truncation (drop the tail) is detected by the size check.
+    std::vector<std::uint8_t> cut(image.begin(), image.end() - 3);
+    writeAll(path, cut);
+    EXPECT_EQ(loadErrc(path, hash), Errc::truncated);
+
+    // Even a header-only fragment is rejected as truncated.
+    writeAll(path, std::vector<std::uint8_t>(image.begin(),
+                                             image.begin() + 20));
+    EXPECT_EQ(loadErrc(path, hash), Errc::truncated);
+
+    // Wrong magic: not a checkpoint at all.
+    std::vector<std::uint8_t> magic = image;
+    magic[0] = 'X';
+    writeAll(path, magic);
+    EXPECT_EQ(loadErrc(path, hash), Errc::bad_magic);
+
+    // Future format version (byte 8) is refused before parsing.
+    std::vector<std::uint8_t> vers = image;
+    vers[8] = static_cast<std::uint8_t>(kCheckpointVersion + 1);
+    writeAll(path, vers);
+    EXPECT_EQ(loadErrc(path, hash), Errc::bad_version);
+
+    // Trailing garbage after the payload.
+    std::vector<std::uint8_t> padded = image;
+    padded.push_back(0xAA);
+    writeAll(path, padded);
+    EXPECT_EQ(loadErrc(path, hash), Errc::oversized);
+
+    // A checkpoint from a differently configured system is refused by
+    // the header hash, before any payload byte is parsed.
+    writeAll(path, image);
+    EXPECT_EQ(loadErrc(path, hash ^ 1), Errc::corrupt);
+
+    // Missing file.
+    EXPECT_EQ(loadErrc(dir.file("nope.ckpt"), hash), Errc::io);
+}
+
+// ---- whole-system save/load ----
+
+TEST_F(CheckpointTest, SystemRejectsCheckpointFromDifferentCombo)
+{
+    TempDir dir;
+    const std::string path = dir.file("sys.ckpt");
+
+    auto build = [](const std::string &combo) {
+        std::vector<GeneratorPtr> w;
+        w.push_back(makeWorkload(testTrace()));
+        auto sys = std::make_unique<System>(SystemConfig{}, std::move(w));
+        applyCombo(*sys, combo);
+        return sys;
+    };
+
+    auto saver = build("ipcp");
+    ASSERT_TRUE(saver->saveCheckpoint(path).ok());
+
+    // Same config loads; a different prefetcher combo changes the
+    // config hash and is rejected up front.
+    auto same = build("ipcp");
+    EXPECT_TRUE(same->loadCheckpoint(path).ok());
+    auto other = build("none");
+    const Status st = other->loadCheckpoint(path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Errc::corrupt);
+}
+
+TEST_F(CheckpointTest, SystemRejectsDamagedPayloadSection)
+{
+    TempDir dir;
+    const std::string path = dir.file("sys.ckpt");
+
+    std::vector<GeneratorPtr> w;
+    w.push_back(makeWorkload(testTrace()));
+    System sys(SystemConfig{}, std::move(w));
+    applyCombo(sys, "ipcp");
+    ASSERT_TRUE(sys.saveCheckpoint(path).ok());
+
+    // Damage the first payload bytes (the "system" section tag) and
+    // re-stamp the CRC so the container passes: the payload-level
+    // section check must still catch it.
+    std::vector<std::uint8_t> image = readAll(path);
+    const std::uint32_t build_len =
+        static_cast<std::uint32_t>(image[12]) |
+        (static_cast<std::uint32_t>(image[13]) << 8) |
+        (static_cast<std::uint32_t>(image[14]) << 16) |
+        (static_cast<std::uint32_t>(image[15]) << 24);
+    const std::size_t payload_at = 36 + build_len;
+    ASSERT_LT(payload_at + 8, image.size());
+    image[payload_at + 5] ^= 0xFF;  // inside the section tag string
+    const std::uint32_t crc =
+        crc32(image.data() + payload_at, image.size() - payload_at);
+    for (unsigned i = 0; i < 4; ++i)
+        image[32 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    writeAll(path, image);
+
+    std::vector<GeneratorPtr> w2;
+    w2.push_back(makeWorkload(testTrace()));
+    System fresh(SystemConfig{}, std::move(w2));
+    applyCombo(fresh, "ipcp");
+    const Status st = fresh.loadCheckpoint(path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, Errc::corrupt);
+}
+
+// ---- kill-and-resume equivalence matrix ----
+
+TEST_F(CheckpointTest, ResumeEquivalenceMatrixSingleCore)
+{
+    const ExperimentConfig base = tinyConfig();
+    const AttachFn attach = comboAttach("ipcp");
+
+    for (const bool no_skip : {false, true}) {
+        ExperimentConfig cfg = base;
+        cfg.system.tickEveryCycle = no_skip;
+        const Outcome golden = runSingleCore(testTrace(), attach, cfg);
+
+        for (const Cycle every : {Cycle{2'000}, Cycle{5'000}}) {
+            SCOPED_TRACE("no_skip=" + std::to_string(no_skip) +
+                         " every=" + std::to_string(every));
+            TempDir dir;
+            const std::string path = dir.file("run.ckpt");
+
+            // A checkpointing run is bit-identical to a plain one.
+            ExperimentConfig save = cfg;
+            save.ckptPath = path;
+            save.ckptEvery = every;
+            const Outcome saved =
+                runSingleCore(testTrace(), attach, save);
+            EXPECT_TRUE(sameStats(golden, saved));
+            ASSERT_TRUE(std::filesystem::exists(path));
+
+            // Resuming the mid-run checkpoint completes with the
+            // same simulated stats.
+            ExperimentConfig resume = cfg;
+            resume.resumePath = path;
+            const Outcome resumed =
+                runSingleCore(testTrace(), attach, resume);
+            EXPECT_TRUE(sameStats(golden, resumed));
+            EXPECT_TRUE(resumed.resumed);
+            EXPECT_GT(resumed.ckptCycle, 0u);
+        }
+    }
+}
+
+TEST_F(CheckpointTest, ResumeEquivalenceMatrixFourCores)
+{
+    const std::vector<TraceSpec> specs(4, testTrace());
+    const ExperimentConfig base = tinyConfig();
+    const AttachFn attach = comboAttach("ipcp");
+
+    for (const bool no_skip : {false, true}) {
+        ExperimentConfig cfg = base;
+        cfg.system.tickEveryCycle = no_skip;
+        const MixOutcome golden = runMix(specs, attach, cfg);
+
+        SCOPED_TRACE("no_skip=" + std::to_string(no_skip));
+        TempDir dir;
+        const std::string path = dir.file("mix.ckpt");
+
+        ExperimentConfig save = cfg;
+        save.ckptPath = path;
+        save.ckptEvery = 4'000;
+        const MixOutcome saved = runMix(specs, attach, save);
+        EXPECT_TRUE(sameMix(golden, saved));
+        ASSERT_TRUE(std::filesystem::exists(path));
+
+        ExperimentConfig resume = cfg;
+        resume.resumePath = path;
+        const MixOutcome resumed = runMix(specs, attach, resume);
+        EXPECT_TRUE(sameMix(golden, resumed));
+        EXPECT_TRUE(resumed.system.resumed);
+        EXPECT_GT(resumed.system.ckptCycle, 0u);
+    }
+}
+
+TEST_F(CheckpointTest, ResumeCrossesSkipModes)
+{
+    // A checkpoint saved under the event-skipping loop resumes under
+    // tick-every-cycle (and stays byte-identical): the image holds
+    // only simulated state, never loop bookkeeping.
+    const ExperimentConfig base = tinyConfig();
+    const AttachFn attach = comboAttach("ipcp");
+    const Outcome golden = runSingleCore(testTrace(), attach, base);
+
+    TempDir dir;
+    const std::string path = dir.file("skip.ckpt");
+    ExperimentConfig save = base;
+    save.ckptPath = path;
+    save.ckptEvery = 3'000;
+    runSingleCore(testTrace(), attach, save);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    ExperimentConfig resume = base;
+    resume.resumePath = path;
+    resume.system.tickEveryCycle = true;
+    const Outcome resumed = runSingleCore(testTrace(), attach, resume);
+    EXPECT_TRUE(sameStats(golden, resumed));
+    EXPECT_TRUE(resumed.resumed);
+}
+
+TEST_F(CheckpointTest, MissingExplicitResumeFailsTheRun)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.resumePath = "/tmp/definitely_not_here.ckpt";
+    EXPECT_THROW(runSingleCore(testTrace(), comboAttach("none"), cfg),
+                 ErrorException);
+}
+
+// ---- key-derived checkpoints and the runner's automatic resume ----
+
+TEST_F(CheckpointTest, DerivedCheckpointResumesAndCleansUp)
+{
+    TempDir dir;
+    const AttachFn attach = comboAttach("ipcp");
+    ExperimentConfig cfg = tinyConfig();
+    cfg.ckptDir = dir.path;
+    cfg.ckptEvery = 2'000;
+    const std::string key = "unit-test-job";
+    const std::string derived = checkpointPathFor(cfg, key);
+
+    const Outcome golden = runSingleCore(testTrace(), attach,
+                                         tinyConfig());
+
+    // Plant a genuine mid-run checkpoint at the derived path, as a
+    // crashed attempt would leave behind.
+    {
+        ExperimentConfig save = tinyConfig();
+        save.ckptPath = derived;
+        save.ckptEvery = 2'000;
+        runSingleCore(testTrace(), attach, save);
+        ASSERT_TRUE(std::filesystem::exists(derived));
+    }
+
+    // The keyed run resumes from it, matches the golden stats, and
+    // removes the leftover on success.
+    const Outcome out = runSingleCore(testTrace(), attach, cfg, key);
+    EXPECT_TRUE(sameStats(golden, out));
+    EXPECT_TRUE(out.resumed);
+    EXPECT_GT(out.ckptCycle, 0u);
+    EXPECT_FALSE(std::filesystem::exists(derived));
+}
+
+TEST_F(CheckpointTest, UnreadableDerivedCheckpointFallsBackToFresh)
+{
+    TempDir dir;
+    const AttachFn attach = comboAttach("ipcp");
+    ExperimentConfig cfg = tinyConfig();
+    cfg.ckptDir = dir.path;
+    cfg.ckptEvery = 2'000;
+    const std::string key = "unit-test-job";
+    const std::string derived = checkpointPathFor(cfg, key);
+
+    ExperimentConfig save = tinyConfig();
+    save.ckptPath = derived;
+    save.ckptEvery = 2'000;
+    runSingleCore(testTrace(), attach, save);
+    ASSERT_TRUE(std::filesystem::exists(derived));
+
+    // An injected ckpt.read fault makes the leftover unreadable; the
+    // run must fall back to a fresh start, not fail.
+    ASSERT_TRUE(FaultRegistry::instance()
+                    .configure("ckpt.read@1")
+                    .ok());
+    const Outcome golden = runSingleCore(testTrace(), attach,
+                                         tinyConfig());
+    const Outcome out = runSingleCore(testTrace(), attach, cfg, key);
+    EXPECT_TRUE(sameStats(golden, out));
+    EXPECT_FALSE(out.resumed);
+}
+
+TEST_F(CheckpointTest, RunnerRetryResumesFromCheckpoint)
+{
+    const AttachFn attach = comboAttach("ipcp");
+    const ExperimentConfig plain = tinyConfig();
+
+    // Probe how many L1D fills the run performs (the clause below
+    // never fires; it only counts matching hits), then aim a one-shot
+    // transient fault at the halfway point — mid-simulation, well
+    // after the first periodic checkpoint.
+    ASSERT_TRUE(FaultRegistry::instance()
+                    .configure("cache.fill~L1D@999999999")
+                    .ok());
+    const Outcome golden = runSingleCore(testTrace(), attach, plain);
+    const std::uint64_t fills =
+        FaultRegistry::instance().hitCount("cache.fill");
+    ASSERT_GT(fills, 4u);
+
+    TempDir dir;
+    ExperimentConfig cfg = plain;
+    cfg.ckptDir = dir.path;
+    cfg.ckptEvery = 500;
+    ASSERT_TRUE(FaultRegistry::instance()
+                    .configure("cache.fill~L1D@" +
+                               std::to_string(fills / 2))
+                    .ok());
+
+    Runner runner(1);
+    runner.setMaxAttempts(2);
+    runner.setRetryBackoffMs(0);
+    const std::vector<Job> jobs = {
+        Job{testTrace(), "ipcp", attach, cfg}};
+    const std::vector<JobOutcome> outs = runner.run(jobs);
+
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].ok) << outs[0].error;
+    EXPECT_EQ(outs[0].attempts, 2u);
+    EXPECT_TRUE(outs[0].resumed);
+    EXPECT_GT(outs[0].ckptCycle, 0u);
+    EXPECT_TRUE(sameStats(golden, outs[0].outcome));
+    EXPECT_EQ(runner.lastBatch().resumed, 1u);
+    EXPECT_EQ(runner.lastBatch().retried, 1u);
+
+    // The derived checkpoint is deleted once the job succeeds.
+    EXPECT_TRUE(std::filesystem::is_empty(dir.path));
+}
+
+// ---- ckpt.* fault points ----
+
+TEST_F(CheckpointTest, CheckpointWriteFaultNeverFailsTheRun)
+{
+    TempDir dir;
+    const AttachFn attach = comboAttach("ipcp");
+    const Outcome golden = runSingleCore(testTrace(), attach,
+                                         tinyConfig());
+
+    ASSERT_TRUE(FaultRegistry::instance()
+                    .configure("ckpt.write@1+")
+                    .ok());
+    ExperimentConfig cfg = tinyConfig();
+    cfg.ckptPath = dir.file("never.ckpt");
+    cfg.ckptEvery = 2'000;
+    const Outcome out = runSingleCore(testTrace(), attach, cfg);
+
+    // Every periodic save failed, the run itself did not, and the
+    // simulated results are untouched.
+    EXPECT_TRUE(sameStats(golden, out));
+    EXPECT_FALSE(std::filesystem::exists(cfg.ckptPath));
+    EXPECT_GT(FaultRegistry::instance().firedCount("ckpt.write"), 0u);
+}
+
+TEST_F(CheckpointTest, CheckpointReadFaultFailsExplicitResume)
+{
+    TempDir dir;
+    const AttachFn attach = comboAttach("ipcp");
+    ExperimentConfig save = tinyConfig();
+    save.ckptPath = dir.file("r.ckpt");
+    save.ckptEvery = 2'000;
+    runSingleCore(testTrace(), attach, save);
+    ASSERT_TRUE(std::filesystem::exists(save.ckptPath));
+
+    ASSERT_TRUE(FaultRegistry::instance().configure("ckpt.read@1").ok());
+    ExperimentConfig resume = tinyConfig();
+    resume.resumePath = save.ckptPath;
+    try {
+        runSingleCore(testTrace(), attach, resume);
+        FAIL() << "explicit resume under a read fault did not throw";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code, Errc::injected);
+    }
+}
+
+// ---- graceful shutdown ----
+
+TEST_F(CheckpointTest, ShutdownRequestFailsUnstartedJobsAsInterrupted)
+{
+    requestShutdown();
+    Runner runner(1);
+    const std::vector<Job> jobs = {
+        Job{testTrace(), "none", comboAttach("none"), tinyConfig()},
+        Job{findTrace("619.lbm_s-2676B"), "none", comboAttach("none"),
+            tinyConfig()}};
+    const std::vector<JobOutcome> outs = runner.run(jobs);
+
+    ASSERT_EQ(outs.size(), 2u);
+    for (const JobOutcome &o : outs) {
+        EXPECT_FALSE(o.ok);
+        EXPECT_NE(o.error.find("interrupted"), std::string::npos);
+    }
+    EXPECT_EQ(runner.lastBatch().interrupted, 2u);
+    EXPECT_EQ(runner.lastBatch().failed, 2u);
+
+    // Clearing the flag restores normal batch execution.
+    clearShutdownRequest();
+    const std::vector<JobOutcome> again = runner.run(jobs);
+    EXPECT_TRUE(again[0].ok);
+    EXPECT_TRUE(again[1].ok);
+    EXPECT_EQ(runner.lastBatch().interrupted, 0u);
+}
+
+// ---- invariant auditor ----
+
+TEST_F(CheckpointTest, PerTickAuditRunsCleanAndChangesNothing)
+{
+    const AttachFn attach = comboAttach("ipcp");
+    const Outcome golden = runSingleCore(testTrace(), attach,
+                                         tinyConfig());
+
+    ExperimentConfig cfg = tinyConfig();
+    cfg.system.auditEveryTick = true;
+    const Outcome audited = runSingleCore(testTrace(), attach, cfg);
+    EXPECT_TRUE(sameStats(golden, audited));
+
+    // Also under the no-skip loop and a second combo, so the audit
+    // sweeps a different set of predictor tables.
+    cfg.system.tickEveryCycle = true;
+    const Outcome audited2 =
+        runSingleCore(testTrace(), comboAttach("spp-ppf-dspatch"), cfg);
+    EXPECT_GT(audited2.instructions, 0u);
+}
+
+} // namespace
+} // namespace bouquet

@@ -179,6 +179,30 @@ TEST_F(FaultTest, FiresOnExactHitAndCounts)
     EXPECT_EQ(reg.firedCount(), 1u);
 }
 
+TEST_F(FaultTest, CheckpointFaultPointsFireAtTheirHits)
+{
+    auto &reg = FaultRegistry::instance();
+    ASSERT_TRUE(reg.configure("ckpt.write@1,ckpt.read@2").ok());
+
+    // First write fails (transient, so a later periodic save can
+    // succeed after a retry-style second attempt), later ones pass.
+    const auto werr = faultCheck(faults::kCkptWrite, "/tmp/a.ckpt");
+    ASSERT_TRUE(werr.has_value());
+    EXPECT_EQ(werr->code, Errc::injected);
+    EXPECT_TRUE(werr->transient);
+    EXPECT_FALSE(faultCheck(faults::kCkptWrite, "/tmp/a.ckpt")
+                     .has_value());
+
+    // The read clause fires on exactly its second hit.
+    EXPECT_FALSE(faultCheck(faults::kCkptRead, "/tmp/a.ckpt")
+                     .has_value());
+    const auto rerr = faultCheck(faults::kCkptRead, "/tmp/a.ckpt");
+    ASSERT_TRUE(rerr.has_value());
+    EXPECT_EQ(rerr->code, Errc::injected);
+    EXPECT_EQ(reg.firedCount("ckpt.write"), 1u);
+    EXPECT_EQ(reg.firedCount("ckpt.read"), 1u);
+}
+
 TEST_F(FaultTest, ContextFilterCountsOnlyMatchingHits)
 {
     auto &reg = FaultRegistry::instance();

@@ -60,6 +60,13 @@ usage()
         "  --record NAME        capture a named workload to a file\n"
         "  --records N          records to capture (default 1e6)\n"
         "  --out PATH           output path for --record\n"
+        "  --save-checkpoint F  periodically checkpoint the simulation\n"
+        "                       to F (every IPCP_CKPT_EVERY cycles,\n"
+        "                       default 250000; single --combo only)\n"
+        "  --resume F           restore state from checkpoint F before\n"
+        "                       running (single --combo only)\n"
+        "  --audit              run the invariant auditor after every\n"
+        "                       tick (also IPCP_AUDIT=1)\n"
         "  --strict             exit nonzero if any job fails (default:\n"
         "                       only when all fail; also IPCP_STRICT)\n"
         "  --perf               print per-job wall time, KIPS, and the\n"
@@ -125,6 +132,11 @@ printPerfReport(const std::string &label, double seconds,
 int
 main(int argc, char **argv)
 {
+    // Ctrl-C / SIGTERM: finish the jobs in flight (flushing their
+    // periodic checkpoints), fail the rest as interrupted, and print
+    // the partial batch summary on the way out.
+    installSignalHandlers();
+
     std::string trace_name;
     std::string trace_file;
     std::string combo = "ipcp";
@@ -166,6 +178,16 @@ main(int argc, char **argv)
             records = std::stoull(value());
         } else if (arg == "--out") {
             out_path = value();
+        } else if (arg == "--save-checkpoint") {
+            cfg.ckptPath = value();
+        } else if (arg.rfind("--save-checkpoint=", 0) == 0) {
+            cfg.ckptPath = arg.substr(std::strlen("--save-checkpoint="));
+        } else if (arg == "--resume") {
+            cfg.resumePath = value();
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            cfg.resumePath = arg.substr(std::strlen("--resume="));
+        } else if (arg == "--audit") {
+            cfg.system.auditEveryTick = true;
         } else if (arg == "--strict") {
             strict = true;
         } else if (arg == "--perf") {
@@ -216,6 +238,14 @@ main(int argc, char **argv)
             std::cerr << "no combo given\n";
             return 2;
         }
+        if ((!cfg.ckptPath.empty() || !cfg.resumePath.empty()) &&
+            combo_names.size() > 1) {
+            std::cerr << "--save-checkpoint/--resume require a single "
+                         "--combo\n";
+            return 2;
+        }
+        if (!cfg.ckptPath.empty() && cfg.ckptEvery == 0)
+            cfg.ckptEvery = 250'000;  // default periodic interval
 
         auto report_system = [&](const Outcome &o) {
             printCacheReport("L1I ", o.l1i, o.instructions);
@@ -279,6 +309,22 @@ main(int argc, char **argv)
                     ++failed_jobs;
                     continue;
                 }
+                if (!cfg.resumePath.empty()) {
+                    if (Status s = sys.loadCheckpoint(cfg.resumePath);
+                        !s.ok()) {
+                        std::cerr << "error: resume from "
+                                  << cfg.resumePath << ": "
+                                  << s.error().message << " ["
+                                  << errcName(s.error().code) << "]\n";
+                        ++failed_jobs;
+                        continue;
+                    }
+                    std::cerr << "[ckpt] resumed from "
+                              << cfg.resumePath << " at cycle "
+                              << sys.cycle() << "\n";
+                }
+                if (!cfg.ckptPath.empty())
+                    sys.setCheckpointEvery(cfg.ckptEvery, cfg.ckptPath);
                 banner(name);
                 WallTimer timer;
                 const RunResult r =
@@ -335,6 +381,9 @@ main(int argc, char **argv)
                 }
                 ++ok_jobs;
                 const Outcome &o = jo.outcome;
+                if (jo.resumed)
+                    std::cerr << "[ckpt] resumed from cycle "
+                              << jo.ckptCycle << "\n";
                 if (perf)
                     printPerfReport(jobs[j].label,
                                     runner.lastBatch().perJob[j].seconds,
@@ -367,6 +416,9 @@ main(int argc, char **argv)
                 }
                 ++ok_jobs;
                 const MixOutcome &o = jo.outcome;
+                if (jo.resumed)
+                    std::cerr << "[ckpt] resumed from cycle "
+                              << jo.ckptCycle << "\n";
                 if (perf) {
                     std::uint64_t instrs = 0;
                     for (std::uint64_t i : o.instructions)

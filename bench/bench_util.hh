@@ -91,7 +91,7 @@ class OutcomeStore
 {
   public:
     /** Bump when the record layout or key format changes. */
-    static constexpr std::uint32_t kFormatVersion = 3;
+    static constexpr std::uint32_t kFormatVersion = 4;
 
     /** @param path cache file; empty = in-memory only */
     explicit OutcomeStore(std::string path);

@@ -8,6 +8,8 @@
 #include "common/errors.hh"
 #include "common/faultinject.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
+#include "common/tracer.hh"
 
 namespace bouquet
 {
@@ -206,6 +208,10 @@ Cache::handleLookup(const MemRequest &req)
                 line->reused = true;
                 ++stats_.pfUseful;
                 ++stats_.pfClassUseful[line->pfClass % kPfClassSlots];
+                if (tracer_)
+                    tracer_->record(TraceEventKind::PfUseful,
+                                    traceTrack_, now_, req.line,
+                                    line->pfClass);
                 prefetcher_->onPrefetchUseful(lineToByte(req.line),
                                               line->pfClass);
             }
@@ -228,8 +234,12 @@ Cache::handleLookup(const MemRequest &req)
                 // A demand caught up with an in-flight prefetch: the
                 // prefetch was useful but late (ChampSim's pf_late).
                 ++stats_.latePrefetches;
+                ++stats_.pfClassLate[m->pfClass % kPfClassSlots];
                 ++stats_.pfUseful;
                 ++stats_.pfClassUseful[m->pfClass % kPfClassSlots];
+                if (tracer_)
+                    tracer_->record(TraceEventKind::PfLate, traceTrack_,
+                                    now_, req.line, m->pfClass);
                 prefetcher_->onPrefetchUseful(lineToByte(req.line),
                                               m->pfClass);
             }
@@ -262,6 +272,7 @@ Cache::handleLookup(const MemRequest &req)
 void
 Cache::processReadQueue()
 {
+    const bool was_stalled = rqHeadStalled_;
     rqHeadStalled_ = false;
     std::uint32_t lookups = 0;
     while (!rq_.empty() && rq_.front().ready <= now_ &&
@@ -272,6 +283,10 @@ Cache::processReadQueue()
         if (miss_needs_mshr && mshrs_.size() >= config_.mshrs) {
             ++stats_.mshrFullStalls;
             rqHeadStalled_ = true;
+            // One event per stall episode, not per stalled cycle.
+            if (tracer_ && !was_stalled)
+                tracer_->record(TraceEventKind::MshrStall, traceTrack_,
+                                now_, req.line);
             break;  // head-of-line blocking until an MSHR frees up
         }
         MemRequest r = req;
@@ -414,6 +429,9 @@ Cache::onResponse(const MemRequest &req)
     if (pf_fill) {
         ++stats_.pfFills;
         ++stats_.pfClassFills[m->pfClass % kPfClassSlots];
+        if (tracer_)
+            tracer_->record(TraceEventKind::PfFill, traceTrack_, now_,
+                            req.line, m->pfClass);
     }
     // A prefetch that a demand already merged into is installed as a
     // demand line (it has been "used"); a pure prefetch carries its
@@ -523,6 +541,10 @@ Cache::processPrefetchQueue()
             }
         }
         ++stats_.pfIssued;
+        ++stats_.pfClassIssued[e.pfClass % kPfClassSlots];
+        if (tracer_)
+            tracer_->record(TraceEventKind::PfIssue, traceTrack_, now_,
+                            line, e.pfClass);
         ++issued;
         pq_.pop_front();
     }
@@ -620,6 +642,66 @@ Cache::skipCycles(Cycle count)
         static_cast<std::uint64_t>(mshrs_.size()) * count;
     if (rqHeadStalled_)
         stats_.mshrFullStalls += count;
+}
+
+void
+Cache::registerStats(const StatGroup &g)
+{
+    static constexpr const char *kTypeNames[5] = {
+        "load", "store", "instfetch", "prefetch", "writeback"};
+    // Class-slot names mirror the IPCP attribution ids the report
+    // tables use; slots past the IPCP classes surface misattribution.
+    static constexpr const char *kClassNames[kPfClassSlots] = {
+        "none", "cs", "cplx", "gs", "nl", "class5", "class6", "class7"};
+
+    for (int t = 0; t < 5; ++t) {
+        const StatGroup ty = g.child(kTypeNames[t]);
+        ty.counter("accesses", stats_.accesses[t]);
+        ty.counter("hits", stats_.hits[t]);
+        ty.counter("misses", stats_.misses[t]);
+    }
+    g.counter("demand_accesses",
+              [this] { return stats_.demandAccesses(); });
+    g.counter("demand_hits", [this] { return stats_.demandHits(); });
+    g.counter("demand_misses", [this] { return stats_.demandMisses(); });
+
+    g.counter("mshr_merges", stats_.mshrMerges);
+    g.counter("late_prefetches", stats_.latePrefetches);
+    g.counter("mshr_full_stalls", stats_.mshrFullStalls);
+
+    g.counter("pf_requested", stats_.pfRequested);
+    g.counter("pf_issued", stats_.pfIssued);
+    g.counter("pf_dropped_full", stats_.pfDroppedFull);
+    g.counter("pf_dropped_hit_cache", stats_.pfDroppedHitCache);
+    g.counter("pf_dropped_hit_mshr", stats_.pfDroppedHitMshr);
+    g.counter("pf_fills", stats_.pfFills);
+    g.counter("pf_useful", stats_.pfUseful);
+    g.counter("pf_unused", stats_.pfUnused);
+
+    g.counter("writebacks", stats_.writebacks);
+    g.counter("wb_dropped", stats_.wbDropped);
+
+    g.counter("miss_latency_sum", stats_.missLatencySum);
+    g.counter("miss_latency_count", stats_.missLatencyCount);
+    g.counter("mshr_occupancy_sum", stats_.mshrOccupancySum);
+    g.counter("tick_count", stats_.tickCount);
+
+    const StatGroup classes = g.child("pf_class");
+    for (unsigned c = 0; c < kPfClassSlots; ++c) {
+        const StatGroup cls = classes.child(kClassNames[c]);
+        cls.counter("issued", stats_.pfClassIssued[c]);
+        cls.counter("fills", stats_.pfClassFills[c]);
+        cls.counter("useful", stats_.pfClassUseful[c]);
+        cls.counter("unused", stats_.pfClassUnused[c]);
+        cls.counter("late", stats_.pfClassLate[c]);
+    }
+
+    g.gauge("mshrs_in_use",
+            [this] { return static_cast<double>(mshrs_.size()); });
+
+    prefetcher_->registerStats(g.child(prefetcher_->name()));
+
+    g.onReset([this] { resetStats(); });
 }
 
 void

@@ -31,6 +31,8 @@
 namespace bouquet
 {
 
+class EventTracer;
+class StatGroup;
 class StateIO;
 
 /**
@@ -194,6 +196,8 @@ struct CacheStats
     std::uint64_t pfClassFills[kPfClassSlots] = {};
     std::uint64_t pfClassUseful[kPfClassSlots] = {};
     std::uint64_t pfClassUnused[kPfClassSlots] = {};
+    std::uint64_t pfClassIssued[kPfClassSlots] = {};
+    std::uint64_t pfClassLate[kPfClassSlots] = {};
 
     void reset() { *this = CacheStats{}; }
 
@@ -234,6 +238,10 @@ struct CacheStats
         for (auto &v : pfClassUseful)
             io.io(v);
         for (auto &v : pfClassUnused)
+            io.io(v);
+        for (auto &v : pfClassIssued)
+            io.io(v);
+        for (auto &v : pfClassLate)
             io.io(v);
     }
 };
@@ -287,6 +295,8 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     Cycle now() const override { return now_; }
     std::uint64_t demandMisses() const override;
     std::uint64_t retiredInstructions() const override;
+    EventTracer *tracer() const override { return tracer_; }
+    int traceTrack() const override { return traceTrack_; }
 
     // --- introspection -------------------------------------------------
     const CacheConfig &config() const { return config_; }
@@ -295,6 +305,20 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
 
     /** Reset all statistics (end of warmup). */
     void resetStats() { stats_.reset(); }
+
+    /**
+     * Export this cache's counters (and its prefetcher's, under a
+     * `<prefetcher name>` child group) into the registry subtree `g`.
+     */
+    void registerStats(const StatGroup &g);
+
+    /** Attach (or detach with nullptr) the event tracer. */
+    void
+    setTracer(EventTracer *t, int track)
+    {
+        tracer_ = t;
+        traceTrack_ = track;
+    }
 
     /** True when the line is resident (no side effects). */
     bool probe(LineAddr line) const;
@@ -444,6 +468,9 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     ReqSink *lower_ = nullptr;
     std::function<Addr(Addr)> translator_;
     std::function<std::uint64_t()> instrSource_;
+
+    EventTracer *tracer_ = nullptr;  //!< null when tracing is off
+    int traceTrack_ = 0;
 
     RingBuffer<RqEntry> rq_;
     RingBuffer<RqEntry> wq_;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitops.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -93,6 +94,21 @@ TlbStack::resetStats()
     itlb_.resetStats();
     dtlb_.resetStats();
     stlb_.resetStats();
+}
+
+void
+Tlb::registerStats(const StatGroup &g) const
+{
+    g.counter("accesses", stats_.accesses);
+    g.counter("misses", stats_.misses);
+}
+
+void
+TlbStack::registerStats(const StatGroup &g) const
+{
+    itlb_.registerStats(g.child("itlb"));
+    dtlb_.registerStats(g.child("dtlb"));
+    stlb_.registerStats(g.child("stlb"));
 }
 
 } // namespace bouquet

@@ -19,6 +19,8 @@
 namespace bouquet
 {
 
+class StatGroup;
+
 /** One set-associative translation buffer with LRU replacement. */
 class Tlb
 {
@@ -46,6 +48,9 @@ class Tlb
 
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /** Export accesses/misses into the registry subtree `g`. */
+    void registerStats(const StatGroup &g) const;
 
     /** Geometry is configuration; entries and LRU clock checkpoint. */
     template <typename IO>
@@ -120,6 +125,9 @@ class TlbStack
     const Tlb &stlb() const { return stlb_; }
 
     void resetStats();
+
+    /** Export the three TLBs under itlb/dtlb/stlb child groups. */
+    void registerStats(const StatGroup &g) const;
 
     template <typename IO>
     void

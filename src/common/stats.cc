@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 namespace bouquet
@@ -20,10 +21,24 @@ MeanAccumulator::geometricMean() const
 {
     if (values_.empty())
         return 0.0;
+    if (nonPositive_ > 0 && !warned_) {
+        std::fprintf(stderr,
+                     "warning: geometric mean skipping %zu non-positive "
+                     "observation(s) of %zu\n",
+                     nonPositive_, values_.size());
+        warned_ = true;
+    }
     double log_sum = 0.0;
-    for (double v : values_)
+    std::size_t n = 0;
+    for (double v : values_) {
+        if (v <= 0.0)
+            continue;
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values_.size()));
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
 std::uint64_t
@@ -37,6 +52,7 @@ void
 SmallHistogram::clear()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
 }
 
 } // namespace bouquet

@@ -44,25 +44,38 @@ perKiloInstr(std::uint64_t events, std::uint64_t instructions)
 class MeanAccumulator
 {
   public:
-    /** Record one observation (must be > 0 for the geomean). */
+    /** Record one observation. */
     void
     add(double v)
     {
+        if (v <= 0.0)
+            ++nonPositive_;
         values_.push_back(v);
     }
 
     std::size_t count() const { return values_.size(); }
 
-    /** Arithmetic mean; 0 when empty. */
+    /** Arithmetic mean over all observations; 0 when empty. */
     double arithmeticMean() const;
 
-    /** Geometric mean; 0 when empty. Values must be positive. */
+    /**
+     * Geometric mean over the *positive* observations; 0 when none
+     * are positive. A non-positive observation (e.g. a skipped job
+     * recorded as 0) would otherwise drive `std::log` to -inf/NaN and
+     * silently poison the mean, so such values are skipped with a
+     * one-time warning on stderr.
+     */
     double geometricMean() const;
+
+    /** Observations that the geomean had to skip. */
+    std::size_t nonPositiveCount() const { return nonPositive_; }
 
     const std::vector<double> &values() const { return values_; }
 
   private:
     std::vector<double> values_;
+    std::size_t nonPositive_ = 0;
+    mutable bool warned_ = false;
 };
 
 /**
@@ -74,11 +87,18 @@ class SmallHistogram
   public:
     explicit SmallHistogram(std::size_t buckets) : counts_(buckets, 0) {}
 
+    /**
+     * Out-of-range buckets land in a dedicated overflow counter
+     * instead of being silently discarded — a nonzero overflow() is
+     * how class-id misclassification bugs surface in the stats export.
+     */
     void
     add(std::size_t bucket, std::uint64_t n = 1)
     {
         if (bucket < counts_.size())
             counts_[bucket] += n;
+        else
+            overflow_ += n;
     }
 
     std::uint64_t
@@ -87,15 +107,20 @@ class SmallHistogram
         return bucket < counts_.size() ? counts_[bucket] : 0;
     }
 
+    /** Events whose bucket was outside the domain. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** In-range total: excludes the overflow bucket. */
     std::uint64_t total() const;
 
     std::size_t buckets() const { return counts_.size(); }
 
-    /** Reset all buckets to zero (used at end of warmup). */
+    /** Reset all buckets (and the overflow) to zero. */
     void clear();
 
   private:
     std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
 };
 
 } // namespace bouquet

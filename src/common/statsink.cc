@@ -1,0 +1,171 @@
+#include "statsink.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "json.hh"
+
+namespace bouquet
+{
+
+void
+StatRegistry::addCounter(std::string path, CounterFn fn)
+{
+    Entry e;
+    e.path = std::move(path);
+    e.kind = StatKind::Counter;
+    e.counter = std::move(fn);
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addGauge(std::string path, GaugeFn fn)
+{
+    Entry e;
+    e.path = std::move(path);
+    e.kind = StatKind::Gauge;
+    e.gauge = std::move(fn);
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addHistogram(std::string path, HistogramFn fn)
+{
+    Entry e;
+    e.path = std::move(path);
+    e.kind = StatKind::Histogram;
+    e.histogram = std::move(fn);
+    entries_.push_back(std::move(e));
+}
+
+void
+StatRegistry::addResetHook(ResetFn fn)
+{
+    resetHooks_.push_back(std::move(fn));
+}
+
+std::map<std::string, StatValue>
+StatRegistry::snapshot() const
+{
+    std::map<std::string, StatValue> out;
+    for (const Entry &e : entries_) {
+        StatValue v;
+        v.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Counter:
+            v.u = e.counter();
+            break;
+          case StatKind::Gauge:
+            v.d = e.gauge();
+            break;
+          case StatKind::Histogram:
+            v.buckets = e.histogram();
+            break;
+        }
+        assert(out.find(e.path) == out.end() &&
+               "duplicate stat path registered");
+        out.emplace(e.path, std::move(v));
+    }
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (const ResetFn &fn : resetHooks_)
+        fn();
+}
+
+void
+StatRegistry::clear()
+{
+    entries_.clear();
+    resetHooks_.clear();
+}
+
+namespace
+{
+
+std::vector<std::string_view>
+splitPath(std::string_view path)
+{
+    std::vector<std::string_view> segs;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string_view::npos) {
+            segs.push_back(path.substr(start));
+            return segs;
+        }
+        segs.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+} // namespace
+
+void
+StatRegistry::writeJson(JsonWriter &w) const
+{
+    // Sort segment-wise so siblings group: "a.b" sorts next to "a.c"
+    // even when a plain string compare would interleave "a-x" between
+    // them (the '.' separator is not the smallest character).
+    struct Sorted
+    {
+        std::vector<std::string_view> segs;
+        const Entry *e;
+    };
+    std::vector<Sorted> sorted;
+    sorted.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        sorted.push_back(Sorted{splitPath(e.path), &e});
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Sorted &a, const Sorted &b) {
+                         return a.segs < b.segs;
+                     });
+
+    w.beginObject();
+    // The group path (all segments but the leaf) of the currently open
+    // nested objects.
+    std::vector<std::string_view> open;
+    for (const Sorted &s : sorted) {
+        const std::size_t groups = s.segs.size() - 1;
+        std::size_t common = 0;
+        while (common < open.size() && common < groups &&
+               open[common] == s.segs[common])
+            ++common;
+        while (open.size() > common) {
+            w.endObject();
+            open.pop_back();
+        }
+        while (open.size() < groups) {
+            w.key(s.segs[open.size()]);
+            w.beginObject();
+            open.push_back(s.segs[open.size()]);
+        }
+        w.key(s.segs.back());
+        const Entry &e = *s.e;
+        switch (e.kind) {
+          case StatKind::Counter:
+            w.value(e.counter());
+            break;
+          case StatKind::Gauge:
+            w.value(e.gauge());
+            break;
+          case StatKind::Histogram: {
+            w.beginArray();
+            for (std::uint64_t b : e.histogram())
+                w.value(b);
+            w.endArray();
+            break;
+          }
+        }
+    }
+    while (!open.empty()) {
+        w.endObject();
+        open.pop_back();
+    }
+    w.endObject();
+}
+
+} // namespace bouquet

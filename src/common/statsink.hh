@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Components register named stats under dotted paths
+ * (`system.core0.l1d.ipcp-l1.cs.issued`); the registry can snapshot
+ * every value, reset all *observational* stats at the warmup boundary,
+ * and emit the whole tree as nested JSON.
+ *
+ * Stats are registered as thin closures over the owning component's
+ * members, so registration costs nothing on the simulation hot path —
+ * values are only read at snapshot/export time.
+ *
+ * Two kinds matter for reset semantics:
+ *  - Counter: pure observation. `resetAll()` zeroes it (via the
+ *    owner's reset hook) and a post-reset snapshot must read 0.
+ *  - Gauge: level or behavior-affecting state (throttle accuracy
+ *    windows, table occupancy). `resetAll()` must NOT touch it —
+ *    resetting stats may never change simulated behavior.
+ */
+
+#ifndef BOUQUET_COMMON_STATSINK_HH
+#define BOUQUET_COMMON_STATSINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bouquet
+{
+
+class JsonWriter;
+
+enum class StatKind
+{
+    Counter,    //!< monotonic observation; reset to 0 at warmup end
+    Gauge,      //!< level / behavior state; never touched by resetAll
+    Histogram,  //!< bucketed observation; buckets reset at warmup end
+};
+
+/** One sampled stat value (see StatKind for which fields are live). */
+struct StatValue
+{
+    StatKind kind = StatKind::Counter;
+    std::uint64_t u = 0;                 //!< Counter value
+    double d = 0.0;                      //!< Gauge value
+    std::vector<std::uint64_t> buckets;  //!< Histogram contents
+};
+
+/**
+ * The registry proper. Owned by System; components never see it
+ * directly — they get a StatGroup naming their subtree.
+ */
+class StatRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+    using HistogramFn = std::function<std::vector<std::uint64_t>()>;
+    using ResetFn = std::function<void()>;
+
+    void addCounter(std::string path, CounterFn fn);
+    void addGauge(std::string path, GaugeFn fn);
+    void addHistogram(std::string path, HistogramFn fn);
+
+    /**
+     * Register a reset action run by resetAll(). Owners register one
+     * hook that zeroes every Counter/Histogram they exported.
+     */
+    void addResetHook(ResetFn fn);
+
+    /** Sample every registered stat. Keys are the dotted paths. */
+    std::map<std::string, StatValue> snapshot() const;
+
+    /** Run every reset hook (the warmup boundary). */
+    void resetAll();
+
+    /** Drop all registrations (before a re-register pass). */
+    void clear();
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Emit the tree as one nested JSON object: dotted path segments
+     * become nested objects, the final segment the member key.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        StatKind kind;
+        CounterFn counter;
+        GaugeFn gauge;
+        HistogramFn histogram;
+    };
+
+    std::vector<Entry> entries_;
+    std::vector<ResetFn> resetHooks_;
+};
+
+/**
+ * A named subtree handle passed to components during registration.
+ * Cheap to copy; `child()` descends one level.
+ */
+class StatGroup
+{
+  public:
+    StatGroup(StatRegistry &reg, std::string prefix)
+        : reg_(&reg), prefix_(std::move(prefix))
+    {
+    }
+
+    StatGroup
+    child(std::string_view name) const
+    {
+        return StatGroup(*reg_, join(name));
+    }
+
+    void
+    counter(std::string_view name, StatRegistry::CounterFn fn) const
+    {
+        reg_->addCounter(join(name), std::move(fn));
+    }
+
+    /** Convenience: export a member variable by reference. */
+    void
+    counter(std::string_view name, const std::uint64_t &v) const
+    {
+        reg_->addCounter(join(name), [&v] { return v; });
+    }
+
+    void
+    gauge(std::string_view name, StatRegistry::GaugeFn fn) const
+    {
+        reg_->addGauge(join(name), std::move(fn));
+    }
+
+    void
+    histogram(std::string_view name, StatRegistry::HistogramFn fn) const
+    {
+        reg_->addHistogram(join(name), std::move(fn));
+    }
+
+    void
+    onReset(StatRegistry::ResetFn fn) const
+    {
+        reg_->addResetHook(std::move(fn));
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string
+    join(std::string_view name) const
+    {
+        if (prefix_.empty())
+            return std::string(name);
+        std::string out = prefix_;
+        out += '.';
+        out += name;
+        return out;
+    }
+
+    StatRegistry *reg_;
+    std::string prefix_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_STATSINK_HH

@@ -1,0 +1,133 @@
+#include "tracer.hh"
+
+#include <array>
+#include <ostream>
+
+#include "json.hh"
+
+namespace bouquet
+{
+
+namespace
+{
+
+/** Viewer name + up-to-three argument labels per event kind. */
+struct EventInfo
+{
+    const char *name;
+    const char *argA;
+    const char *argB;
+    const char *argC;
+};
+
+constexpr std::array<EventInfo, 10> kEventInfo = {{
+    {"pf_issue", "line", "class", nullptr},
+    {"pf_fill", "line", "class", nullptr},
+    {"pf_useful", "line", "class", nullptr},
+    {"pf_late", "line", "class", nullptr},
+    {"mshr_stall", "line", nullptr, nullptr},
+    {"throttle_epoch", "class", "degree", "accuracy_x1000"},
+    {"nl_gate", "enabled", nullptr, nullptr},
+    {"class_shift", "ip", "from", "to"},
+    {"checkpoint_save", "cycle", nullptr, nullptr},
+    {"warmup_end", nullptr, nullptr, nullptr},
+}};
+
+} // namespace
+
+EventTracer::EventTracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity)
+{
+}
+
+int
+EventTracer::registerTrack(std::string name)
+{
+    tracks_.push_back(std::move(name));
+    return static_cast<int>(tracks_.size() - 1);
+}
+
+std::vector<EventTracer::Record>
+EventTracer::events() const
+{
+    std::vector<Record> out;
+    out.reserve(count_);
+    // Oldest record: head_ when the ring has wrapped, 0 otherwise.
+    const std::size_t start = count_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+EventTracer::writeChromeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("otherData");
+    w.beginObject();
+    w.key("recorded");
+    w.value(recorded());
+    w.key("dropped");
+    w.value(dropped());
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        w.beginObject();
+        w.key("ph");
+        w.value("M");
+        w.key("pid");
+        w.value(std::uint64_t{0});
+        w.key("tid");
+        w.value(static_cast<std::uint64_t>(t));
+        w.key("name");
+        w.value("thread_name");
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(tracks_[t]);
+        w.endObject();
+        w.endObject();
+    }
+    for (const Record &r : events()) {
+        const EventInfo &info =
+            kEventInfo[static_cast<std::size_t>(r.kind)];
+        w.beginObject();
+        w.key("ph");
+        w.value("i");
+        w.key("s");
+        w.value("t");
+        w.key("pid");
+        w.value(std::uint64_t{0});
+        w.key("tid");
+        w.value(static_cast<std::uint64_t>(r.track));
+        w.key("ts");
+        w.value(r.cycle);
+        w.key("name");
+        w.value(info.name);
+        w.key("args");
+        w.beginObject();
+        if (info.argA != nullptr) {
+            w.key(info.argA);
+            w.value(r.a);
+        }
+        if (info.argB != nullptr) {
+            w.key(info.argB);
+            w.value(static_cast<std::uint64_t>(r.b));
+        }
+        if (info.argC != nullptr) {
+            w.key(info.argC);
+            w.value(static_cast<std::uint64_t>(r.c));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace bouquet

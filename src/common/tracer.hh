@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Opt-in bounded ring-buffer trace of simulation events, emitted as
+ * Chrome `trace_event` JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Recording is a couple of stores into a preallocated ring; when the
+ * ring is full the oldest events are overwritten (the tail of a run is
+ * usually what matters). When tracing is off, components hold a null
+ * `EventTracer*` and every record site is a single-branch guard — the
+ * hot loop pays one predictable-untaken branch.
+ *
+ * Timestamps are simulated cycles reported as microseconds (1 cycle =
+ * 1 us in the viewer); tracks (`tid`s) are registered per component so
+ * Perfetto shows one named row per cache/core.
+ */
+
+#ifndef BOUQUET_COMMON_TRACER_HH
+#define BOUQUET_COMMON_TRACER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bouquet
+{
+
+/** What happened. Keep in sync with `kEventInfo` in tracer.cc. */
+enum class TraceEventKind : std::uint8_t
+{
+    PfIssue = 0,     //!< prefetch left the PQ toward memory
+    PfFill,          //!< prefetched line filled into the cache
+    PfUseful,        //!< demand hit on a prefetched line
+    PfLate,          //!< demand merged into an in-flight prefetch MSHR
+    MshrStall,       //!< read queue head blocked on a full MSHR
+    ThrottleEpoch,   //!< IPCP per-class accuracy epoch closed
+    NlGate,          //!< IPCP tentative-NL MPKI gate flipped
+    ClassShift,      //!< an IP's IPCP classification changed
+    CheckpointSave,  //!< periodic checkpoint written
+    WarmupEnd,       //!< warmup boundary: statistics reset
+};
+
+/** Bounded, overwriting event recorder. */
+class EventTracer
+{
+  public:
+    /** One recorded event; meaning of a/b/c depends on the kind. */
+    struct Record
+    {
+        std::uint64_t cycle = 0;
+        std::uint64_t a = 0;
+        std::uint32_t b = 0;
+        std::uint32_t c = 0;
+        std::uint16_t track = 0;
+        TraceEventKind kind = TraceEventKind::PfIssue;
+    };
+
+    explicit EventTracer(std::size_t capacity);
+
+    /**
+     * Name a track (one viewer row, e.g. "core0.l1d"). Returns the
+     * track id to pass to record().
+     */
+    int registerTrack(std::string name);
+
+    void
+    record(TraceEventKind kind, int track, std::uint64_t cycle,
+           std::uint64_t a = 0, std::uint32_t b = 0, std::uint32_t c = 0)
+    {
+        Record &r = ring_[head_];
+        r.cycle = cycle;
+        r.a = a;
+        r.b = b;
+        r.c = c;
+        r.track = static_cast<std::uint16_t>(track);
+        r.kind = kind;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (count_ < ring_.size())
+            ++count_;
+        ++recorded_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return count_; }
+    /** Events ever recorded (dropped = recorded - size). */
+    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t dropped() const { return recorded_ - count_; }
+
+    const std::vector<std::string> &tracks() const { return tracks_; }
+
+    /** Oldest-first copy of the ring contents (tests/export). */
+    std::vector<Record> events() const;
+
+    /** Emit the whole trace as Chrome trace_event JSON. */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    std::vector<Record> ring_;
+    std::size_t head_ = 0;   //!< next write slot
+    std::size_t count_ = 0;  //!< live records
+    std::uint64_t recorded_ = 0;
+    std::vector<std::string> tracks_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_COMMON_TRACER_HH

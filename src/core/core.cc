@@ -6,6 +6,7 @@
 
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -29,6 +30,18 @@ Core::markStatsReset(Cycle cycle)
     retiredAtReset_ = retired_;
     stats_.reset();
     tlbs_.resetStats();
+}
+
+void
+Core::registerStats(const StatGroup &g) const
+{
+    g.counter("retired", [this] { return retiredSinceReset(); });
+    g.counter("loads", stats_.loads);
+    g.counter("stores", stats_.stores);
+    g.counter("rob_full_stalls", stats_.robFullStalls);
+    g.counter("fetch_stalls", stats_.fetchStalls);
+    g.counter("issue_rejects", stats_.issueRejects);
+    tlbs_.registerStats(g);
 }
 
 void

@@ -93,6 +93,13 @@ class Core : public RespTarget, public Clocked
     /** Begin the measured region: zero the deltas. */
     void markStatsReset(Cycle cycle);
 
+    /**
+     * Export core counters and the TLB stack into the registry
+     * subtree `g`. The reset hook is registered by System (the reset
+     * needs the global cycle).
+     */
+    void registerStats(const StatGroup &g) const;
+
     const Stats &stats() const { return stats_; }
     TlbStack &tlbs() { return tlbs_; }
     CoreId id() const { return id_; }

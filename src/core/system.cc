@@ -151,14 +151,49 @@ System::skipTo(Cycle target)
 void
 System::resetAllStats()
 {
-    dram_->stats().reset();
-    llc_->resetStats();
+    // Routed through the registry so every component (and attached
+    // prefetcher) that registered a reset hook participates — the
+    // warmup boundary and any manual reset behave identically.
+    statRegistry().resetAll();
+}
+
+StatRegistry &
+System::statRegistry()
+{
+    registry_.clear();
+    StatGroup root(registry_, "system");
+    root.gauge("cycle", [this] { return static_cast<double>(cycle_); });
     for (unsigned c = 0; c < numCores(); ++c) {
-        l1is_[c]->resetStats();
-        l1ds_[c]->resetStats();
-        l2s_[c]->resetStats();
-        cores_[c]->markStatsReset(cycle_);
+        StatGroup cg = root.child("core" + std::to_string(c));
+        cores_[c]->registerStats(cg);
+        l1is_[c]->registerStats(cg.child("l1i"));
+        l1ds_[c]->registerStats(cg.child("l1d"));
+        l2s_[c]->registerStats(cg.child("l2"));
+        // markStatsReset needs the current cycle, so the core's reset
+        // lives here rather than in Core::registerStats.
+        registry_.addResetHook(
+            [this, c] { cores_[c]->markStatsReset(cycle_); });
     }
+    llc_->registerStats(root.child("llc"));
+    dram_->registerStats(root.child("dram"));
+    return registry_;
+}
+
+void
+System::enableTracing(std::size_t capacity)
+{
+    tracer_ = std::make_unique<EventTracer>(capacity);
+    sysTrack_ = tracer_->registerTrack("system");
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const std::string p = "core" + std::to_string(c) + ".";
+        l1is_[c]->setTracer(tracer_.get(),
+                            tracer_->registerTrack(p + "l1i"));
+        l1ds_[c]->setTracer(tracer_.get(),
+                            tracer_->registerTrack(p + "l1d"));
+        l2s_[c]->setTracer(tracer_.get(),
+                           tracer_->registerTrack(p + "l2"));
+    }
+    llc_->setTracer(tracer_.get(), tracer_->registerTrack("llc"));
 }
 
 RunResult
@@ -263,6 +298,9 @@ System::run(std::uint64_t warmup_instrs, std::uint64_t sim_instrs)
             maybeCheckpoint();
         }
         resetAllStats();
+        if (tracer_)
+            tracer_->record(TraceEventKind::WarmupEnd, sysTrack_,
+                            cycle_);
         rs_.measureStart = cycle_;
         rs_.phase = Phase::Measured;
         rs_.result = RunResult{};
@@ -329,6 +367,9 @@ System::maybeCheckpoint()
     if (ckptEvery_ == 0 || cycle_ - lastCkptCycle_ < ckptEvery_)
         return;
     lastCkptCycle_ = cycle_;
+    if (tracer_)
+        tracer_->record(TraceEventKind::CheckpointSave, sysTrack_,
+                        cycle_, cycle_);
     const Status st = saveCheckpoint(ckptPath_);
     if (!st.ok() && !ckptWarned_) {
         ckptWarned_ = true;

@@ -18,6 +18,8 @@
 #include "cache/tlb.hh"
 #include "common/errors.hh"
 #include "common/perfcount.hh"
+#include "common/statsink.hh"
+#include "common/tracer.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
 #include "mem/vmem.hh"
@@ -146,6 +148,34 @@ class System
 
     /** Current simulated cycle. */
     Cycle cycle() const { return cycle_; }
+
+    /** Name of the workload replayed on core `c`. */
+    std::string workloadName(unsigned c) const
+    {
+        return workloads_[c]->name();
+    }
+
+    // --- observability -------------------------------------------------
+
+    /**
+     * The hierarchical stat registry rooted at "system". Rebuilt on
+     * every call (cheap: registration only stores callbacks), so the
+     * tree always reflects the currently attached prefetchers. The
+     * returned reference stays valid until the next call or until the
+     * System is destroyed.
+     */
+    StatRegistry &statRegistry();
+
+    /**
+     * Switch on event tracing into a bounded in-memory ring holding
+     * `capacity` events (oldest overwritten). Call after prefetchers
+     * are attached and before run(). Tracing off (the default) costs
+     * one branch per rare event site and nothing on the hot path.
+     */
+    void enableTracing(std::size_t capacity);
+
+    /** The event tracer, or nullptr while tracing is disabled. */
+    EventTracer *tracer() const { return tracer_.get(); }
 
     // --- checkpoint / restore ------------------------------------------
 
@@ -298,6 +328,11 @@ class System
 
     bool resumed_ = false;
     Cycle resumedAtCycle_ = 0;
+
+    // Observability (never serialized: purely host-side observation).
+    StatRegistry registry_;
+    std::unique_ptr<EventTracer> tracer_;
+    int sysTrack_ = 0;
 };
 
 } // namespace bouquet

@@ -8,6 +8,7 @@
 #include "common/rng.hh"
 #include "common/stateio.hh"
 #include "common/stats.hh"
+#include "harness/statsjson.hh"
 
 namespace bouquet
 {
@@ -85,7 +86,40 @@ prepareSystem(const BuildFn &build, const ExperimentConfig &cfg,
 
     if (!p.savePath.empty() && cfg.ckptEvery > 0)
         p.sys->setCheckpointEvery(cfg.ckptEvery, p.savePath);
+    if (!cfg.traceEventsPath.empty())
+        p.sys->enableTracing(cfg.traceCapacity);
     return p;
+}
+
+/**
+ * Post-run observability exports. Best-effort by design: a full disk
+ * or bad path costs the artifact and a warning, never the run.
+ */
+void
+writeRunArtifacts(System &sys, const ExperimentConfig &cfg,
+                  const std::string &job_key)
+{
+    if (!cfg.statsJsonPath.empty()) {
+        const Status st =
+            writeSystemStatsJson(sys, cfg.statsJsonPath, job_key);
+        if (!st.ok())
+            std::fprintf(stderr,
+                         "[harness] stats JSON export to '%s' failed "
+                         "(%s: %s)\n",
+                         cfg.statsJsonPath.c_str(),
+                         errcName(st.error().code),
+                         st.error().message.c_str());
+    }
+    if (!cfg.traceEventsPath.empty()) {
+        const Status st = writeTraceEvents(sys, cfg.traceEventsPath);
+        if (!st.ok())
+            std::fprintf(stderr,
+                         "[harness] trace export to '%s' failed "
+                         "(%s: %s)\n",
+                         cfg.traceEventsPath.c_str(),
+                         errcName(st.error().code),
+                         st.error().message.c_str());
+    }
 }
 
 } // namespace
@@ -110,6 +144,14 @@ ExperimentConfig::fromEnv()
     if (const char *dir = std::getenv("IPCP_CKPT_DIR");
         dir != nullptr && *dir != '\0')
         cfg.ckptDir = dir;
+    if (const char *dir = std::getenv("IPCP_STATS_DIR");
+        dir != nullptr && *dir != '\0')
+        cfg.statsDir = dir;
+    if (const char *path = std::getenv("IPCP_TRACE_EVENTS");
+        path != nullptr && *path != '\0')
+        cfg.traceEventsPath = path;
+    cfg.traceCapacity = static_cast<std::size_t>(
+        envU64("IPCP_TRACE_CAP", cfg.traceCapacity));
     return cfg;
 }
 
@@ -152,6 +194,8 @@ runSingleCore(const TraceSpec &spec, const AttachFn &attach,
     const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
     if (p.derived)
         std::remove(p.savePath.c_str());
+    writeRunArtifacts(sys, cfg,
+                      ckpt_key.empty() ? spec.name : ckpt_key);
 
     Outcome out;
     out.ipc = r.cores[0].ipc;
@@ -208,6 +252,11 @@ runMix(const std::vector<TraceSpec> &specs, const AttachFn &attach,
     const RunResult r = sys.run(cfg.warmupInstrs, cfg.simInstrs);
     if (p.derived)
         std::remove(p.savePath.c_str());
+    writeRunArtifacts(sys, cfg,
+                      ckpt_key.empty() ? (specs.empty()
+                                              ? std::string()
+                                              : specs[0].name + "-mix")
+                                       : ckpt_key);
 
     MixOutcome out;
     for (std::size_t c = 0; c < specs.size(); ++c) {

@@ -57,6 +57,23 @@ struct ExperimentConfig
     std::string ckptPath;
     std::string resumePath;
 
+    /**
+     * Observability artifacts (DESIGN.md §5e). `statsJsonPath` makes
+     * the run write its full stat tree there as JSON when it finishes;
+     * `statsDir` makes the parallel runner derive one such file per
+     * job (next to its cached results). `traceEventsPath` switches on
+     * event tracing and writes the ring there in Chrome trace_event
+     * format; `traceCapacity` bounds the in-memory ring (oldest events
+     * are overwritten). Export failures warn, they never fail a run.
+     *   IPCP_STATS_DIR     runner per-job stats JSON directory
+     *   IPCP_TRACE_EVENTS  trace output path (enables tracing)
+     *   IPCP_TRACE_CAP     trace ring capacity (default 65536)
+     */
+    std::string statsJsonPath;
+    std::string statsDir;
+    std::string traceEventsPath;
+    std::size_t traceCapacity = 1 << 16;
+
     /** Read IPCP_* environment overrides into a config. */
     static ExperimentConfig fromEnv();
 };

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "ipcp/metadata.hh"
 
@@ -51,21 +52,11 @@ flatten(const ReportRow &row)
                         u64(o.l1d.pfClassFills[c]));
         kv.emplace_back("l1d_useful_" + cls,
                         u64(o.l1d.pfClassUseful[c]));
+        kv.emplace_back("l1d_issued_" + cls,
+                        u64(o.l1d.pfClassIssued[c]));
+        kv.emplace_back("l1d_late_" + cls, u64(o.l1d.pfClassLate[c]));
     }
     return kv;
-}
-
-/** Minimal JSON string escaping (quotes and backslashes). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
 }
 
 } // namespace
@@ -99,24 +90,24 @@ Report::writeCsv(std::ostream &os) const
 void
 Report::writeJson(std::ostream &os) const
 {
-    os << "[\n";
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-        const auto kv = flatten(rows_[r]);
-        os << "  {";
-        for (std::size_t i = 0; i < kv.size(); ++i) {
-            const bool numeric =
-                kv[i].first != "trace" && kv[i].first != "combo";
-            os << '"' << kv[i].first << "\": ";
-            if (numeric)
-                os << kv[i].second;
+    // Routed through JsonWriter so trace/combo names with quotes,
+    // backslashes or control characters stay valid JSON (the old
+    // hand-rolled escaper missed control characters).
+    JsonWriter w(os, JsonWriter::Style::Pretty);
+    w.beginArray();
+    for (const ReportRow &row : rows_) {
+        w.beginObject();
+        for (const auto &[k, v] : flatten(row)) {
+            w.key(k);
+            if (k != "trace" && k != "combo")
+                w.rawValue(v);  // keep the historical %.6g formatting
             else
-                os << '"' << jsonEscape(kv[i].second) << '"';
-            if (i + 1 < kv.size())
-                os << ", ";
+                w.value(v);
         }
-        os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+        w.endObject();
     }
-    os << "]\n";
+    w.endArray();
+    os << '\n';
 }
 
 } // namespace bouquet

@@ -13,8 +13,10 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <sys/stat.h>
 
 #include "common/faultinject.hh"
+#include "common/stateio.hh"
 
 namespace bouquet
 {
@@ -200,6 +202,26 @@ jobKey(const Job &job)
            std::to_string(job.cfg.simInstrs) + "|" +
            std::to_string(job.cfg.warmupInstrs) + "|" +
            systemFingerprint(job.cfg.system);
+}
+
+/**
+ * Derive the per-job stats JSON artifact path when cfg.statsDir is
+ * set: stats-<fnv1a(key)>.json, mirroring the key-derived checkpoint
+ * naming so a job's artifact is found from its key alone. An explicit
+ * statsJsonPath on the job wins.
+ */
+ExperimentConfig
+withJobStatsPath(const ExperimentConfig &cfg, const std::string &key)
+{
+    if (cfg.statsDir.empty() || !cfg.statsJsonPath.empty())
+        return cfg;
+    ExperimentConfig out = cfg;
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    out.statsJsonPath = cfg.statsDir + "/stats-" + hex + ".json";
+    ::mkdir(cfg.statsDir.c_str(), 0777);  // best effort; export warns
+    return out;
 }
 
 double
@@ -432,9 +454,11 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
         JobTiming &t = last_.perJob[i];
         const auto start = Clock::now();
         watchdog.beginJob(i, t.key);
+        const ExperimentConfig job_cfg =
+            withJobStatsPath(job.cfg, t.key);
         executeWithPolicy(
             t.key, [&] { return runSingleCore(job.spec, job.attach,
-                                              job.cfg, t.key); },
+                                              job_cfg, t.key); },
             results[i]);
         watchdog.endJob(i);
         t.seconds = secondsSince(start);
@@ -536,9 +560,11 @@ Runner::runMixes(const std::vector<MixJob> &jobs)
         t.key = job.label;
         const auto start = Clock::now();
         watchdog.beginJob(i, t.key);
+        const ExperimentConfig job_cfg =
+            withJobStatsPath(job.cfg, t.key);
         executeWithPolicy(
             t.key, [&] { return runMix(job.specs, job.attach,
-                                       job.cfg, t.key); },
+                                       job_cfg, t.key); },
             results[i]);
         watchdog.endJob(i);
         t.seconds = secondsSince(start);

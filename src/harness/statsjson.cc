@@ -1,0 +1,67 @@
+#include "harness/statsjson.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/tracer.hh"
+
+namespace bouquet
+{
+
+Status
+writeSystemStatsJson(System &sys, const std::string &path,
+                     const std::string &job_key)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return Status(makeError(
+            Errc::io, "cannot open stats JSON file '" + path + "'"));
+
+    JsonWriter w(os, JsonWriter::Style::Pretty);
+    w.beginObject();
+    w.key("schema_version");
+    w.value(kStatsJsonSchemaVersion);
+    char hex[19];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(sys.configHash()));
+    w.key("config_hash");
+    w.value(hex);
+    w.key("job_key");
+    w.value(job_key);
+    w.key("workloads");
+    w.beginArray();
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        w.value(sys.workloadName(c));
+    w.endArray();
+    w.key("stats");
+    sys.statRegistry().writeJson(w);
+    w.endObject();
+    os << '\n';
+    os.flush();
+    if (!os)
+        return Status(makeError(
+            Errc::io, "short write to stats JSON file '" + path + "'"));
+    return Status();
+}
+
+Status
+writeTraceEvents(System &sys, const std::string &path)
+{
+    EventTracer *t = sys.tracer();
+    if (t == nullptr)
+        return Status(makeError(
+            Errc::failed, "event tracing was not enabled on this run"));
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return Status(makeError(
+            Errc::io, "cannot open trace file '" + path + "'"));
+    t->writeChromeJson(os);
+    os.flush();
+    if (!os)
+        return Status(makeError(
+            Errc::io, "short write to trace file '" + path + "'"));
+    return Status();
+}
+
+} // namespace bouquet

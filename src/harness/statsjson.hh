@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable run artifacts: the full stat tree of a System as
+ * pretty-printed JSON (schema-versioned, keyed by config hash and job
+ * key) and the event-trace ring in Chrome trace_event format (loadable
+ * by Perfetto / chrome://tracing). Both are written after a run
+ * completes; failures come back as a Status so an export problem never
+ * fails an otherwise healthy experiment.
+ */
+
+#ifndef BOUQUET_HARNESS_STATSJSON_HH
+#define BOUQUET_HARNESS_STATSJSON_HH
+
+#include <string>
+
+#include "common/errors.hh"
+#include "core/system.hh"
+
+namespace bouquet
+{
+
+/**
+ * Bumped whenever the shape of the stats JSON document (not the stat
+ * tree itself — components may add stats freely) changes.
+ */
+inline constexpr std::uint64_t kStatsJsonSchemaVersion = 1;
+
+/**
+ * Write `sys`'s complete stat tree to `path` as pretty-printed JSON:
+ *
+ *   { "schema_version": 1,
+ *     "config_hash": "0x....",        // System::configHash()
+ *     "job_key": "...",               // caller-supplied run identity
+ *     "workloads": ["...", ...],      // one per core
+ *     "stats": { "system": {...} } }  // nested registry tree
+ */
+Status writeSystemStatsJson(System &sys, const std::string &path,
+                            const std::string &job_key);
+
+/**
+ * Write the event-trace ring of `sys` to `path` in Chrome trace_event
+ * JSON. Returns an error Status if tracing was never enabled.
+ */
+Status writeTraceEvents(System &sys, const std::string &path);
+
+} // namespace bouquet
+
+#endif // BOUQUET_HARNESS_STATSJSON_HH

@@ -5,6 +5,8 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
+#include "common/tracer.hh"
 
 namespace bouquet
 {
@@ -182,7 +184,13 @@ IpcpL1::updateMpkiGate()
     }
     if (instr - epochStartInstr_ >= 1024) {
         const std::uint64_t mpki = miss - epochStartMisses_;
-        nlEnabled_ = mpki < params_.mpkiThreshold;
+        const bool enabled = mpki < params_.mpkiThreshold;
+        if (enabled != nlEnabled_) {
+            if (EventTracer *t = host_->tracer())
+                t->record(TraceEventKind::NlGate, host_->traceTrack(),
+                          host_->now(), enabled ? 1 : 0);
+            nlEnabled_ = enabled;
+        }
         epochStartInstr_ = instr;
         epochStartMisses_ = miss;
     }
@@ -209,6 +217,19 @@ IpcpL1::measureEpoch(IpcpClass c)
     }
     t.fills = 0;
     t.useful = 0;
+
+    ++epochsMeasured_[static_cast<int>(c)];
+    EpochRecord &rec = epochHistory_[epochHead_];
+    rec.cls = static_cast<std::uint8_t>(c);
+    rec.degree = static_cast<std::uint8_t>(t.degree);
+    rec.accuracy = t.lastAccuracy;
+    epochHead_ = epochHead_ + 1 == kEpochHistoryCap ? 0 : epochHead_ + 1;
+    if (epochCount_ < kEpochHistoryCap)
+        ++epochCount_;
+    if (EventTracer *tr = host_->tracer())
+        tr->record(TraceEventKind::ThrottleEpoch, host_->traceTrack(),
+                   host_->now(), static_cast<std::uint64_t>(c), t.degree,
+                   static_cast<std::uint32_t>(t.lastAccuracy * 1000.0));
 }
 
 void
@@ -275,8 +296,10 @@ IpcpL1::issue(Addr base_vaddr, std::int64_t delta_lines, IpcpClass c,
 
     const bool ok = host_->issuePrefetch(
         target, CacheLevel::L1D, meta, static_cast<std::uint8_t>(c));
-    if (ok)
+    if (ok) {
         rrInsert(tline);
+        ++issuedPerClass_[static_cast<int>(c)];
+    }
     return ok;
 }
 
@@ -395,6 +418,7 @@ IpcpL1::operate(Addr addr, Ip ip, bool, AccessType type, std::uint32_t)
         }
 
         // Classification: trained or tentative region => GS IP.
+        const bool was_stream = e.streamValid;
         if (r->trained) {
             e.streamValid = true;
             e.directionPositive = r->posNeg.positive();
@@ -403,6 +427,14 @@ IpcpL1::operate(Addr addr, Ip ip, bool, AccessType type, std::uint32_t)
             e.directionPositive = inherited_dir;
         } else {
             e.streamValid = false;  // declassify once no longer dense
+        }
+        if (e.streamValid != was_stream) {
+            // GS membership flip: the classifier moved this IP in or
+            // out of the stream class.
+            if (EventTracer *tr = host_->tracer())
+                tr->record(TraceEventKind::ClassShift,
+                           host_->traceTrack(), host_->now(), ip,
+                           was_stream ? 1 : 0, e.streamValid ? 1 : 0);
         }
 
         if (stride != 0) {
@@ -520,6 +552,22 @@ IpcpL1::serialize(StateIO &io)
     io.io(nlEnabled_);
     io.io(epochStartInstr_);
     io.io(epochStartMisses_);
+    for (auto &v : issuedPerClass_)
+        io.io(v);
+    for (auto &v : epochsMeasured_)
+        io.io(v);
+    for (EpochRecord &r : epochHistory_)
+        r.serialize(io);
+    std::uint64_t head = epochHead_;
+    std::uint64_t count = epochCount_;
+    io.io(head);
+    io.io(count);
+    if (io.reading()) {
+        if (head >= kEpochHistoryCap || count > kEpochHistoryCap)
+            StateIO::failCorrupt("ipcp-l1 epoch history out of bounds");
+        epochHead_ = static_cast<std::size_t>(head);
+        epochCount_ = static_cast<std::size_t>(count);
+    }
     if (io.reading()) {
         if (ipTable_.size() != ip || cspt_.size() != cspt ||
             rst_.size() != rst || rrFilter_.size() != rr)
@@ -562,6 +610,66 @@ IpcpL1::audit() const
         if (t.degree < 1)
             fail("class throttle degree fell below one");
     }
+}
+
+void
+IpcpL1::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("nl_enabled", [this] { return nlEnabled_ ? 1.0 : 0.0; });
+    g.gauge("rst_trained_regions", [this] {
+        double n = 0;
+        for (const RstEntry &e : rst_)
+            n += e.valid && e.trained ? 1 : 0;
+        return n;
+    });
+    g.gauge("ip_table_valid", [this] {
+        double n = 0;
+        for (const IpEntry &e : ipTable_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+
+    for (int c = 1; c < static_cast<int>(kIpcpClassCount); ++c) {
+        const StatGroup cls =
+            g.child(ipcpClassName(static_cast<IpcpClass>(c)));
+        cls.counter("issued", issuedPerClass_[c]);
+        cls.counter("epochs", epochsMeasured_[c]);
+        // Behavior state: degree/accuracy drive throttling, the
+        // fill/useful window feeds the next epoch measurement.
+        cls.gauge("degree", [this, c] {
+            return static_cast<double>(throttle_[c].degree);
+        });
+        cls.gauge("accuracy",
+                  [this, c] { return throttle_[c].lastAccuracy; });
+        cls.gauge("epoch_fills", [this, c] {
+            return static_cast<double>(throttle_[c].fills);
+        });
+        cls.gauge("epoch_useful", [this, c] {
+            return static_cast<double>(throttle_[c].useful);
+        });
+        // Accuracy deciles over the recent epoch history ring.
+        cls.histogram("epoch_accuracy_deciles", [this, c] {
+            std::vector<std::uint64_t> h(10, 0);
+            for (std::size_t i = 0; i < epochCount_; ++i) {
+                const EpochRecord &r = epochHistory_[i];
+                if (r.cls != c)
+                    continue;
+                const auto d = static_cast<std::size_t>(
+                    r.accuracy >= 1.0 ? 9 : r.accuracy * 10.0);
+                ++h[d < 10 ? d : 9];
+            }
+            return h;
+        });
+    }
+
+    g.onReset([this] {
+        issuedPerClass_ = {};
+        epochsMeasured_ = {};
+        epochHistory_ = {};
+        epochHead_ = 0;
+        epochCount_ = 0;
+    });
 }
 
 } // namespace bouquet

@@ -111,6 +111,22 @@ class IpcpL1 : public Prefetcher
      */
     void audit() const override;
 
+    /**
+     * Per-class observability: issued counters, throttle degree and
+     * accuracy gauges, epoch counts and an accuracy histogram over the
+     * recent epoch history. The throttle's in-epoch fill/useful
+     * windows are exported as gauges — they feed degree decisions, so
+     * a stats reset must never zero them.
+     */
+    void registerStats(const StatGroup &g) override;
+
+    /** Prefetches issued past the RR filter, per class (tests). */
+    std::uint64_t
+    issuedFor(IpcpClass c) const
+    {
+        return issuedPerClass_[static_cast<int>(c)];
+    }
+
   private:
     struct IpEntry
     {
@@ -240,6 +256,33 @@ class IpcpL1 : public Prefetcher
     bool nlEnabled_ = true;
     std::uint64_t epochStartInstr_ = 0;
     std::uint64_t epochStartMisses_ = 0;
+
+    // --- observability (never read by prefetch decisions) ------------
+    /** One closed accuracy epoch (measureEpoch). */
+    struct EpochRecord
+    {
+        std::uint8_t cls = 0;
+        std::uint8_t degree = 0;
+        double accuracy = 0.0;
+
+        template <typename IO>
+        void
+        serialize(IO &io)
+        {
+            io.io(cls);
+            io.io(degree);
+            io.io(accuracy);
+        }
+    };
+
+    /** Bounded history of the most recent closed epochs. */
+    static constexpr std::size_t kEpochHistoryCap = 64;
+
+    std::array<std::uint64_t, kIpcpClassCount> issuedPerClass_{};
+    std::array<std::uint64_t, kIpcpClassCount> epochsMeasured_{};
+    std::array<EpochRecord, kEpochHistoryCap> epochHistory_{};
+    std::size_t epochHead_ = 0;   //!< next write slot
+    std::size_t epochCount_ = 0;  //!< live records (<= cap)
 };
 
 } // namespace bouquet

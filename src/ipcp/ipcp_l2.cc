@@ -5,6 +5,8 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
+#include "common/tracer.hh"
 
 namespace bouquet
 {
@@ -34,7 +36,14 @@ IpcpL2::updateMpkiGate()
         return;
     }
     if (instr - epochStartInstr_ >= 1024) {
-        nlEnabled_ = (miss - epochStartMisses_) < params_.mpkiThreshold;
+        const bool enabled =
+            (miss - epochStartMisses_) < params_.mpkiThreshold;
+        if (enabled != nlEnabled_) {
+            if (EventTracer *t = host_->tracer())
+                t->record(TraceEventKind::NlGate, host_->traceTrack(),
+                          host_->now(), enabled ? 1 : 0);
+            nlEnabled_ = enabled;
+        }
         epochStartInstr_ = instr;
         epochStartMisses_ = miss;
     }
@@ -54,8 +63,9 @@ IpcpL2::issueStride(Addr addr, std::int64_t stride, unsigned degree,
                                          kLineSize));
         if (pageNumber(target) != pageNumber(addr))
             return;
-        host_->issuePrefetch(target, CacheLevel::L2, 0,
-                             static_cast<std::uint8_t>(attribution));
+        if (host_->issuePrefetch(target, CacheLevel::L2, 0,
+                                 static_cast<std::uint8_t>(attribution)))
+            ++issuedPerClass_[static_cast<int>(attribution)];
     }
 }
 
@@ -144,6 +154,8 @@ IpcpL2::serialize(StateIO &io)
     io.io(nlEnabled_);
     io.io(epochStartInstr_);
     io.io(epochStartMisses_);
+    for (auto &v : issuedPerClass_)
+        io.io(v);
     if (io.reading()) {
         if (table_.size() != expect)
             StateIO::failCorrupt("ipcp-l2 table size mismatch");
@@ -162,6 +174,25 @@ IpcpL2::audit() const
             throw ErrorException(makeError(
                 Errc::corrupt, "ipcp-l2: illegal metadata class"));
     }
+}
+
+void
+IpcpL2::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("nl_enabled", [this] { return nlEnabled_ ? 1.0 : 0.0; });
+    g.gauge("ip_table_valid", [this] {
+        double n = 0;
+        for (const IpEntry &e : table_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    for (int c = 1; c < static_cast<int>(kIpcpClassCount); ++c) {
+        const StatGroup cls =
+            g.child(ipcpClassName(static_cast<IpcpClass>(c)));
+        cls.counter("issued", issuedPerClass_[c]);
+    }
+    g.onReset([this] { issuedPerClass_ = {}; });
 }
 
 } // namespace bouquet

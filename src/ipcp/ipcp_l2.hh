@@ -10,6 +10,7 @@
 #ifndef BOUQUET_IPCP_IPCP_L2_HH
 #define BOUQUET_IPCP_IPCP_L2_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,16 @@ class IpcpL2 : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    /** Per-class issue counters, NL gate and table occupancy. */
+    void registerStats(const StatGroup &g) override;
+
+    /** Prefetches issued at the L2, per attribution class (tests). */
+    std::uint64_t
+    issuedFor(IpcpClass c) const
+    {
+        return issuedPerClass_[static_cast<int>(c)];
+    }
+
   private:
     struct IpEntry
     {
@@ -79,6 +90,9 @@ class IpcpL2 : public Prefetcher
     bool nlEnabled_ = true;
     std::uint64_t epochStartInstr_ = 0;
     std::uint64_t epochStartMisses_ = 0;
+
+    /** Observability only (never read by prefetch decisions). */
+    std::array<std::uint64_t, kIpcpClassCount> issuedPerClass_{};
 };
 
 } // namespace bouquet

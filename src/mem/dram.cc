@@ -6,6 +6,7 @@
 
 #include "common/bitops.hh"
 #include "common/errors.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -16,6 +17,19 @@ Dram::Dram(DramConfig cfg) : config_(cfg)
     channels_.resize(config_.channels);
     for (auto &ch : channels_)
         ch.banks.resize(config_.banksPerChannel);
+}
+
+void
+Dram::registerStats(const StatGroup &g)
+{
+    g.counter("reads", stats_.reads);
+    g.counter("writes", stats_.writes);
+    g.counter("row_hits", stats_.rowHits);
+    g.counter("row_misses", stats_.rowMisses);
+    g.counter("busy_rejects", stats_.busyRejects);
+    g.counter("data_cycles", stats_.dataCycles);
+    g.counter("bytes_transferred", [this] { return bytesTransferred(); });
+    g.onReset([this] { stats_.reset(); });
 }
 
 unsigned

@@ -22,6 +22,8 @@
 namespace bouquet
 {
 
+class StatGroup;
+
 /** DRAM timing/geometry configuration (all times in core cycles). */
 struct DramConfig
 {
@@ -92,6 +94,9 @@ class Dram : public ReqSink, public Clocked
 
     const Stats &stats() const { return stats_; }
     Stats &stats() { return stats_; }
+
+    /** Export controller counters into the registry subtree `g`. */
+    void registerStats(const StatGroup &g);
 
     const DramConfig &config() const { return config_; }
 

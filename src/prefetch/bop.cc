@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -178,6 +179,21 @@ BopPrefetcher::audit() const
         std::find(offsets_.begin(), offsets_.end(), bestOffset_) ==
             offsets_.end())
         fail("selected offset is not a candidate");
+}
+
+void
+BopPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    // Offset scores and the learned best offset steer future issue
+    // decisions, so everything here is behavior state (gauges).
+    g.gauge("best_offset",
+            [this] { return static_cast<double>(bestOffset_); });
+    g.gauge("prefetch_on", [this] { return prefetchOn_ ? 1.0 : 0.0; });
+    g.gauge("round_count",
+            [this] { return static_cast<double>(roundCount_); });
+    g.gauge("best_score_seen",
+            [this] { return static_cast<double>(bestScoreSeen_); });
 }
 
 } // namespace bouquet

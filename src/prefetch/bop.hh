@@ -49,6 +49,8 @@ class BopPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     bool rrProbe(LineAddr line) const;
     void rrInsert(LineAddr line);

@@ -1,0 +1,16 @@
+#include "prefetch/composite.hh"
+
+#include "common/statsink.hh"
+
+namespace bouquet
+{
+
+void
+CompositePrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    for (auto &c : children_)
+        c->registerStats(g.child(c->name()));
+}
+
+} // namespace bouquet

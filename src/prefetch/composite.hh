@@ -99,6 +99,9 @@ class CompositePrefetcher : public Prefetcher
             c->audit();
     }
 
+    /** Each child registers under its own name; see composite.cc. */
+    void registerStats(const StatGroup &g) override;
+
   private:
     std::vector<std::unique_ptr<Prefetcher>> children_;
 };

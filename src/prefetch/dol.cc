@@ -2,6 +2,7 @@
 
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -143,6 +144,30 @@ DolPrefetcher::audit() const
                 Errc::corrupt,
                 "dol: region entry used ahead of the clock"));
     }
+}
+
+void
+DolPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("strides_valid", [this] {
+        double n = 0;
+        for (const auto &e : strides_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("regions_valid", [this] {
+        double n = 0;
+        for (const auto &e : regions_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("regions_streamed", [this] {
+        double n = 0;
+        for (const auto &e : regions_)
+            n += e.valid && e.streamed ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -159,6 +160,24 @@ DspatchPrefetcher::audit() const
     }
     if (useful_ > fills_)
         fail("more useful prefetches than fills");
+}
+
+void
+DspatchPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    // The fill/useful window and derived accuracy pick between the
+    // CovP and AccP bitmaps, so they are behavior state (gauges) and
+    // must survive a registry-wide stats reset.
+    g.gauge("fills", [this] { return static_cast<double>(fills_); });
+    g.gauge("useful", [this] { return static_cast<double>(useful_); });
+    g.gauge("accuracy", [this] { return accuracy_; });
+    g.gauge("spt_trained", [this] {
+        double n = 0;
+        for (const auto &e : spt_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

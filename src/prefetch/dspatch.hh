@@ -53,6 +53,8 @@ class DspatchPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     struct PageEntry
     {

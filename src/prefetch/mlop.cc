@@ -4,6 +4,7 @@
 
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -160,6 +161,22 @@ MlopPrefetcher::audit() const
     }
     if (events_ > params_.epochEvents)
         fail("epoch event count exceeds the epoch length");
+}
+
+void
+MlopPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("selected_offsets",
+            [this] { return static_cast<double>(selected_.size()); });
+    g.gauge("epoch_events",
+            [this] { return static_cast<double>(events_); });
+    g.gauge("maps_valid", [this] {
+        double n = 0;
+        for (const auto &m : maps_)
+            n += m.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

@@ -52,6 +52,8 @@ class MlopPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     struct MapEntry
     {

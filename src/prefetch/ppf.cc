@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -229,6 +230,25 @@ PpfPrefetcher::audit() const
                     "ppf: perceptron weight outside its 5-bit range"));
         }
     }
+}
+
+void
+PpfPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    spp_->registerStats(g.child("spp"));
+    g.gauge("issued_occupancy", [this] {
+        double n = 0;
+        for (const auto &r : issued_)
+            n += r.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("rejected_occupancy", [this] {
+        double n = 0;
+        for (const auto &r : rejected_)
+            n += r.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

@@ -1,0 +1,15 @@
+#include "prefetch/prefetcher.hh"
+
+#include "common/statsink.hh"
+
+namespace bouquet
+{
+
+void
+Prefetcher::registerStats(const StatGroup &g)
+{
+    g.gauge("storage_bits",
+            [this] { return static_cast<double>(storageBits()); });
+}
+
+} // namespace bouquet

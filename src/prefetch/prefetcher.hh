@@ -21,6 +21,8 @@
 namespace bouquet
 {
 
+class EventTracer;
+class StatGroup;
 class StateIO;
 
 /**
@@ -59,6 +61,12 @@ class PrefetchHost
 
     /** Instructions retired by the owning core since stats reset. */
     virtual std::uint64_t retiredInstructions() const = 0;
+
+    /** The attached event tracer, or null when tracing is off. */
+    virtual EventTracer *tracer() const { return nullptr; }
+
+    /** Trace track id of the hosting cache (with tracer()). */
+    virtual int traceTrack() const { return 0; }
 };
 
 /**
@@ -135,6 +143,14 @@ class Prefetcher
      * throws ErrorException (Errc::corrupt) on violation.
      */
     virtual void audit() const {}
+
+    /**
+     * Export predictor state into the registry subtree `g`. The
+     * default publishes the storage budget; prefetchers with
+     * interesting internal state (IPCP especially) override and call
+     * the base.
+     */
+    virtual void registerStats(const StatGroup &g);
 
   protected:
     PrefetchHost *host_ = nullptr;

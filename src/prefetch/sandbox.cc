@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -159,6 +160,20 @@ SandboxPrefetcher::audit() const
         if (a.offset == 0)
             fail("active offset of zero");
     }
+}
+
+void
+SandboxPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("active_offsets",
+            [this] { return static_cast<double>(active_.size()); });
+    g.gauge("trial_index",
+            [this] { return static_cast<double>(trialIndex_); });
+    g.gauge("trial_accesses",
+            [this] { return static_cast<double>(trialAccesses_); });
+    g.gauge("trial_score",
+            [this] { return static_cast<double>(trialScore_); });
 }
 
 } // namespace bouquet

@@ -65,6 +65,8 @@ class SandboxPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     void bloomInsert(LineAddr line);
     bool bloomTest(LineAddr line) const;

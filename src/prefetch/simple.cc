@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -306,6 +307,43 @@ StreamPrefetcher::audit() const
                 Errc::corrupt,
                 "stream prefetcher: illegal stream direction"));
     }
+}
+
+void
+ThrottledNextLine::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("enabled", [this] { return enabled_ ? 1.0 : 0.0; });
+    g.gauge("window_fills",
+            [this] { return static_cast<double>(fills_); });
+    g.gauge("window_useful",
+            [this] { return static_cast<double>(useful_); });
+    g.gauge("disabled_misses",
+            [this] { return static_cast<double>(disabledMisses_); });
+}
+
+void
+IpStridePrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("table_valid", [this] {
+        double n = 0;
+        for (const Entry &e : table_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+}
+
+void
+StreamPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("streams_trained", [this] {
+        double n = 0;
+        for (const Stream &s : streams_)
+            n += s.valid && s.trained ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

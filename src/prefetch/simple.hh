@@ -67,6 +67,12 @@ class ThrottledNextLine : public Prefetcher
 
     void serialize(StateIO &io) override;
 
+    /**
+     * The fill/useful window and gate are behavior state (they decide
+     * whether NL stays enabled), so everything here is a gauge.
+     */
+    void registerStats(const StatGroup &g) override;
+
   private:
     std::uint64_t fills_ = 0;
     std::uint64_t useful_ = 0;
@@ -100,6 +106,8 @@ class IpStridePrefetcher : public Prefetcher
     std::size_t storageBits() const override;
 
     void serialize(StateIO &io) override;
+
+    void registerStats(const StatGroup &g) override;
 
   private:
     struct Entry
@@ -154,6 +162,8 @@ class StreamPrefetcher : public Prefetcher
 
     void serialize(StateIO &io) override;
     void audit() const override;
+
+    void registerStats(const StatGroup &g) override;
 
   private:
     struct Stream

@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -291,6 +292,42 @@ BingoPrefetcher::auditHistory() const
                 Errc::corrupt,
                 "bingo: history entry used ahead of the clock"));
     }
+}
+
+void
+SpatialPatternBase::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("active_regions", [this] {
+        double n = 0;
+        for (const auto &r : regions_)
+            n += r.valid ? 1 : 0;
+        return n;
+    });
+}
+
+void
+SmsPrefetcher::registerStats(const StatGroup &g)
+{
+    SpatialPatternBase::registerStats(g);
+    g.gauge("pht_valid", [this] {
+        double n = 0;
+        for (const auto &e : pht_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+}
+
+void
+BingoPrefetcher::registerStats(const StatGroup &g)
+{
+    SpatialPatternBase::registerStats(g);
+    g.gauge("pht_valid", [this] {
+        double n = 0;
+        for (const auto &e : pht_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

@@ -45,6 +45,8 @@ class SpatialPatternBase : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   protected:
     struct ActiveRegion
     {
@@ -107,6 +109,8 @@ class SmsPrefetcher : public SpatialPatternBase
     std::string name() const override { return "sms"; }
     std::size_t storageBits() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   protected:
     void recordPattern(const ActiveRegion &r) override;
     std::uint64_t predict(unsigned trigger_offset,
@@ -141,6 +145,8 @@ class BingoPrefetcher : public SpatialPatternBase
 
     std::string name() const override { return "bingo"; }
     std::size_t storageBits() const override;
+
+    void registerStats(const StatGroup &g) override;
 
   protected:
     void recordPattern(const ActiveRegion &r) override;

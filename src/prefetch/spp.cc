@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -222,6 +223,30 @@ SppPrefetcher::audit() const
         if (e.valid && e.lastOffset >= 64)
             fail("global-history offset outside the page");
     }
+}
+
+void
+SppPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("st_valid", [this] {
+        double n = 0;
+        for (const auto &e : st_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("ghr_valid", [this] {
+        double n = 0;
+        for (const auto &e : ghr_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("filter_occupancy", [this] {
+        double n = 0;
+        for (std::uint32_t v : filter_)
+            n += v != ~0u ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

@@ -72,6 +72,8 @@ class SppPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     struct StEntry
     {

@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -189,6 +190,24 @@ TskidPrefetcher::audit() const
         if (s.valid && s.entryIdx >= table_.size())
             fail("in-flight sample points outside the table");
     }
+}
+
+void
+TskidPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("table_valid", [this] {
+        double n = 0;
+        for (const auto &e : table_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("samples_inflight", [this] {
+        double n = 0;
+        for (const auto &s : samples_)
+            n += s.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

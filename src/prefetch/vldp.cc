@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
+#include "common/statsink.hh"
 
 namespace bouquet
 {
@@ -215,6 +216,25 @@ VldpPrefetcher::audit() const
         if (e.lastUse > clock_)
             fail("history entry used ahead of the clock");
     }
+}
+
+void
+VldpPrefetcher::registerStats(const StatGroup &g)
+{
+    Prefetcher::registerStats(g);
+    g.gauge("dhb_valid", [this] {
+        double n = 0;
+        for (const auto &e : dhb_)
+            n += e.valid ? 1 : 0;
+        return n;
+    });
+    g.gauge("dpt_valid", [this] {
+        double n = 0;
+        for (const auto &t : dpt_)
+            for (const auto &e : t)
+                n += e.valid ? 1 : 0;
+        return n;
+    });
 }
 
 } // namespace bouquet

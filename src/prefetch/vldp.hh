@@ -48,6 +48,8 @@ class VldpPrefetcher : public Prefetcher
     void serialize(StateIO &io) override;
     void audit() const override;
 
+    void registerStats(const StatGroup &g) override;
+
   private:
     struct DhbEntry
     {

@@ -268,11 +268,51 @@ TEST(Stats, SmallHistogram)
     SmallHistogram h(4);
     h.add(0);
     h.add(1, 5);
-    h.add(9);  // out of range: ignored
+    h.add(9);  // out of range: lands in the overflow bucket
     EXPECT_EQ(h.at(0), 1u);
     EXPECT_EQ(h.at(1), 5u);
     EXPECT_EQ(h.total(), 6u);
     h.clear();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Stats, GeometricMeanSkipsNonPositives)
+{
+    // Regression: one zero observation (a failed run's speedup, say)
+    // used to poison the whole geomean to zero. It is now skipped —
+    // and counted, so callers can see data was dropped.
+    MeanAccumulator m;
+    m.add(2.0);
+    m.add(8.0);
+    m.add(0.0);
+    EXPECT_EQ(m.nonPositiveCount(), 1u);
+    EXPECT_DOUBLE_EQ(m.geometricMean(), 4.0);
+    // The arithmetic mean still covers every observation.
+    EXPECT_NEAR(m.arithmeticMean(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanAllNonPositiveIsZero)
+{
+    MeanAccumulator m;
+    m.add(0.0);
+    m.add(-1.0);
+    EXPECT_EQ(m.nonPositiveCount(), 2u);
+    EXPECT_DOUBLE_EQ(m.geometricMean(), 0.0);
+}
+
+TEST(Stats, SmallHistogramOverflowBucket)
+{
+    // Regression: out-of-range adds used to vanish silently; they now
+    // land in a dedicated overflow counter (excluded from total(), so
+    // in-range shares stay meaningful).
+    SmallHistogram h(4);
+    h.add(2);
+    h.add(4, 3);   // first index past the end
+    h.add(100);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.total(), 1u);
+    h.clear();
+    EXPECT_EQ(h.overflow(), 0u);
     EXPECT_EQ(h.total(), 0u);
 }
 

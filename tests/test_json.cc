@@ -1,0 +1,128 @@
+/** @file Tests for the JSON writer (escaping, structure, numbers). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+TEST(Json, CompactObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("a");
+    w.value(std::uint64_t{1});
+    w.key("b");
+    w.beginArray();
+    w.value("x");
+    w.value(true);
+    w.null();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"a\":1,\"b\":[\"x\",true,null]}");
+}
+
+TEST(Json, PrettyObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Style::Pretty);
+    w.beginObject();
+    w.key("a");
+    w.value(std::uint64_t{1});
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Style::Pretty);
+    w.beginArray();
+    w.endArray();
+    EXPECT_EQ(os.str(), "[]");
+}
+
+TEST(Json, EscapesHostileStrings)
+{
+    // Quotes, backslashes, and every class of control character must
+    // come out as valid JSON — the report writer once missed control
+    // characters entirely.
+    EXPECT_EQ(JsonWriter::escape("pl\"ain\\"), "pl\\\"ain\\\\");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    EXPECT_EQ(JsonWriter::escape("\b\f"), "\\b\\f");
+}
+
+TEST(Json, StringValueIsEscaped)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("k\"ey");
+    w.value("v\nal");
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(INFINITY);
+    w.endArray();
+    EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(Json, DoublesRoundTrip)
+{
+    // The writer promises enough digits that strtod returns the exact
+    // value that was written.
+    const double cases[] = {0.1, 1.0 / 3.0, 1e-300, 12345.6789,
+                            0.98828125};
+    for (const double d : cases) {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginArray();
+        w.value(d);
+        w.endArray();
+        const std::string body =
+            os.str().substr(1, os.str().size() - 2);
+        EXPECT_EQ(std::strtod(body.c_str(), nullptr), d) << body;
+    }
+}
+
+TEST(Json, RawValuePassesThrough)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("ipc");
+    w.rawValue("1.25");
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"ipc\":1.25}");
+}
+
+TEST(Json, IntegerWidths)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(std::uint64_t{18446744073709551615ull});
+    w.value(std::int64_t{-42});
+    w.endArray();
+    EXPECT_EQ(os.str(), "[18446744073709551615,-42]");
+}
+
+} // namespace
+} // namespace bouquet

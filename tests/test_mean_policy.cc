@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Source-level policy check: speedups are ratios and must be averaged
+ * geometrically (the paper reports geomean speedups throughout). A
+ * bench source file that both talks about speedups and calls
+ * arithmeticMean() is flagged — today no file legitimately mixes the
+ * two, so any new overlap must either fix the mean or consciously
+ * split the file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+std::string
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+bool
+contains(const std::string &hay, const char *needle)
+{
+    return hay.find(needle) != std::string::npos;
+}
+
+TEST(MeanPolicy, SpeedupsNeverUseArithmeticMean)
+{
+    const std::filesystem::path bench =
+        std::filesystem::path(IPCP_SOURCE_DIR) / "bench";
+    ASSERT_TRUE(std::filesystem::is_directory(bench))
+        << "bench directory not found under " << IPCP_SOURCE_DIR;
+
+    unsigned scanned = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(bench)) {
+        if (entry.path().extension() != ".cc")
+            continue;
+        ++scanned;
+        const std::string src = slurp(entry.path());
+        const bool speedup =
+            contains(src, "speedup") || contains(src, "Speedup");
+        const bool arith = contains(src, "arithmeticMean");
+        EXPECT_FALSE(speedup && arith)
+            << entry.path().filename()
+            << " mentions speedups and calls arithmeticMean(); "
+               "speedups are ratios and must use geometricMean()";
+    }
+    // The suite exists and was actually scanned.
+    EXPECT_GT(scanned, 5u);
+}
+
+} // namespace

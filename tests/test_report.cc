@@ -83,6 +83,34 @@ TEST(Report, JsonIsWellFormedEnough)
     EXPECT_NE(out.find("\"ipc\": 1.25"), std::string::npos);
 }
 
+TEST(Report, JsonEscapesControlCharacters)
+{
+    // The old hand-rolled escaper only handled quotes and
+    // backslashes; a newline or tab in a name produced invalid JSON.
+    Report r;
+    r.add("trace\nwith\tcontrol", "combo\\back", sampleOutcome());
+    std::ostringstream os;
+    r.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find('\t'), std::string::npos);
+    EXPECT_NE(out.find("trace\\nwith\\tcontrol"), std::string::npos);
+    EXPECT_NE(out.find("combo\\\\back"), std::string::npos);
+}
+
+TEST(Report, CsvCarriesIssuedAndLateColumns)
+{
+    Report r;
+    Outcome o = sampleOutcome();
+    o.l1d.pfClassIssued[1] = 22;
+    o.l1d.pfClassLate[1] = 4;
+    r.add("t", "c", o);
+    std::ostringstream os;
+    r.writeCsv(os);
+    EXPECT_NE(os.str().find("l1d_issued_cs"), std::string::npos);
+    EXPECT_NE(os.str().find("l1d_late_nl"), std::string::npos);
+    EXPECT_NE(os.str().find(",22,"), std::string::npos);
+}
+
 TEST(Report, EmptyReportStillValid)
 {
     Report r;
@@ -91,7 +119,7 @@ TEST(Report, EmptyReportStillValid)
     r.writeJson(json);
     const std::string csv_out = csv.str();
     EXPECT_EQ(std::count(csv_out.begin(), csv_out.end(), '\n'), 1);
-    EXPECT_EQ(json.str(), "[\n]\n");
+    EXPECT_EQ(json.str(), "[]\n");
 }
 
 } // namespace

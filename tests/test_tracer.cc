@@ -1,0 +1,99 @@
+/** @file Tests for the bounded event-trace ring and its JSON export. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/tracer.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+TEST(Tracer, RecordsInOrder)
+{
+    EventTracer t(8);
+    const int track = t.registerTrack("l1d");
+    t.record(TraceEventKind::PfIssue, track, 100, 0xabc, 1);
+    t.record(TraceEventKind::PfFill, track, 120, 0xabc, 1);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.recorded(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+    const auto evs = t.events();
+    EXPECT_EQ(evs[0].kind, TraceEventKind::PfIssue);
+    EXPECT_EQ(evs[0].cycle, 100u);
+    EXPECT_EQ(evs[0].a, 0xabcu);
+    EXPECT_EQ(evs[1].kind, TraceEventKind::PfFill);
+}
+
+TEST(Tracer, RingOverwritesOldestFirst)
+{
+    EventTracer t(4);
+    const int track = t.registerTrack("x");
+    for (std::uint64_t i = 0; i < 6; ++i)
+        t.record(TraceEventKind::PfIssue, track, i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // The two oldest events (cycles 0, 1) were overwritten; the rest
+    // come back oldest-first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(evs[i].cycle, i + 2);
+}
+
+TEST(Tracer, CapacityClampsToOne)
+{
+    EventTracer t(0);
+    EXPECT_EQ(t.capacity(), 1u);
+    const int track = t.registerTrack("x");
+    t.record(TraceEventKind::PfIssue, track, 1);
+    t.record(TraceEventKind::PfFill, track, 2);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.events()[0].kind, TraceEventKind::PfFill);
+}
+
+TEST(Tracer, ChromeJsonShape)
+{
+    EventTracer t(8);
+    const int l1d = t.registerTrack("core0.l1d");
+    const int l2 = t.registerTrack("core0.l2");
+    t.record(TraceEventKind::PfIssue, l1d, 100, 0x10, 2);
+    t.record(TraceEventKind::ThrottleEpoch, l2, 200, 1, 3, 980);
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    const std::string out = os.str();
+
+    // Chrome trace_event essentials: a metadata thread_name record
+    // per track, instant events with ts/pid/tid, and the ring's
+    // accounting in otherData.
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"core0.l1d\""), std::string::npos);
+    EXPECT_NE(out.find("\"core0.l2\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(out.find("\"pf_issue\""), std::string::npos);
+    EXPECT_NE(out.find("\"throttle_epoch\""), std::string::npos);
+    EXPECT_NE(out.find("\"recorded\":2"), std::string::npos);
+    EXPECT_NE(out.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Tracer, EventArgsSurviveExport)
+{
+    EventTracer t(4);
+    const int track = t.registerTrack("x");
+    t.record(TraceEventKind::ClassShift, track, 50, 0xdead, 1, 3);
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"class_shift\""), std::string::npos);
+    EXPECT_NE(out.find("\"ip\":57005"), std::string::npos);  // 0xdead
+    EXPECT_NE(out.find("\"from\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"to\":3"), std::string::npos);
+}
+
+} // namespace
+} // namespace bouquet

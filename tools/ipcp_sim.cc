@@ -29,6 +29,7 @@
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
 #include "harness/runner.hh"
+#include "harness/statsjson.hh"
 #include "harness/table.hh"
 #include "ipcp/metadata.hh"
 #include "trace/suite.hh"
@@ -67,6 +68,14 @@ usage()
         "                       running (single --combo only)\n"
         "  --audit              run the invariant auditor after every\n"
         "                       tick (also IPCP_AUDIT=1)\n"
+        "  --stats-json F       write the full stat tree as JSON to F\n"
+        "                       when each run finishes (a combo list\n"
+        "                       inserts the combo name before the\n"
+        "                       extension)\n"
+        "  --trace-events F     trace prefetch/throttle events into a\n"
+        "                       bounded ring (IPCP_TRACE_CAP, default\n"
+        "                       65536) and write Chrome trace_event\n"
+        "                       JSON to F (viewable in Perfetto)\n"
         "  --strict             exit nonzero if any job fails (default:\n"
         "                       only when all fail; also IPCP_STRICT)\n"
         "  --perf               print per-job wall time, KIPS, and the\n"
@@ -145,6 +154,8 @@ main(int argc, char **argv)
     unsigned cores = 1;
     std::uint64_t records = 1'000'000;
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    std::string stats_json;
+    std::string trace_events;
     bool strict = false;
     bool perf = false;
     if (const char *env = std::getenv("IPCP_STRICT");
@@ -186,6 +197,14 @@ main(int argc, char **argv)
             cfg.resumePath = value();
         } else if (arg.rfind("--resume=", 0) == 0) {
             cfg.resumePath = arg.substr(std::strlen("--resume="));
+        } else if (arg == "--stats-json") {
+            stats_json = value();
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            stats_json = arg.substr(std::strlen("--stats-json="));
+        } else if (arg == "--trace-events") {
+            trace_events = value();
+        } else if (arg.rfind("--trace-events=", 0) == 0) {
+            trace_events = arg.substr(std::strlen("--trace-events="));
         } else if (arg == "--audit") {
             cfg.system.auditEveryTick = true;
         } else if (arg == "--strict") {
@@ -246,6 +265,30 @@ main(int argc, char **argv)
         }
         if (!cfg.ckptPath.empty() && cfg.ckptEvery == 0)
             cfg.ckptEvery = 250'000;  // default periodic interval
+
+        // Observability artifacts: with a combo list every job gets
+        // its own file ("out.json" -> "out-<combo>.json") since the
+        // jobs run concurrently.
+        auto per_combo = [&](const std::string &base,
+                             const std::string &label) -> std::string {
+            if (base.empty() || combo_names.size() == 1)
+                return base;
+            const std::size_t slash = base.find_last_of('/');
+            const std::size_t dot = base.find_last_of('.');
+            if (dot == std::string::npos ||
+                (slash != std::string::npos && dot < slash))
+                return base + "-" + label;
+            return base.substr(0, dot) + "-" + label +
+                   base.substr(dot);
+        };
+        auto cfg_for = [&](const std::string &label) {
+            ExperimentConfig c = cfg;
+            if (!stats_json.empty())
+                c.statsJsonPath = per_combo(stats_json, label);
+            if (!trace_events.empty())
+                c.traceEventsPath = per_combo(trace_events, label);
+            return c;
+        };
 
         auto report_system = [&](const Outcome &o) {
             printCacheReport("L1I ", o.l1i, o.instructions);
@@ -325,6 +368,8 @@ main(int argc, char **argv)
                 }
                 if (!cfg.ckptPath.empty())
                     sys.setCheckpointEvery(cfg.ckptEvery, cfg.ckptPath);
+                if (!trace_events.empty())
+                    sys.enableTracing(cfg.traceCapacity);
                 banner(name);
                 WallTimer timer;
                 const RunResult r =
@@ -354,6 +399,22 @@ main(int argc, char **argv)
                 o.dram = sys.dram().stats();
                 o.dramBytes = sys.dram().bytesTransferred();
                 report_system(o);
+                if (!stats_json.empty()) {
+                    if (Status s = writeSystemStatsJson(
+                            sys, per_combo(stats_json, name),
+                            trace_file + "|" + name);
+                        !s.ok())
+                        std::cerr << "warning: stats JSON export "
+                                     "failed: "
+                                  << s.error().message << "\n";
+                }
+                if (!trace_events.empty()) {
+                    if (Status s = writeTraceEvents(
+                            sys, per_combo(trace_events, name));
+                        !s.ok())
+                        std::cerr << "warning: trace export failed: "
+                                  << s.error().message << "\n";
+                }
                 ++ok_jobs;
             }
             return finish();
@@ -368,7 +429,8 @@ main(int argc, char **argv)
         if (cores == 1) {
             std::vector<Job> jobs;
             for (const std::string &name : combo_names)
-                jobs.push_back(Job{spec, name, attach_for(name), cfg});
+                jobs.push_back(
+                    Job{spec, name, attach_for(name), cfg_for(name)});
             const std::vector<JobOutcome> outs = runner.run(jobs);
             for (std::size_t j = 0; j < jobs.size(); ++j) {
                 const JobOutcome &jo = outs[j];
@@ -401,8 +463,8 @@ main(int argc, char **argv)
             const std::vector<TraceSpec> specs(cores, spec);
             std::vector<MixJob> jobs;
             for (const std::string &name : combo_names)
-                jobs.push_back(
-                    MixJob{specs, name, attach_for(name), cfg});
+                jobs.push_back(MixJob{specs, name, attach_for(name),
+                                      cfg_for(name)});
             const std::vector<MixJobOutcome> outs =
                 runner.runMixes(jobs);
             for (std::size_t j = 0; j < jobs.size(); ++j) {

@@ -2,18 +2,19 @@
  * @file
  * Simulator-throughput benchmark: simulated kilo-instructions per
  * wall-second (KIPS) across {no-pf, IPCP L1, multi-level IPCP} x
- * {1-core, 4-core}, each in both the event-skipping loop and the
- * forced tick-every-cycle mode (IPCP_NO_SKIP semantics) — so the perf
- * trajectory of the simulator itself is a tracked artifact, not
- * folklore.
+ * {1-, 4-, 8-core}, each in both the event-skipping loop and the
+ * forced tick-every-cycle mode (IPCP_NO_SKIP semantics), plus a
+ * thread sweep of the parallel cluster-phase tick (2 and 4 pool
+ * threads on the multi-core IPCP rows) — so the perf trajectory of
+ * the simulator itself is a tracked artifact, not folklore.
  *
  * Besides the google-benchmark console output, the binary writes
  * BENCH_throughput.json (path override: IPCP_THROUGHPUT_JSON) with one
- * entry per configuration: KIPS, wall seconds, instructions, and the
- * skip ratio. Set IPCP_BASELINE_KIPS to the KIPS a baseline build
- * (e.g. main before an optimization) achieved on the headline
- * configuration — 1-core multi-level IPCP on the tier-1 mcf sim-point
- * — and the JSON records the baseline and the speedup against it.
+ * entry per configuration: KIPS, wall seconds, instructions, thread
+ * count, and the skip ratio. The baseline for the recorded speedup is
+ * the seed commit's headline KIPS (778: 1-core multi-level IPCP on
+ * the tier-1 mcf sim-point); IPCP_BASELINE_KIPS overrides it, e.g. to
+ * compare against a local build of main.
  *
  * Run lengths follow IPCP_SIM_INSTRS / IPCP_WARMUP_INSTRS (defaults
  * 1e6 / 1e5); CI's perf-smoke job shrinks them for a fast signal.
@@ -41,10 +42,14 @@ constexpr const char *kTrace = "605.mcf_s-472B";
 /** The headline configuration for baseline comparisons. */
 constexpr const char *kHeadline = "ipcp/1core/skip";
 
+/** Seed-commit headline KIPS; IPCP_BASELINE_KIPS overrides. */
+constexpr double kSeedKips = 778.0;
+
 struct Sample
 {
     std::string combo;
     unsigned cores = 0;
+    unsigned threads = 1;  //!< cluster-phase tick threads (1 = serial)
     bool skip = true;
     std::uint64_t instructions = 0;
     double seconds = 0.0;
@@ -80,18 +85,26 @@ benchConfig(bool tick_every_cycle)
 
 void
 runSim(benchmark::State &state, const std::string &combo_name,
-       unsigned cores, bool skip)
+       unsigned cores, bool skip, unsigned threads)
 {
     const bench::Combo combo = bench::namedCombo(combo_name);
-    const ExperimentConfig cfg = benchConfig(!skip);
+    ExperimentConfig cfg = benchConfig(!skip);
+    cfg.system.tickThreads = threads;
     const TraceSpec &spec = findTrace(kTrace);
 
     char key[64];
-    std::snprintf(key, sizeof(key), "%s/%ucore/%s", combo_name.c_str(),
-                  cores, skip ? "skip" : "noskip");
+    if (threads > 1)
+        std::snprintf(key, sizeof(key), "%s/%ucore/%s/t%u",
+                      combo_name.c_str(), cores,
+                      skip ? "skip" : "noskip", threads);
+    else
+        std::snprintf(key, sizeof(key), "%s/%ucore/%s",
+                      combo_name.c_str(), cores,
+                      skip ? "skip" : "noskip");
     Sample &s = samples()[key];
     s.combo = combo_name;
     s.cores = cores;
+    s.threads = threads;
     s.skip = skip;
 
     for (auto _ : state) {
@@ -131,7 +144,7 @@ baselineKips()
 {
     const char *v = std::getenv("IPCP_BASELINE_KIPS");
     if (v == nullptr || *v == '\0')
-        return 0.0;
+        return kSeedKips;
     return std::strtod(v, nullptr);
 }
 
@@ -151,7 +164,7 @@ writeJson(const std::string &path)
         headline = it->second.kipsValue();
 
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"ipcp-bench-throughput-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"ipcp-bench-throughput-v2\",\n");
     std::fprintf(f, "  \"trace\": \"%s\",\n", kTrace);
     std::fprintf(f, "  \"sim_instrs\": %llu,\n",
                  static_cast<unsigned long long>(cfg.simInstrs));
@@ -173,9 +186,10 @@ writeJson(const std::string &path)
         std::fprintf(
             f,
             "    {\"name\": \"%s\", \"combo\": \"%s\", \"cores\": %u, "
+            "\"threads\": %u, "
             "\"skip\": %s, \"kips\": %.1f, \"seconds\": %.3f, "
             "\"instructions\": %llu, \"skip_ratio\": %.4f}%s\n",
-            name.c_str(), s.combo.c_str(), s.cores,
+            name.c_str(), s.combo.c_str(), s.cores, s.threads,
             s.skip ? "true" : "false", s.kipsValue(), s.seconds,
             static_cast<unsigned long long>(s.instructions),
             s.skipRatio(), ++i == samples().size() ? "" : ",");
@@ -183,6 +197,11 @@ writeJson(const std::string &path)
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "bench_throughput: wrote %s\n", path.c_str());
+    if (headline > 0.0)
+        std::fprintf(stderr,
+                     "bench_throughput: headline %s = %.0f KIPS, "
+                     "%.1fx vs baseline %.0f KIPS\n",
+                     kHeadline, headline, headline / baseline, baseline);
 }
 
 } // namespace
@@ -192,7 +211,7 @@ main(int argc, char **argv)
 {
     const char *combos[] = {"none", "ipcp-l1", "ipcp"};
     for (const char *combo : combos) {
-        for (unsigned cores : {1u, 4u}) {
+        for (unsigned cores : {1u, 4u, 8u}) {
             for (bool skip : {true, false}) {
                 char name[64];
                 std::snprintf(name, sizeof(name), "sim/%s/%uc/%s",
@@ -201,12 +220,32 @@ main(int argc, char **argv)
                 benchmark::RegisterBenchmark(
                     name,
                     [combo, cores, skip](benchmark::State &st) {
-                        runSim(st, combo, cores, skip);
+                        runSim(st, combo, cores, skip, 1);
                     })
                     ->Unit(benchmark::kMillisecond)
                     ->MeasureProcessCPUTime()
                     ->UseRealTime();
             }
+        }
+    }
+    // Parallel cluster-phase ticking (DESIGN.md §5f) on the headline
+    // combo: the results are bit-identical to serial by contract, so
+    // these rows measure the thread pool itself.
+    for (unsigned cores : {4u, 8u}) {
+        for (unsigned threads : {2u, 4u}) {
+            if (threads > cores)
+                continue;
+            char name[64];
+            std::snprintf(name, sizeof(name), "sim/ipcp/%uc/skip/%ut",
+                          cores, threads);
+            benchmark::RegisterBenchmark(
+                name,
+                [cores, threads](benchmark::State &st) {
+                    runSim(st, "ipcp", cores, true, threads);
+                })
+                ->Unit(benchmark::kMillisecond)
+                ->MeasureProcessCPUTime()
+                ->UseRealTime();
         }
     }
 

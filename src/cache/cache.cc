@@ -52,7 +52,11 @@ isDemand(AccessType t)
 
 Cache::Cache(CacheConfig cfg, std::uint64_t repl_seed)
     : config_(std::move(cfg)),
-      lines_(static_cast<std::size_t>(config_.sets) * config_.ways),
+      tags_(static_cast<std::size_t>(config_.sets) * config_.ways,
+            kInvalidTag),
+      meta_(tags_.size(), 0),
+      pfClass_(tags_.size(), 0),
+      validCount_(config_.sets, 0),
       repl_(makeReplacement(config_.repl, config_.sets, config_.ways,
                             repl_seed)),
       prefetcher_(std::make_unique<NoPrefetcher>()),
@@ -61,10 +65,14 @@ Cache::Cache(CacheConfig cfg, std::uint64_t repl_seed)
       pq_(config_.pqSize),
       ipq_(config_.pqSize),
       mshrIndex_(config_.mshrs),
-      outbound_(config_.mshrs + 8)
+      outbound_(config_.mshrs + 8),
+      allValid_(config_.ways, true)
 {
     assert(isPowerOfTwo(config_.sets));
+    assert(config_.ways < 255);  // validCount_ is a byte per set
     mshrs_.reserve(config_.mshrs);
+    mshrLine_.reserve(config_.mshrs);
+    mshrSent_.reserve(config_.mshrs);
     replScratch_.reserve(config_.ways);
 }
 
@@ -87,26 +95,12 @@ Cache::findWay(LineAddr line) const
 {
     const std::size_t base =
         static_cast<std::size_t>(setOf(line)) * config_.ways;
-    const Line *p = &lines_[base];
+    const LineAddr *p = &tags_[base];
     for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        if (p[w].valid && p[w].tag == line)
+        if (p[w] == line)
             return base + w;
     }
     return kNoWay;
-}
-
-Cache::Line *
-Cache::findLine(LineAddr line)
-{
-    const std::size_t idx = findWay(line);
-    return idx == kNoWay ? nullptr : &lines_[idx];
-}
-
-const Cache::Line *
-Cache::findLine(LineAddr line) const
-{
-    const std::size_t idx = findWay(line);
-    return idx == kNoWay ? nullptr : &lines_[idx];
 }
 
 bool
@@ -115,21 +109,23 @@ Cache::probe(LineAddr line) const
     return findWay(line) != kNoWay;
 }
 
-Cache::Mshr *
-Cache::findMshr(LineAddr line)
+std::uint32_t
+Cache::findMshr(LineAddr line) const
 {
-    const std::uint32_t slot = mshrIndex_.find(line);
-    return slot == MshrIndex::kNone ? nullptr : &mshrs_[slot];
+    return mshrIndex_.find(line);
 }
 
-void
-Cache::pushMshr(Mshr &&fresh)
+std::uint32_t
+Cache::pushMshr(Mshr &&fresh, LineAddr line, bool sent)
 {
-    if (!fresh.sent)
+    if (!sent)
         ++unsentMshrs_;
-    mshrIndex_.insert(fresh.line,
-                      static_cast<std::uint32_t>(mshrs_.size()));
+    const std::uint32_t slot = static_cast<std::uint32_t>(mshrs_.size());
+    mshrIndex_.insert(line, slot);
     mshrs_.push_back(std::move(fresh));
+    mshrLine_.push_back(line);
+    mshrSent_.push_back(sent ? 1 : 0);
+    return slot;
 }
 
 std::uint64_t
@@ -152,7 +148,7 @@ Cache::acceptRequest(const MemRequest &req)
             ++stats_.wbDropped;
             return false;
         }
-        wq_.push_back({req, now_ + config_.latency});
+        wq_.push_back(req, now_ + config_.latency);
         return true;
     }
     if (req.type == AccessType::Prefetch) {
@@ -161,12 +157,12 @@ Cache::acceptRequest(const MemRequest &req)
         // multi-level discussion relies on.
         if (pqOccupancy() >= config_.pqSize)
             return false;
-        ipq_.push_back({req, now_ + config_.latency});
+        ipq_.push_back(req, now_ + config_.latency);
         return true;
     }
     if (rq_.size() >= config_.rqSize)
         return false;
-    rq_.push_back({req, now_ + config_.latency});
+    rq_.push_back(req, now_ + config_.latency);
     return true;
 }
 
@@ -190,8 +186,7 @@ Cache::handleLookup(const MemRequest &req)
     ++stats_.accesses[t];
 
     const std::size_t idx = findWay(req.line);
-    Line *line = idx == kNoWay ? nullptr : &lines_[idx];
-    const bool hit = line != nullptr;
+    const bool hit = idx != kNoWay;
 
     notifyPrefetcher(req, hit);
 
@@ -204,51 +199,54 @@ Cache::handleLookup(const MemRequest &req)
                              idx - static_cast<std::size_t>(set) *
                                        config_.ways),
                          req.ip);
-            if (line->prefetched && !line->reused) {
-                line->reused = true;
+            const std::uint8_t m = meta_[idx];
+            if ((m & (kLinePrefetched | kLineReused)) ==
+                kLinePrefetched) {
+                meta_[idx] = m | kLineReused;
                 ++stats_.pfUseful;
-                ++stats_.pfClassUseful[line->pfClass % kPfClassSlots];
+                ++stats_.pfClassUseful[pfClass_[idx] % kPfClassSlots];
                 if (tracer_)
                     tracer_->record(TraceEventKind::PfUseful,
                                     traceTrack_, now_, req.line,
-                                    line->pfClass);
+                                    pfClass_[idx]);
                 prefetcher_->onPrefetchUseful(lineToByte(req.line),
-                                              line->pfClass);
+                                              pfClass_[idx]);
             }
             if (req.type == AccessType::Store)
-                line->dirty = true;
+                meta_[idx] |= kLineDirty;
         }
         if (req.requester != nullptr)
             req.requester->onResponse(req);
         return;
     }
 
-    Mshr *m = findMshr(req.line);
-    if (m == nullptr)
+    const std::uint32_t slot = findMshr(req.line);
+    if (slot == MshrIndex::kNone)
         ++stats_.misses[t];  // merged requests are not fresh line misses
 
-    if (m != nullptr) {
+    if (slot != MshrIndex::kNone) {
+        Mshr &m = mshrs_[slot];
         if (isDemand(req.type)) {
             ++stats_.mshrMerges;
-            if (m->pfOrigin && !m->demandMerged) {
+            if (m.pfOrigin && !m.demandMerged) {
                 // A demand caught up with an in-flight prefetch: the
                 // prefetch was useful but late (ChampSim's pf_late).
                 ++stats_.latePrefetches;
-                ++stats_.pfClassLate[m->pfClass % kPfClassSlots];
+                ++stats_.pfClassLate[m.pfClass % kPfClassSlots];
                 ++stats_.pfUseful;
-                ++stats_.pfClassUseful[m->pfClass % kPfClassSlots];
+                ++stats_.pfClassUseful[m.pfClass % kPfClassSlots];
                 if (tracer_)
                     tracer_->record(TraceEventKind::PfLate, traceTrack_,
-                                    now_, req.line, m->pfClass);
+                                    now_, req.line, m.pfClass);
                 prefetcher_->onPrefetchUseful(lineToByte(req.line),
-                                              m->pfClass);
+                                              m.pfClass);
             }
-            m->demandMerged = true;
+            m.demandMerged = true;
             if (req.type == AccessType::Store)
-                m->proto.type = AccessType::Store;
+                m.proto.type = AccessType::Store;
         }
         if (req.requester != nullptr)
-            m->targets.push_back(req);
+            m.targets.push_back(req);
         return;
     }
 
@@ -257,7 +255,6 @@ Cache::handleLookup(const MemRequest &req)
     // are dropped when no MSHR is free.
     assert(mshrs_.size() < config_.mshrs);
     Mshr fresh;
-    fresh.line = req.line;
     fresh.allocCycle = now_;
     fresh.pfOrigin = req.type == AccessType::Prefetch;
     fresh.pfClass = req.pfClass;
@@ -265,8 +262,11 @@ Cache::handleLookup(const MemRequest &req)
     fresh.proto.requester = this;
     if (req.requester != nullptr)
         fresh.targets.push_back(req);
-    fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-    pushMshr(std::move(fresh));
+    // Deferred egress: the MSHR starts unsent and flushEgress's unsent
+    // scan performs the downstream send in allocation order.
+    const bool sent = !deferActive_ && lower_ != nullptr &&
+                      lower_->acceptRequest(fresh.proto);
+    pushMshr(std::move(fresh), req.line, sent);
 }
 
 void
@@ -275,11 +275,12 @@ Cache::processReadQueue()
     const bool was_stalled = rqHeadStalled_;
     rqHeadStalled_ = false;
     std::uint32_t lookups = 0;
-    while (!rq_.empty() && rq_.front().ready <= now_ &&
+    while (!rq_.empty() && rq_.frontStamp() <= now_ &&
            lookups < config_.ports) {
-        const MemRequest &req = rq_.front().req;
+        const MemRequest &req = rq_.front();
         const bool miss_needs_mshr =
-            findLine(req.line) == nullptr && findMshr(req.line) == nullptr;
+            findWay(req.line) == kNoWay &&
+            findMshr(req.line) == MshrIndex::kNone;
         if (miss_needs_mshr && mshrs_.size() >= config_.mshrs) {
             ++stats_.mshrFullStalls;
             rqHeadStalled_ = true;
@@ -304,11 +305,17 @@ Cache::handleIncomingPrefetch(const MemRequest &req)
     if (static_cast<int>(req.fillLevel) > static_cast<int>(config_.level))
         return lower_ != nullptr && lower_->acceptRequest(req);
 
+    const bool hit = findWay(req.line) != kNoWay;
+    const std::uint32_t slot = hit ? MshrIndex::kNone : findMshr(req.line);
+
+    // Reject before any accounting or prefetcher training so a stalled
+    // head retries side-effect-free — that makes a blocked ipq head
+    // skippable (nextWakeup can wait for the freeing response).
+    if (!hit && slot == MshrIndex::kNone && mshrs_.size() >= config_.mshrs)
+        return false;
+
     const int t = static_cast<int>(AccessType::Prefetch);
     ++stats_.accesses[t];
-
-    Line *line = findLine(req.line);
-    const bool hit = line != nullptr;
     notifyPrefetcher(req, hit);
 
     if (hit) {
@@ -320,18 +327,13 @@ Cache::handleIncomingPrefetch(const MemRequest &req)
 
     ++stats_.misses[t];
 
-    Mshr *m = findMshr(req.line);
-    if (m != nullptr) {
+    if (slot != MshrIndex::kNone) {
         if (req.requester != nullptr)
-            m->targets.push_back(req);
+            mshrs_[slot].targets.push_back(req);
         return true;
     }
 
-    if (mshrs_.size() >= config_.mshrs)
-        return false;  // stall in the incoming PQ until one frees up
-
     Mshr fresh;
-    fresh.line = req.line;
     fresh.allocCycle = now_;
     fresh.pfOrigin = true;
     fresh.pfClass = req.pfClass;
@@ -339,8 +341,9 @@ Cache::handleIncomingPrefetch(const MemRequest &req)
     fresh.proto.requester = this;
     if (req.requester != nullptr)
         fresh.targets.push_back(req);
-    fresh.sent = lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-    pushMshr(std::move(fresh));
+    const bool sent = !deferActive_ && lower_ != nullptr &&
+                      lower_->acceptRequest(fresh.proto);
+    pushMshr(std::move(fresh), req.line, sent);
     return true;
 }
 
@@ -348,8 +351,8 @@ void
 Cache::processWriteQueue()
 {
     std::uint32_t writes = 0;
-    while (!wq_.empty() && wq_.front().ready <= now_ && writes < 2) {
-        MemRequest req = wq_.front().req;
+    while (!wq_.empty() && wq_.frontStamp() <= now_ && writes < 2) {
+        MemRequest req = wq_.front();
         wq_.pop_front();
         ++writes;
         handleWriteback(req);
@@ -359,17 +362,17 @@ Cache::processWriteQueue()
 void
 Cache::handleWriteback(const MemRequest &req)
 {
-    Line *line = findLine(req.line);
-    if (line != nullptr) {
-        line->dirty = true;
+    const std::size_t idx = findWay(req.line);
+    if (idx != kNoWay) {
+        meta_[idx] |= kLineDirty;
         return;
     }
     // Non-inclusive hierarchy: a writeback from above allocates here
     // (no fetch needed, the data is the payload).
     installLine(req, false, 0);
-    Line *filled = findLine(req.line);
-    if (filled != nullptr)
-        filled->dirty = true;
+    const std::size_t filled = findWay(req.line);
+    if (filled != kNoWay)
+        meta_[filled] |= kLineDirty;
 }
 
 void
@@ -377,47 +380,58 @@ Cache::installLine(const MemRequest &req, bool was_prefetch,
                    std::uint8_t pf_class)
 {
     const std::uint32_t set = setOf(req.line);
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * config_.ways;
 
-    replScratch_.assign(config_.ways, false);
-    for (std::uint32_t w = 0; w < config_.ways; ++w)
-        replScratch_[w] = base[w].valid;
+    std::uint32_t way;
+    if (validCount_[set] == config_.ways) {
+        // Steady state: the set is full and stays full, so the valid
+        // mask is a constant — no per-fill rebuild.
+        way = repl_->victim(set, allValid_);
+    } else {
+        replScratch_.assign(config_.ways, false);
+        for (std::uint32_t w = 0; w < config_.ways; ++w)
+            replScratch_[w] = (meta_[base + w] & kLineValid) != 0;
+        way = repl_->victim(set, replScratch_);
+    }
+    const std::size_t idx = base + way;
 
-    const std::uint32_t way = repl_->victim(set, replScratch_);
-    Line &v = base[way];
-
-    if (v.valid) {
-        if (v.prefetched && !v.reused) {
+    const std::uint8_t vm = meta_[idx];
+    if (vm & kLineValid) {
+        if ((vm & (kLinePrefetched | kLineReused)) == kLinePrefetched) {
             ++stats_.pfUnused;
-            ++stats_.pfClassUnused[v.pfClass % kPfClassSlots];
+            ++stats_.pfClassUnused[pfClass_[idx] % kPfClassSlots];
         }
-        if (v.dirty) {
+        if (vm & kLineDirty) {
             ++stats_.writebacks;
             MemRequest wb;
-            wb.line = v.tag;
+            wb.line = tags_[idx];
             wb.type = AccessType::Writeback;
             wb.core = req.core;
             outbound_.push_back(wb);
         }
+    } else {
+        ++validCount_[set];
     }
 
-    v.tag = req.line;
-    v.valid = true;
-    v.dirty = req.type == AccessType::Store;
-    v.prefetched = was_prefetch;
-    v.reused = false;
-    v.pfClass = pf_class;
+    tags_[idx] = req.line;
+    meta_[idx] = static_cast<std::uint8_t>(
+        kLineValid |
+        (req.type == AccessType::Store ? kLineDirty : 0) |
+        (was_prefetch ? kLinePrefetched : 0));
+    pfClass_[idx] = pf_class;
     repl_->fill(set, way, req.ip, was_prefetch);
 }
 
 void
 Cache::onResponse(const MemRequest &req)
 {
-    Mshr *m = findMshr(req.line);
-    if (m == nullptr)
+    const std::uint32_t slot = findMshr(req.line);
+    if (slot == MshrIndex::kNone)
         return;  // stray response (only possible after stats reset)
+    Mshr &m = mshrs_[slot];
 
-    stats_.missLatencySum += now_ - m->allocCycle;
+    stats_.missLatencySum += now_ - m.allocCycle;
     ++stats_.missLatencyCount;
 
     // Injection point for deep in-simulation faults: a fired
@@ -425,38 +439,42 @@ Cache::onResponse(const MemRequest &req)
     // contained by the Runner's per-job capture.
     faultPoint(faults::kCacheFill, config_.name);
 
-    const bool pf_fill = m->pfOrigin;
+    const bool pf_fill = m.pfOrigin;
     if (pf_fill) {
         ++stats_.pfFills;
-        ++stats_.pfClassFills[m->pfClass % kPfClassSlots];
+        ++stats_.pfClassFills[m.pfClass % kPfClassSlots];
         if (tracer_)
             tracer_->record(TraceEventKind::PfFill, traceTrack_, now_,
-                            req.line, m->pfClass);
+                            req.line, m.pfClass);
     }
     // A prefetch that a demand already merged into is installed as a
     // demand line (it has been "used"); a pure prefetch carries its
     // class bits for later attribution.
-    const bool install_as_pf = pf_fill && !m->demandMerged;
-    installLine(m->proto, install_as_pf, m->pfClass);
+    const bool install_as_pf = pf_fill && !m.demandMerged;
+    installLine(m.proto, install_as_pf, m.pfClass);
 
-    prefetcher_->onFill(lineToByte(req.line), pf_fill, m->pfClass);
+    prefetcher_->onFill(lineToByte(req.line), pf_fill, m.pfClass);
 
-    for (const MemRequest &t : m->targets) {
+    for (const MemRequest &t : m.targets) {
         if (t.requester != nullptr)
             t.requester->onResponse(t);
     }
 
     // Swap-remove, keeping the line index pointed at the moved entry.
-    const std::uint32_t slot =
-        static_cast<std::uint32_t>(m - mshrs_.data());
-    mshrIndex_.erase(m->line);
-    if (!m->sent)
+    mshrIndex_.erase(mshrLine_[slot]);
+    if (mshrSent_[slot] == 0)
         --unsentMshrs_;
-    if (slot + 1 != mshrs_.size()) {
-        *m = std::move(mshrs_.back());
-        mshrIndex_.update(m->line, slot);
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(mshrs_.size() - 1);
+    if (slot != last) {
+        mshrs_[slot] = std::move(mshrs_[last]);
+        mshrLine_[slot] = mshrLine_[last];
+        mshrSent_[slot] = mshrSent_[last];
+        mshrIndex_.update(mshrLine_[slot], slot);
     }
     mshrs_.pop_back();
+    mshrLine_.pop_back();
+    mshrSent_.pop_back();
 }
 
 bool
@@ -469,7 +487,8 @@ Cache::issuePrefetch(Addr byte_addr, CacheLevel fill_level,
         return false;
     }
     pq_.push_back({byte_addr, fill_level, metadata, pf_class,
-                   operateIp_, now_ + 1});
+                   operateIp_},
+                  now_ + 1);
     return true;
 }
 
@@ -477,18 +496,68 @@ void
 Cache::processPrefetchQueue()
 {
     pqHeadBlocked_ = false;
+    ipqHeadBlocked_ = false;
     // Prefetch arrivals from the level above first: they are older.
     std::uint32_t incoming = 0;
-    while (!ipq_.empty() && ipq_.front().ready <= now_ &&
+    if (!runIncomingPrefetches(incoming)) {
+        egSuspended_ = true;
+        egStage_ = 0;
+        egCount_ = incoming;
+        return;
+    }
+    std::uint32_t issued = 0;
+    if (!runOwnPrefetches(issued)) {
+        egSuspended_ = true;
+        egStage_ = 1;
+        egCount_ = issued;
+    }
+}
+
+void
+Cache::resumePrefetchQueue()
+{
+    // deferActive_ is off again: every lower-level call from here is
+    // direct, so neither half can re-suspend.
+    if (egStage_ == 0) {
+        std::uint32_t incoming = egCount_;
+        runIncomingPrefetches(incoming);
+        std::uint32_t issued = 0;
+        runOwnPrefetches(issued);
+        return;
+    }
+    std::uint32_t issued = egCount_;
+    runOwnPrefetches(issued);
+}
+
+bool
+Cache::runIncomingPrefetches(std::uint32_t &incoming)
+{
+    while (!ipq_.empty() && ipq_.frontStamp() <= now_ &&
            incoming < config_.pfIssuePerCycle) {
-        if (!handleIncomingPrefetch(ipq_.front().req))
-            break;  // downstream backpressure: retry next cycle
+        // A passthrough entry (fill target below this level) needs the
+        // lower level's synchronous accept/reject; under deferral the
+        // loop suspends here and flushEgress resumes it.
+        if (deferActive_ &&
+            static_cast<int>(ipq_.front().fillLevel) >
+                static_cast<int>(config_.level))
+            return false;
+        if (!handleIncomingPrefetch(ipq_.front())) {
+            // Backpressure (MSHR full / lower refused the handoff):
+            // the retry is side-effect-free, so the head waits for the
+            // external event that frees the resource.
+            ipqHeadBlocked_ = true;
+            break;
+        }
         ipq_.pop_front();
         ++incoming;
     }
+    return true;
+}
 
-    std::uint32_t issued = 0;
-    while (!pq_.empty() && pq_.front().ready <= now_ &&
+bool
+Cache::runOwnPrefetches(std::uint32_t &issued)
+{
+    while (!pq_.empty() && pq_.frontStamp() <= now_ &&
            issued < config_.pfIssuePerCycle) {
         const PqEntry e = pq_.front();
 
@@ -501,7 +570,7 @@ Cache::processPrefetchQueue()
             pq_.pop_front();
             continue;
         }
-        if (findMshr(line) != nullptr) {
+        if (findMshr(line) != MshrIndex::kNone) {
             ++stats_.pfDroppedHitMshr;
             pq_.pop_front();
             continue;
@@ -522,18 +591,21 @@ Cache::processPrefetchQueue()
                 break;  // retry next cycle
             }
             Mshr fresh;
-            fresh.line = line;
             fresh.allocCycle = now_;
             fresh.pfOrigin = true;
             fresh.pfClass = e.pfClass;
             req.requester = this;
             fresh.proto = req;
-            fresh.sent =
-                lower_ != nullptr && lower_->acceptRequest(fresh.proto);
-            pushMshr(std::move(fresh));
+            const bool sent = !deferActive_ && lower_ != nullptr &&
+                              lower_->acceptRequest(fresh.proto);
+            pushMshr(std::move(fresh), line, sent);
         } else {
             // Fill stops below us: hand the request straight to the
-            // next level, no local MSHR, no response expected.
+            // next level, no local MSHR, no response expected. The
+            // handoff's accept/reject steers the loop, so under
+            // deferral it suspends here for flushEgress to resume.
+            if (deferActive_)
+                return false;
             req.requester = nullptr;
             if (lower_ == nullptr || !lower_->acceptRequest(req)) {
                 pqHeadBlocked_ = true;
@@ -548,6 +620,7 @@ Cache::processPrefetchQueue()
         ++issued;
         pq_.pop_front();
     }
+    return true;
 }
 
 void
@@ -570,20 +643,80 @@ Cache::tick(Cycle cycle)
     now_ = cycle;
     stats_.mshrOccupancySum += mshrs_.size();
     ++stats_.tickCount;
-    drainOutbound();
-    // Retry MSHRs whose downstream send was refused.
+    if (deferLower_) {
+        // Deferred-egress mode (DESIGN.md §5f): no downstream calls
+        // during the cluster phase. Fresh misses park as unsent MSHRs,
+        // the prefetch loops suspend at the first entry that needs a
+        // synchronous lower-level answer, and flushEgress() completes
+        // the cycle serially once every cluster has ticked.
+        deferActive_ = true;
+        if (!wq_.empty())
+            processWriteQueue();
+        if (!rq_.empty())
+            processReadQueue();
+        if (!ipq_.empty() || !pq_.empty())
+            processPrefetchQueue();
+        if (pfNeedsCycle_) {
+            if (!egSuspended_)
+                prefetcher_->cycle();
+            else
+                egPrefetcherPending_ = true;
+        }
+        return;
+    }
+    if (!outbound_.empty())
+        drainOutbound();
+    // Retry MSHRs whose downstream send was refused. The sent flags
+    // are a contiguous byte array, so the scan for unsent entries does
+    // not touch the cold per-MSHR state until it finds one.
     if (unsentMshrs_ > 0 && lower_ != nullptr) {
-        for (Mshr &m : mshrs_) {
-            if (!m.sent && lower_->acceptRequest(m.proto)) {
-                m.sent = true;
+        for (std::size_t i = 0; i < mshrSent_.size(); ++i) {
+            if (mshrSent_[i] == 0 &&
+                lower_->acceptRequest(mshrs_[i].proto)) {
+                mshrSent_[i] = 1;
                 --unsentMshrs_;
             }
         }
     }
-    processWriteQueue();
-    processReadQueue();
-    processPrefetchQueue();
-    prefetcher_->cycle();
+    // An empty queue cannot have a blocked head (the flags are only
+    // ever set with the rejected entry still at the front), so the
+    // processors are skipped outright on the quiescent path.
+    if (!wq_.empty())
+        processWriteQueue();
+    if (!rq_.empty())
+        processReadQueue();
+    if (!ipq_.empty() || !pq_.empty())
+        processPrefetchQueue();
+    if (pfNeedsCycle_)
+        prefetcher_->cycle();
+}
+
+void
+Cache::flushEgress()
+{
+    if (!deferActive_)
+        return;
+    deferActive_ = false;
+    drainOutbound();
+    // Unsent MSHRs are in slot order, which is chronological: entries
+    // parked before this cycle precede the ones allocated during it.
+    if (unsentMshrs_ > 0 && lower_ != nullptr) {
+        for (std::size_t i = 0; i < mshrSent_.size(); ++i) {
+            if (mshrSent_[i] == 0 &&
+                lower_->acceptRequest(mshrs_[i].proto)) {
+                mshrSent_[i] = 1;
+                --unsentMshrs_;
+            }
+        }
+    }
+    if (egSuspended_) {
+        egSuspended_ = false;
+        resumePrefetchQueue();
+    }
+    if (egPrefetcherPending_) {
+        egPrefetcherPending_ = false;
+        prefetcher_->cycle();
+    }
 }
 
 Cycle
@@ -598,12 +731,12 @@ Cache::nextWakeup(Cycle now) const
     Cycle wake = kNeverWakeup;
 
     if (!wq_.empty()) {
-        wake = std::min(wake, std::max(wq_.front().ready, now + 1));
+        wake = std::min(wake, std::max(wq_.frontStamp(), now + 1));
         if (wake <= now + 1)
             return wake;
     }
     if (!rq_.empty()) {
-        const Cycle rdy = rq_.front().ready;
+        const Cycle rdy = rq_.frontStamp();
         if (rdy > now)
             wake = std::min(wake, rdy);
         else if (!rqHeadStalled_)
@@ -615,14 +748,20 @@ Cache::nextWakeup(Cycle now) const
             return wake;
     }
     if (!ipq_.empty()) {
-        // A blocked incoming-prefetch retry re-runs handleLookup-style
-        // accounting, so a ready ipq head is never skippable.
-        wake = std::min(wake, std::max(ipq_.front().ready, now + 1));
+        const Cycle rdy = ipq_.frontStamp();
+        if (rdy > now)
+            wake = std::min(wake, rdy);
+        else if (!ipqHeadBlocked_)
+            return now + 1;  // ready head (e.g. over the issue cap)
+        // A rejected head (MSHR full / lower refused the passthrough)
+        // retries side-effect-free — handleIncomingPrefetch rejects
+        // before any accounting — so wait for the external event that
+        // frees the resource.
         if (wake <= now + 1)
             return wake;
     }
     if (!pq_.empty()) {
-        const Cycle rdy = pq_.front().ready;
+        const Cycle rdy = pq_.frontStamp();
         if (rdy > now)
             wake = std::min(wake, rdy);
         else if (!pqHeadBlocked_)
@@ -708,41 +847,55 @@ void
 Cache::serialize(StateIO &io)
 {
     io.beginSection(config_.name.c_str());
-    io.io(lines_);
+    io.io(tags_);
+    io.io(meta_);
+    io.io(pfClass_);
     repl_->serialize(io);
     prefetcher_->serialize(io);
-    io.io(rq_);
-    io.io(wq_);
-    io.io(pq_);
-    io.io(ipq_);
+    rq_.serialize(io);
+    wq_.serialize(io);
+    pq_.serialize(io);
+    ipq_.serialize(io);
     io.io(mshrs_);
+    io.io(mshrLine_);
+    io.io(mshrSent_);
     io.io(outbound_);
     io.io(rqHeadStalled_);
     io.io(pqHeadBlocked_);
+    io.io(ipqHeadBlocked_);
     io.io(now_);
     io.io(operateIp_);
     stats_.serialize(io);
 
     if (io.reading()) {
-        if (lines_.size() !=
-            static_cast<std::size_t>(config_.sets) * config_.ways)
+        const std::size_t geom =
+            static_cast<std::size_t>(config_.sets) * config_.ways;
+        if (tags_.size() != geom || meta_.size() != geom ||
+            pfClass_.size() != geom)
             StateIO::failCorrupt(config_.name +
-                                 ": line array does not match geometry");
-        if (mshrs_.size() > config_.mshrs)
+                                 ": line arrays do not match geometry");
+        if (mshrs_.size() > config_.mshrs ||
+            mshrLine_.size() != mshrs_.size() ||
+            mshrSent_.size() != mshrs_.size())
             StateIO::failCorrupt(config_.name +
-                                 ": checkpoint holds more MSHRs than "
-                                 "configured");
+                                 ": checkpoint MSHR arrays are "
+                                 "oversized or out of step");
         // Derived structures are rebuilt, not deserialized: the line
-        // index and unsent count must agree with the MSHR vector by
-        // construction.
+        // index, unsent count and per-set valid counts must agree with
+        // the serialized arrays by construction.
+        validCount_.assign(config_.sets, 0);
+        for (std::size_t i = 0; i < meta_.size(); ++i) {
+            if (meta_[i] & kLineValid)
+                ++validCount_[i / config_.ways];
+        }
         mshrIndex_ = MshrIndex(config_.mshrs);
         unsentMshrs_ = 0;
         for (std::uint32_t i = 0; i < mshrs_.size(); ++i) {
-            if (mshrIndex_.find(mshrs_[i].line) != MshrIndex::kNone)
+            if (mshrIndex_.find(mshrLine_[i]) != MshrIndex::kNone)
                 StateIO::failCorrupt(config_.name +
                                      ": duplicate MSHR line address");
-            mshrIndex_.insert(mshrs_[i].line, i);
-            if (!mshrs_[i].sent)
+            mshrIndex_.insert(mshrLine_[i], i);
+            if (mshrSent_[i] == 0)
                 ++unsentMshrs_;
         }
         replScratch_.reserve(config_.ways);
@@ -767,12 +920,15 @@ Cache::audit(bool deep) const
         fail("incoming prefetch queue overflows its configured bound");
     if (mshrs_.size() > config_.mshrs)
         fail("MSHR vector overflows its configured bound");
+    if (mshrLine_.size() != mshrs_.size() ||
+        mshrSent_.size() != mshrs_.size())
+        fail("MSHR hot arrays are out of step with the cold vector");
 
     std::uint32_t unsent = 0;
     for (std::uint32_t i = 0; i < mshrs_.size(); ++i) {
-        if (mshrIndex_.find(mshrs_[i].line) != i)
+        if (mshrIndex_.find(mshrLine_[i]) != i)
             fail("MSHR index does not map a line to its slot");
-        if (!mshrs_[i].sent)
+        if (mshrSent_[i] == 0)
             ++unsent;
     }
     if (unsent != unsentMshrs_)
@@ -782,23 +938,32 @@ Cache::audit(bool deep) const
         return;
 
     for (std::uint32_t set = 0; set < config_.sets; ++set) {
-        const Line *base =
-            &lines_[static_cast<std::size_t>(set) * config_.ways];
+        const std::size_t base =
+            static_cast<std::size_t>(set) * config_.ways;
+        std::uint32_t valid = 0;
         for (std::uint32_t w = 0; w < config_.ways; ++w) {
-            if (!base[w].valid)
+            const std::size_t i = base + w;
+            if ((meta_[i] & kLineValid) == 0) {
+                if (tags_[i] != kInvalidTag)
+                    fail("invalid way holds a real tag");
                 continue;
-            if (setOf(base[w].tag) != set)
+            }
+            ++valid;
+            if (setOf(tags_[i]) != set)
                 fail("valid line is resident in the wrong set");
             for (std::uint32_t v = w + 1; v < config_.ways; ++v) {
-                if (base[v].valid && base[v].tag == base[w].tag)
+                if (tags_[base + v] == tags_[i])
                     fail("duplicate line within a set");
             }
-            if (mshrIndex_.find(base[w].tag) != MshrIndex::kNone)
+            if (mshrIndex_.find(tags_[i]) != MshrIndex::kNone)
                 fail("line is both resident and in flight");
         }
+        if (valid != validCount_[set])
+            fail("per-set valid count is out of sync with the metadata");
     }
     repl_->audit();
     prefetcher_->audit();
 }
 
 } // namespace bouquet
+

@@ -323,6 +323,29 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     /** True when the line is resident (no side effects). */
     bool probe(LineAddr line) const;
 
+    // --- deferred egress (multi-core parallel ticking) -----------------
+
+    /**
+     * Defer every call into the lower level to flushEgress() instead of
+     * making it inside tick(). The System sets this on the private L2s
+     * of a multi-core machine: their lower level is the *shared* LLC,
+     * so deferring is what lets per-core clusters tick on separate
+     * threads with no cross-cluster calls; replaying the deferred
+     * egress serially in core order afterwards keeps results
+     * bit-identical between serial and parallel cluster execution
+     * (DESIGN.md §5f).
+     */
+    void setDeferLower(bool on) { deferLower_ = on; }
+
+    /**
+     * Perform this tick's deferred lower-level egress: drain pending
+     * writebacks, send unsent MSHRs, and resume the prefetch-queue
+     * processing that suspended at an operation needing a synchronous
+     * lower-level answer. Must be called once after every tick() while
+     * deferral is enabled, from the serial section of the loop.
+     */
+    void flushEgress();
+
     /** Number of in-flight MSHRs (for tests). */
     std::size_t mshrsInUse() const { return mshrs_.size(); }
 
@@ -348,34 +371,35 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     void audit(bool deep) const;
 
   private:
-    struct Line
-    {
-        LineAddr tag = 0;       //!< full line address
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        bool reused = false;
-        std::uint8_t pfClass = 0;
+    // --- tag array, structure-of-arrays ------------------------------
+    //
+    // The per-line record is split into parallel arrays so the hot
+    // loops touch only what they need: findWay scans the contiguous
+    // `tags_` array and nothing else (an invalid way holds kInvalidTag,
+    // which no real line address can equal, so no validity check is
+    // needed on the scan); the hit path reads/writes one byte of
+    // `meta_`; the fill path consults the per-set `validCount_` to skip
+    // the valid-mask rebuild once a set is full (sets only ever fill
+    // up — lines are replaced, never invalidated).
 
-        template <typename IO>
-        void
-        serialize(IO &io)
-        {
-            io.io(tag);
-            io.io(valid);
-            io.io(dirty);
-            io.io(prefetched);
-            io.io(reused);
-            io.io(pfClass);
-        }
+    /** Tag stored in invalid ways; above any modeled physical line. */
+    static constexpr LineAddr kInvalidTag = ~LineAddr{0};
+
+    /** Bit flags of one line's `meta_` byte. */
+    enum : std::uint8_t
+    {
+        kLineValid = 1,
+        kLineDirty = 2,
+        kLinePrefetched = 4,
+        kLineReused = 8,
     };
 
+    /** Cold per-MSHR state; the hot line/sent fields live in the
+     *  parallel `mshrLine_`/`mshrSent_` arrays. */
     struct Mshr
     {
-        LineAddr line = 0;
         bool pfOrigin = false;       //!< allocated by a prefetch
         bool demandMerged = false;
-        bool sent = false;           //!< forwarded to the lower level
         std::uint8_t pfClass = 0;
         Cycle allocCycle = 0;
         MemRequest proto;            //!< request to forward downward
@@ -385,10 +409,8 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         void
         serialize(IO &io)
         {
-            io.io(line);
             io.io(pfOrigin);
             io.io(demandMerged);
-            io.io(sent);
             io.io(pfClass);
             io.io(allocCycle);
             io.io(proto);
@@ -403,7 +425,6 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
         std::uint32_t metadata = 0;
         std::uint8_t pfClass = 0;
         Ip triggerIp = 0;  //!< IP of the access that trained this
-        Cycle ready = 0;
 
         template <typename IO>
         void
@@ -414,21 +435,6 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
             io.io(metadata);
             io.io(pfClass);
             io.io(triggerIp);
-            io.io(ready);
-        }
-    };
-
-    struct RqEntry
-    {
-        MemRequest req;
-        Cycle ready = 0;
-
-        template <typename IO>
-        void
-        serialize(IO &io)
-        {
-            io.io(req);
-            io.io(ready);
         }
     };
 
@@ -437,31 +443,42 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
 
     std::uint32_t setOf(LineAddr line) const;
 
-    /** Index of the resident line in `lines_`, or kNoWay. The shared
-     *  const implementation behind both findLine overloads. */
+    /** Index of the resident line in the tag array, or kNoWay. */
     std::size_t findWay(LineAddr line) const;
 
-    Line *findLine(LineAddr line);
-    const Line *findLine(LineAddr line) const;
-    Mshr *findMshr(LineAddr line);
+    /** MSHR slot owning `line`, or MshrIndex::kNone. */
+    std::uint32_t findMshr(LineAddr line) const;
 
-    /** Append an MSHR, maintaining the line index and unsent count. */
-    void pushMshr(Mshr &&fresh);
+    /** Append an MSHR, maintaining the line index and unsent count;
+     *  returns the new slot. */
+    std::uint32_t pushMshr(Mshr &&fresh, LineAddr line, bool sent);
 
     void handleLookup(const MemRequest &req);
     bool handleIncomingPrefetch(const MemRequest &req);
     void handleWriteback(const MemRequest &req);
     void installLine(const MemRequest &req, bool was_prefetch,
                      std::uint8_t pf_class);
-    void evict(Line &victim, LineAddr line_of_set_probe);
     void processReadQueue();
     void processPrefetchQueue();
     void processWriteQueue();
     void drainOutbound();
     void notifyPrefetcher(const MemRequest &req, bool hit);
 
+    /**
+     * The two halves of processPrefetchQueue, shared between the
+     * in-tick pass and the flushEgress resume. Each returns false when
+     * deferral suspended it at an entry needing a synchronous
+     * lower-level answer (never once deferActive_ is off).
+     */
+    bool runIncomingPrefetches(std::uint32_t &incoming);
+    bool runOwnPrefetches(std::uint32_t &issued);
+    void resumePrefetchQueue();
+
     CacheConfig config_;
-    std::vector<Line> lines_;   //!< sets * ways, row-major by set
+    std::vector<LineAddr> tags_;         //!< sets * ways, row-major
+    std::vector<std::uint8_t> meta_;     //!< kLine* flag bytes
+    std::vector<std::uint8_t> pfClass_;  //!< attribution class per line
+    std::vector<std::uint8_t> validCount_;  //!< valid ways per set
     std::unique_ptr<Replacement> repl_;
     std::unique_ptr<Prefetcher> prefetcher_;
 
@@ -472,11 +489,13 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
     EventTracer *tracer_ = nullptr;  //!< null when tracing is off
     int traceTrack_ = 0;
 
-    RingBuffer<RqEntry> rq_;
-    RingBuffer<RqEntry> wq_;
-    RingBuffer<PqEntry> pq_;   //!< own prefetcher's pending requests
-    RingBuffer<RqEntry> ipq_;  //!< prefetch requests from the level above
-    std::vector<Mshr> mshrs_;
+    StampedRing<MemRequest> rq_;
+    StampedRing<MemRequest> wq_;
+    StampedRing<PqEntry> pq_;   //!< own prefetcher's pending requests
+    StampedRing<MemRequest> ipq_;  //!< prefetch requests from above
+    std::vector<Mshr> mshrs_;            //!< cold MSHR state
+    std::vector<LineAddr> mshrLine_;     //!< hot: line per slot
+    std::vector<std::uint8_t> mshrSent_; //!< hot: sent flag per slot
     MshrIndex mshrIndex_;      //!< line -> slot in mshrs_
     RingBuffer<MemRequest> outbound_;  //!< writebacks awaiting the bus
 
@@ -492,13 +511,36 @@ class Cache : public ReqSink, public RespTarget, public Clocked,
      */
     bool rqHeadStalled_ = false;
     bool pqHeadBlocked_ = false;
+    /** Incoming-prefetch head rejected (MSHR full / lower refused);
+     *  its retry is side-effect-free, so the wait is skippable. */
+    bool ipqHeadBlocked_ = false;
 
     /** Cached prefetcher_->needsCycle() (stable after attachment). */
     bool pfNeedsCycle_ = false;
 
+    /**
+     * Deferred-egress state (setDeferLower). deferActive_ is true from
+     * the start of a deferring tick() until its flushEgress(); the
+     * suspension fields record where prefetch-queue processing stopped
+     * when it hit an operation needing a synchronous lower-level
+     * answer. All of it is transient within one tickAll, so none of it
+     * is checkpointed.
+     */
+    bool deferLower_ = false;
+    bool deferActive_ = false;
+    bool egSuspended_ = false;
+    std::uint8_t egStage_ = 0;   //!< 0 = ipq loop, 1 = own-pq loop
+    std::uint32_t egCount_ = 0;  //!< loop counter at suspension
+    bool egPrefetcherPending_ = false;
+
     /** Scratch for installLine's victim search (avoids per-fill
      *  allocation; one System is confined to one runner thread). */
     std::vector<bool> replScratch_;
+
+    /** Prebuilt all-true valid mask handed to the replacement policy
+     *  once a set is full — the steady state after warmup — so the
+     *  fill path stops rebuilding an identical mask per miss. */
+    std::vector<bool> allValid_;
 
     Cycle now_ = 0;
     /**

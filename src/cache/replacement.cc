@@ -59,13 +59,14 @@ class LruRepl : public Replacement
     std::uint32_t
     victim(std::uint32_t set, const std::vector<bool> &valid) override
     {
+        const std::uint64_t *row = &stamp_[idx(set, 0)];
         std::uint32_t best = 0;
         std::uint64_t best_stamp = ~0ull;
         for (std::uint32_t w = 0; w < ways_; ++w) {
             if (!valid[w])
                 return w;
-            if (stamp_[idx(set, w)] < best_stamp) {
-                best_stamp = stamp_[idx(set, w)];
+            if (row[w] < best_stamp) {
+                best_stamp = row[w];
                 best = w;
             }
         }

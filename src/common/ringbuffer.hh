@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace bouquet
 {
 
@@ -162,6 +164,72 @@ class RingBuffer
     std::vector<T> buf_;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
+};
+
+/**
+ * A ring buffer whose elements each carry a cycle stamp, kept in a
+ * separate parallel ring (structure-of-arrays). The hot questions the
+ * simulator asks of its queues — "is the head ready?" in the
+ * queue-processing loops and "when does the head become ready?" in
+ * nextWakeup — touch only the small contiguous stamp array instead of
+ * dragging whole MemRequest payloads through the data cache.
+ */
+template <typename T>
+class StampedRing
+{
+  public:
+    explicit StampedRing(std::size_t capacity = 0)
+        : items_(capacity), stamps_(capacity)
+    {}
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+
+    T &front() { return items_.front(); }
+    const T &front() const { return items_.front(); }
+
+    /** Cycle stamp of the front element. */
+    Cycle frontStamp() const { return stamps_.front(); }
+
+    T &operator[](std::size_t i) { return items_[i]; }
+    const T &operator[](std::size_t i) const { return items_[i]; }
+    Cycle stampAt(std::size_t i) const { return stamps_[i]; }
+
+    void
+    push_back(const T &v, Cycle stamp)
+    {
+        items_.push_back(v);
+        stamps_.push_back(stamp);
+    }
+
+    void
+    pop_front()
+    {
+        items_.pop_front();
+        stamps_.pop_front();
+    }
+
+    void
+    clear()
+    {
+        items_.clear();
+        stamps_.clear();
+    }
+
+    template <typename IO>
+    void
+    serialize(IO &io)
+    {
+        items_.serialize(io);
+        stamps_.serialize(io);
+        if (io.reading() && items_.size() != stamps_.size())
+            io.failCorrupt(
+                "stamped ring payload/stamp sizes disagree");
+    }
+
+  private:
+    RingBuffer<T> items_;
+    RingBuffer<Cycle> stamps_;
 };
 
 } // namespace bouquet

@@ -45,7 +45,7 @@ class RespTarget;
 /** Current checkpoint payload/container format version.
  *  v2: CacheStats gained per-class issued/late arrays; IPCP L1/L2
  *  serialize per-class issue counters and the epoch-history ring. */
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-based. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t size);

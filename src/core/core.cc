@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "common/bitops.hh"
 #include "common/errors.hh"
 #include "common/stateio.hh"
 #include "common/statsink.hh"
@@ -21,6 +22,9 @@ Core::Core(CoreId id, CoreConfig cfg, TlbConfig tlb_cfg, Cache *l1i,
 {
     assert(l1d_ != nullptr);
     assert(workload_ != nullptr);
+    assert(isPowerOfTwo(config_.robSize));
+    robMask_ = config_.robSize - 1;
+    loadSlotMask_ = static_cast<std::uint32_t>(loadSlotOf_.size() - 1);
 }
 
 void
@@ -53,7 +57,7 @@ Core::retireInstructions()
         if (!head.complete || head.completeAt > now_)
             break;
         head.valid = false;
-        robHead_ = (robHead_ + 1) % config_.robSize;
+        robHead_ = (robHead_ + 1) & robMask_;
         --robCount_;
         ++retired_;
         ++done;
@@ -107,7 +111,7 @@ Core::dispatchInstructions()
         }
 
         const std::uint32_t slot = robTail_;
-        robTail_ = (robTail_ + 1) % config_.robSize;
+        robTail_ = (robTail_ + 1) & robMask_;
         ++robCount_;
         RobEntry &e = rob_[slot];
         e = RobEntry{};
@@ -149,7 +153,7 @@ Core::dispatchInstructions()
             req.requester = this;
             e.isLoad = true;
             e.loadId = load_id;
-            loadSlotOf_[load_id % loadSlotOf_.size()] = slot;
+            loadSlotOf_[load_id & loadSlotMask_] = slot;
         } else {
             ++stats_.stores;
             req.type = AccessType::Store;
@@ -196,7 +200,7 @@ Core::onResponse(const MemRequest &req)
     if (req.type != AccessType::Load)
         return;
     const std::uint32_t slot =
-        loadSlotOf_[req.id % loadSlotOf_.size()];
+        loadSlotOf_[req.id & loadSlotMask_];
     RobEntry &e = rob_[slot];
     if (!e.valid || !e.isLoad || e.loadId != req.id || e.complete)
         return;

@@ -193,8 +193,11 @@ class Core : public RespTarget, public Clocked
     VirtualMemory *vmem_;
     WorkloadGenerator *workload_;
 
-    // ROB as a fixed ring buffer.
+    // ROB as a fixed ring buffer. The size is a power of two so the
+    // per-instruction head/tail wrap is a mask, not a division.
     std::vector<RobEntry> rob_;
+    std::uint32_t robMask_ = 0;       //!< robSize - 1
+    std::uint32_t loadSlotMask_ = 0;  //!< loadSlotOf_.size() - 1
     std::uint32_t robHead_ = 0;
     std::uint32_t robTail_ = 0;
     std::uint32_t robCount_ = 0;

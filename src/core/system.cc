@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/faultinject.hh"
 #include "common/stateio.hh"
 
 namespace bouquet
@@ -18,7 +19,7 @@ System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
     const unsigned n = static_cast<unsigned>(workloads_.size());
 
     vmem_ = std::make_unique<VirtualMemory>(config_.frameBits,
-                                            config_.seed);
+                                            config_.seed, n);
     dram_ = std::make_unique<Dram>(config_.dram);
 
     CacheConfig llc_cfg = config_.llcPerCore;
@@ -82,28 +83,78 @@ System::System(SystemConfig cfg, std::vector<GeneratorPtr> workloads)
         env != nullptr && env[0] != '\0' &&
         !(env[0] == '0' && env[1] == '\0'))
         auditTick_ = true;
+
+    // Multi-core: defer L2→LLC egress to a serial end-of-cycle flush
+    // so per-core clusters never call into shared state mid-tick
+    // (DESIGN.md §5f). Single-core keeps the direct path.
+    if (n > 1) {
+        deferEgress_ = true;
+        for (auto &l2 : l2s_)
+            l2->setDeferLower(true);
+    }
+
+    if (const char *env = std::getenv("IPCP_SKIP_PROFILE");
+        env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0'))
+        skipProfile_ = true;
+
+    unsigned threads = config_.tickThreads;
+    if (threads == 0) {
+        if (const char *env = std::getenv("IPCP_TICK_THREADS");
+            env != nullptr && env[0] != '\0')
+            threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+    threads = std::min(threads, n);
+    if (threads >= 2)
+        tickPool_ = std::make_unique<TickPool>(
+            threads, n,
+            [this](unsigned c, Cycle cycle) { tickCluster(c, cycle); });
+}
+
+void
+System::tickCluster(unsigned c, Cycle cycle)
+{
+    l2s_[c]->tick(cycle);
+    l1ds_[c]->tick(cycle);
+    l1is_[c]->tick(cycle);
+    cores_[c]->tick(cycle);
 }
 
 void
 System::tickAll(Cycle cycle)
 {
     ++perf_.ticksExecuted;
-    // Lower levels first so responses propagate upward within a cycle.
+    // Shared levels first so their responses propagate upward within a
+    // cycle, then the per-core clusters. With deferred L2 egress the
+    // clusters are independent; the serial loop and the thread pool
+    // visit identical per-cluster state, so results are bit-identical
+    // for any thread count.
     dram_->tick(cycle);
     llc_->tick(cycle);
-    for (auto &l2 : l2s_)
-        l2->tick(cycle);
-    for (auto &l1d : l1ds_)
-        l1d->tick(cycle);
-    for (auto &l1i : l1is_)
-        l1i->tick(cycle);
-    for (auto &core : cores_)
-        core->tick(cycle);
+    const unsigned n = numCores();
+    // The event tracer's ring and an armed fault registry are shared
+    // mutable state the clusters may touch — force the serial path so
+    // those (rare, debug-only) configurations stay race-free.
+    if (tickPool_ && tracer_ == nullptr &&
+        !FaultRegistry::instance().active()) {
+        tickPool_->tickClusters(cycle);
+    } else {
+        for (unsigned c = 0; c < n; ++c)
+            tickCluster(c, cycle);
+    }
+    if (deferEgress_) {
+        // Serial, in core order: the deterministic point where parked
+        // L2 misses, writebacks and prefetch handoffs reach the LLC.
+        for (auto &l2 : l2s_)
+            l2->flushEgress();
+    }
 }
 
 Cycle
 System::nextWakeupAll(Cycle now) const
 {
+    if (skipProfile_)
+        return nextWakeupProfiled(now);
     Cycle wake = kNeverWakeup;
     for (const auto &core : cores_) {
         wake = std::min(wake, core->nextWakeup(now));
@@ -129,6 +180,52 @@ System::nextWakeupAll(Cycle now) const
     if (wake <= now + 1)
         return wake;
     return std::min(wake, dram_->nextWakeup(now));
+}
+
+Cycle
+System::nextWakeupProfiled(Cycle now) const
+{
+    // Same scan order and early-outs as the fast path (so the result
+    // is identical); additionally records which component kind bound
+    // the skip. Strictly-less-than keeps the first minimum in scan
+    // order, matching what the early-outs report.
+    Cycle wake = kNeverWakeup;
+    unsigned argmin = KindCore;
+
+    auto scan = [&](const auto &vec, unsigned kind) {
+        for (const auto &c : vec) {
+            const Cycle w = c->nextWakeup(now);
+            if (w < wake) {
+                wake = w;
+                argmin = kind;
+            }
+            if (wake <= now + 1)
+                return true;
+        }
+        return false;
+    };
+
+    const bool early = scan(cores_, KindCore) || scan(l1ds_, KindL1d) ||
+                       scan(l1is_, KindL1i) || scan(l2s_, KindL2);
+    if (!early) {
+        const Cycle wl = llc_->nextWakeup(now);
+        if (wl < wake) {
+            wake = wl;
+            argmin = KindLlc;
+        }
+        if (wake > now + 1) {
+            const Cycle wd = dram_->nextWakeup(now);
+            if (wd < wake) {
+                wake = wd;
+                argmin = KindDram;
+            }
+        }
+    }
+    // A wakeup beyond now + 1 means the skip happened; only a now + 1
+    // result blocked it, and argmin names the component demanding it.
+    if (wake <= now + 1)
+        ++blockedBy_[argmin];
+    return wake;
 }
 
 void
@@ -176,6 +273,17 @@ System::statRegistry()
     }
     llc_->registerStats(root.child("llc"));
     dram_->registerStats(root.child("dram"));
+    if (skipProfile_) {
+        // sim.skip.blocked_by.<kind>: which component kind supplied
+        // the binding wakeup. Registered only while IPCP_SKIP_PROFILE
+        // is set so the default stats JSON is unaffected.
+        StatGroup sk = root.child("skip").child("blocked_by");
+        static constexpr const char *kKindNames[KindCount] = {
+            "core", "l1d", "l1i", "l2", "llc", "dram"};
+        for (unsigned k = 0; k < KindCount; ++k)
+            sk.counter(kKindNames[k], blockedBy_[k]);
+        sk.onReset([this] { blockedBy_.fill(0); });
+    }
     return registry_;
 }
 

@@ -9,6 +9,7 @@
 #ifndef BOUQUET_CORE_SYSTEM_HH
 #define BOUQUET_CORE_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "common/statsink.hh"
 #include "common/tracer.hh"
 #include "core/core.hh"
+#include "core/tickpool.hh"
 #include "mem/dram.hh"
 #include "mem/vmem.hh"
 #include "trace/trace.hh"
@@ -77,6 +79,16 @@ struct SystemConfig
      * run at checkpoint save/load boundaries.
      */
     bool auditEveryTick = false;
+
+    /**
+     * Worker threads for the per-core cluster phase of tickAll
+     * (DESIGN.md §5f). 0 reads the IPCP_TICK_THREADS environment
+     * variable; 0/1 there (or unset) means serial. Clamped to the core
+     * count. Simulated results are bit-identical for every value —
+     * this is a host-side execution knob, so it is deliberately left
+     * out of configHash().
+     */
+    unsigned tickThreads = 0;
 };
 
 /** Per-core outcome of a measured run. */
@@ -284,6 +296,15 @@ class System
     };
 
     void tickAll(Cycle cycle);
+
+    /**
+     * Tick one core's private hierarchy (L2 → L1D → L1I → core) at
+     * `cycle`. Clusters are disjoint — with deferred L2 egress no call
+     * chain leaves the cluster — so tickCluster is safe to run for
+     * different cores on different threads (DESIGN.md §5f).
+     */
+    void tickCluster(unsigned c, Cycle cycle);
+
     void resetAllStats();
 
     /** Save to ckptPath_ when the periodic interval has elapsed. */
@@ -295,6 +316,27 @@ class System
      * now + 1, which short-circuits the scan).
      */
     Cycle nextWakeupAll(Cycle now) const;
+
+    /**
+     * nextWakeupAll with per-component-kind attribution: counts which
+     * kind of component produced the binding (minimum) wakeup, into
+     * blockedBy_. Same scan order and early-outs as the fast path, so
+     * the returned cycle is identical; only used when the
+     * IPCP_SKIP_PROFILE environment variable enables profiling.
+     */
+    Cycle nextWakeupProfiled(Cycle now) const;
+
+    /** Component kinds for skip attribution (indexes blockedBy_). */
+    enum CompKind : unsigned
+    {
+        KindCore = 0,
+        KindL1d,
+        KindL1i,
+        KindL2,
+        KindLlc,
+        KindDram,
+        KindCount,
+    };
 
     /**
      * Jump the clock to `target` without ticking: reconcile every
@@ -317,6 +359,18 @@ class System
     Cycle cycle_ = 0;
     bool noSkip_ = false;
     bool auditTick_ = false;
+    bool deferEgress_ = false;  //!< multi-core: L2→LLC egress end-of-cycle
+    std::unique_ptr<TickPool> tickPool_;  //!< non-null when threading on
+
+    /**
+     * Skip-bound attribution (IPCP_SKIP_PROFILE=1): how often each
+     * component kind supplied the binding wakeup in nextWakeupAll.
+     * Host-side observation only — never serialized, and the stats
+     * are registered only while profiling so the default stats JSON
+     * is byte-identical with profiling off.
+     */
+    bool skipProfile_ = false;
+    mutable std::array<std::uint64_t, KindCount> blockedBy_{};
     PerfCounters perf_;
     RunState rs_;
 

@@ -1,0 +1,73 @@
+#include "core/tickpool.hh"
+
+#include <cassert>
+
+namespace bouquet
+{
+
+TickPool::TickPool(unsigned threads, unsigned clusters,
+                   std::function<void(unsigned, Cycle)> tick_fn)
+    : threads_(threads), clusters_(clusters), tickFn_(std::move(tick_fn)),
+      errors_(threads)
+{
+    assert(threads_ >= 2);
+    workers_.reserve(threads_ - 1);
+    for (unsigned t = 1; t < threads_; ++t)
+        workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+TickPool::~TickPool()
+{
+    stop_.store(true, std::memory_order_release);
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+TickPool::runShare(unsigned thread_id, Cycle cycle)
+{
+    try {
+        for (unsigned c = thread_id; c < clusters_; c += threads_)
+            tickFn_(c, cycle);
+    } catch (...) {
+        errors_[thread_id] = std::current_exception();
+    }
+}
+
+void
+TickPool::workerLoop(unsigned thread_id)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        while (gen_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            std::this_thread::yield();
+        }
+        ++seen;
+        runShare(thread_id, cycle_);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+TickPool::tickClusters(Cycle cycle)
+{
+    cycle_ = cycle;
+    const std::uint64_t gen =
+        gen_.fetch_add(1, std::memory_order_release) + 1;
+    runShare(0, cycle);
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(threads_ - 1) * gen;
+    while (done_.load(std::memory_order_acquire) < target)
+        std::this_thread::yield();
+    for (std::exception_ptr &e : errors_) {
+        if (e) {
+            std::exception_ptr err = e;
+            e = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+} // namespace bouquet

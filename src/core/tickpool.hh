@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A tiny persistent thread pool that ticks per-core cluster slices in
+ * parallel (DESIGN.md §5f). One pool lives for the whole run; each
+ * tickClusters() call releases the workers for exactly one generation
+ * through a spin barrier and blocks until every cluster has ticked.
+ *
+ * The barrier is two atomics: the main thread publishes the cycle and
+ * bumps the generation counter (release), workers observe the bump
+ * (acquire), run their static share of the clusters, and count
+ * themselves done (release); the main thread runs share 0 itself and
+ * then waits (acquire) for the done count. Each direction of that
+ * handshake is a release/acquire pair, so cluster state written on one
+ * side of the barrier is visible on the other without locks — and the
+ * pattern is exactly what TSan can prove race-free.
+ */
+
+#ifndef BOUQUET_CORE_TICKPOOL_HH
+#define BOUQUET_CORE_TICKPOOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bouquet
+{
+
+class TickPool
+{
+  public:
+    /**
+     * @param threads total workers including the calling thread (>= 2)
+     * @param clusters number of per-core clusters to partition
+     * @param tick_fn  called as tick_fn(cluster, cycle); must only
+     *                 touch state owned by that cluster
+     */
+    TickPool(unsigned threads, unsigned clusters,
+             std::function<void(unsigned, Cycle)> tick_fn);
+
+    ~TickPool();
+
+    TickPool(const TickPool &) = delete;
+    TickPool &operator=(const TickPool &) = delete;
+
+    /**
+     * Tick every cluster once at `cycle` and return when all are done.
+     * The calling thread works share 0. A tick_fn exception on any
+     * thread is rethrown here after the barrier (the generation still
+     * completes, so the pool stays usable).
+     */
+    void tickClusters(Cycle cycle);
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    void workerLoop(unsigned thread_id);
+    void runShare(unsigned thread_id, Cycle cycle);
+
+    unsigned threads_;
+    unsigned clusters_;
+    std::function<void(unsigned, Cycle)> tickFn_;
+
+    Cycle cycle_ = 0;  //!< published before gen_ bump (release/acquire)
+    std::atomic<std::uint64_t> gen_{0};
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<bool> stop_{false};
+
+    /** First worker exception of the current generation (slot per
+     *  thread so concurrent failures never race on one pointer). */
+    std::vector<std::exception_ptr> errors_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace bouquet
+
+#endif // BOUQUET_CORE_TICKPOOL_HH

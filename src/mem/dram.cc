@@ -79,24 +79,23 @@ Dram::schedule(Channel &ch, Cycle now)
 
     while (!ch.queue.empty() && started < 4 && ch.busFreeAt < window) {
         // FR-FCFS: the oldest row-hit whose bank is ready; else the
-        // oldest request with a ready bank.
+        // oldest request with a ready bank. One pass finds both — the
+        // fallback is the first ready bank seen before a row hit.
         std::size_t pick = ch.queue.size();
+        std::size_t fallback = ch.queue.size();
         for (std::size_t i = 0; i < ch.queue.size(); ++i) {
             const Bank &b = ch.banks[bankOf(ch.queue[i].line)];
-            if (b.readyAt <= now &&
-                b.openRow == rowOf(ch.queue[i].line)) {
+            if (b.readyAt > now)
+                continue;
+            if (b.openRow == rowOf(ch.queue[i].line)) {
                 pick = i;
                 break;
             }
+            if (fallback == ch.queue.size())
+                fallback = i;
         }
-        if (pick == ch.queue.size()) {
-            for (std::size_t i = 0; i < ch.queue.size(); ++i) {
-                if (ch.banks[bankOf(ch.queue[i].line)].readyAt <= now) {
-                    pick = i;
-                    break;
-                }
-            }
-        }
+        if (pick == ch.queue.size())
+            pick = fallback;
         if (pick == ch.queue.size())
             return;  // all banks busy
 
@@ -135,6 +134,8 @@ void
 Dram::tick(Cycle cycle)
 {
     for (Channel &ch : channels_) {
+        if (ch.inflight.empty() && ch.queue.empty())
+            continue;  // idle channel
         // Complete transfers whose data has arrived.
         for (std::size_t i = 0; i < ch.inflight.size();) {
             if (ch.inflight[i].readyAt <= cycle) {

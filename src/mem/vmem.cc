@@ -4,47 +4,141 @@
 
 namespace bouquet
 {
-
-VirtualMemory::VirtualMemory(unsigned frame_bits, std::uint64_t seed)
-    : frameBits_(frame_bits), seed_(seed)
+namespace
 {
+
+/** Initial open-addressed capacity per shard (slots). */
+constexpr std::size_t kInitialCapacity = 4096;
+
+unsigned
+ceilLog2(unsigned n)
+{
+    unsigned bits = 0;
+    while ((1u << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+VirtualMemory::VirtualMemory(unsigned frame_bits, std::uint64_t seed,
+                             unsigned processes)
+    : frameBits_(frame_bits), seed_(seed),
+      sliceBits_(ceilLog2(processes < 1 ? 1 : processes))
+{
+    if (sliceBits_ > frameBits_)
+        sliceBits_ = frameBits_;
+    sliceShift_ = frameBits_ - sliceBits_;
+    sliceMask_ = (1ull << sliceShift_) - 1;
+    shards_.resize(processes < 1 ? 1 : processes);
+}
+
+VirtualMemory::Shard &
+VirtualMemory::shardFor(std::uint32_t process)
+{
+    if (process >= shards_.size())
+        shards_.resize(process + 1);
+    return shards_[process];
 }
 
 std::uint64_t
-VirtualMemory::frameFor(std::uint32_t process, Addr vpn)
+VirtualMemory::allocate(Shard &shard, std::uint32_t process,
+                        std::uint64_t key)
 {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(process) << 52) ^ vpn;
-    auto it = pageTable_.find(key);
-    if (it != pageTable_.end())
-        return it->second;
+    if (shard.table.empty()) {
+        shard.table.resize(kInitialCapacity);
+        shard.shift = 64 - log2Exact(kInitialCapacity);
+    } else if ((shard.count + 1) * 8 > shard.table.size() * 5) {
+        grow(shard);
+    }
 
     // Multiplying an allocation counter by an odd constant modulo the
-    // frame count is a bijection: every frame is used exactly once
-    // before any repeats, and successive allocations land in unrelated
-    // cache sets. The seed perturbs the starting point.
-    const std::uint64_t mask = (1ull << frameBits_) - 1;
-    const std::uint64_t pfn =
-        ((nextIndex_ + mix64(seed_)) * 0x9E3779B1ull + 0x5A5A5Aull) & mask;
-    ++nextIndex_;
-    pageTable_.emplace(key, pfn);
+    // slice size is a bijection: every frame in the slice is used
+    // exactly once before any repeats, and successive allocations land
+    // in unrelated cache sets. The seed perturbs the starting point.
+    //
+    // When the machine has one configured slice (processes == 1) the
+    // per-process seed perturbation keeps distinct processes from
+    // colliding on a frame; process 0 sees the exact historical
+    // single-process mapping. With multiple slices the base mapping is
+    // deliberately identical across processes — the slice bits isolate
+    // them — so homogeneous mixes get symmetric physical layouts.
+    const std::uint64_t base =
+        sliceBits_ == 0
+            ? mix64(seed_ ^ (static_cast<std::uint64_t>(process) *
+                             0x9E3779B97F4A7C15ull))
+            : mix64(seed_);
+    const std::uint64_t raw =
+        ((shard.nextIndex + base) * 0x9E3779B1ull + 0x5A5A5Aull) &
+        sliceMask_;
+    const std::uint64_t slice =
+        static_cast<std::uint64_t>(process) & ((1ull << sliceBits_) - 1);
+    const std::uint64_t pfn = raw | (slice << sliceShift_);
+    ++shard.nextIndex;
+    place(shard, key, pfn);
+    ++shard.count;
     return pfn;
 }
 
-Addr
-VirtualMemory::translate(std::uint32_t process, Addr vaddr)
+void
+VirtualMemory::place(Shard &shard, std::uint64_t key, std::uint64_t pfn)
 {
-    const Addr vpn = pageNumber(vaddr);
-    const std::uint64_t pfn = frameFor(process, vpn);
-    return (pfn << kPageBits) | (vaddr & (kPageSize - 1));
+    const std::size_t mask = shard.table.size() - 1;
+    std::size_t i = home(shard, key);
+    while (shard.table[i].key != 0)
+        i = (i + 1) & mask;
+    shard.table[i].key = key;
+    shard.table[i].pfn = pfn;
+}
+
+void
+VirtualMemory::grow(Shard &shard)
+{
+    std::vector<Entry> old;
+    old.swap(shard.table);
+    shard.table.resize(old.size() * 2);
+    shard.shift -= 1;
+    for (const Entry &e : old) {
+        if (e.key != 0)
+            place(shard, e.key, e.pfn);
+    }
+}
+
+void
+VirtualMemory::rebuild(
+    Shard &shard,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &flat)
+{
+    shard.table.clear();
+    shard.count = flat.size();
+    if (flat.empty()) {
+        shard.shift = 64;
+        return;
+    }
+    std::size_t cap = kInitialCapacity;
+    while (shard.count * 8 > cap * 5)
+        cap *= 2;
+    shard.table.resize(cap);
+    shard.shift = 64 - log2Exact(cap);
+    for (const auto &e : flat)
+        place(shard, e.first + 1, e.second);
+}
+
+std::uint64_t
+VirtualMemory::pagesAllocated() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.nextIndex;
+    return total;
 }
 
 bool
 VirtualMemory::isMapped(std::uint32_t process, Addr vaddr) const
 {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(process) << 52) ^ pageNumber(vaddr);
-    return pageTable_.find(key) != pageTable_.end();
+    if (process >= shards_.size())
+        return false;
+    return find(shards_[process], pageNumber(vaddr) + 1) != nullptr;
 }
 
 } // namespace bouquet

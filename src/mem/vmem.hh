@@ -10,6 +10,23 @@
  * prefetcher that crosses a virtual page boundary would fetch an
  * unrelated physical line — which is exactly why IPCP never prefetches
  * across a page.
+ *
+ * The page tables are sharded per process. Each shard is an
+ * open-addressed linear-probe table (translation is the hottest
+ * function in the simulator — every dispatched instruction calls it),
+ * and each process allocates frames from its own slice of the physical
+ * address space: the top ceil(log2(processes)) frame bits carry the
+ * process id, the low bits a bijective hash of a per-process allocation
+ * counter. Two consequences:
+ *
+ *  - Thread safety by construction: a parallel per-core tick only ever
+ *    touches its own shard, with no sharing or locks.
+ *  - Symmetric layout: homogeneous multi-core mixes (the same trace on
+ *    every core) see identical intra-slice physical layouts, so the
+ *    cores stay near-lockstep and the event-skipping loop recovers the
+ *    single-core skip ratio. The slice bits sit at line-address bits
+ *    >= 23 for the Table II geometry — above every LLC set-index, DRAM
+ *    channel and bank bit — so slicing does not perturb those indices.
  */
 
 #ifndef BOUQUET_MEM_VMEM_HH
@@ -17,7 +34,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,9 +44,10 @@ namespace bouquet
 
 /**
  * A per-system page-table set mapping (process, virtual page) to a
- * physical frame. Frames are assigned by a bijective hash of an
- * allocation counter so that (i) no two virtual pages share a frame and
- * (ii) physically-indexed caches see decorrelated set indices.
+ * physical frame. Frames are assigned by a bijective hash of a
+ * per-process allocation counter so that (i) no two virtual pages of a
+ * process share a frame and (ii) physically-indexed caches see
+ * decorrelated set indices.
  */
 class VirtualMemory
 {
@@ -39,63 +56,141 @@ class VirtualMemory
      * @param frame_bits log2 of the number of physical frames
      *        (default 20 => 4 GB of 4 KB frames, per Table II).
      * @param seed deterministic allocation seed
+     * @param processes number of processes sharing the machine; each
+     *        gets a private 1/2^ceil(log2(processes)) slice of the
+     *        frame space. With the default of 1 the mapping is
+     *        identical to the pre-sharded allocator.
      */
     explicit VirtualMemory(unsigned frame_bits = 20,
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1,
+                           unsigned processes = 1);
 
     /**
      * Translate a virtual byte address of a process to a physical byte
      * address, allocating a frame on first touch.
      */
-    Addr translate(std::uint32_t process, Addr vaddr);
+    Addr
+    translate(std::uint32_t process, Addr vaddr)
+    {
+        Shard &shard = shardFor(process);
+        const Addr vpn = pageNumber(vaddr);
+        const std::uint64_t key = vpn + 1;
+        const Entry *e = find(shard, key);
+        const std::uint64_t pfn =
+            e != nullptr ? e->pfn : allocate(shard, process, key);
+        return (pfn << kPageBits) | (vaddr & (kPageSize - 1));
+    }
 
     /** Number of pages allocated so far (all processes). */
-    std::uint64_t pagesAllocated() const { return nextIndex_; }
+    std::uint64_t pagesAllocated() const;
 
     /** True if the page is already mapped (no allocation side effect). */
     bool isMapped(std::uint32_t process, Addr vaddr) const;
 
     /**
-     * The page table serializes as a key-sorted (key, pfn) vector so
-     * the byte image is independent of unordered_map iteration order.
+     * Each shard serializes as its allocation counter plus a key-sorted
+     * (vpn, pfn) vector, so the byte image is independent of the
+     * open-addressed tables' probe history.
      */
     template <typename IO>
     void
     serialize(IO &io)
     {
-        io.io(nextIndex_);
+        std::uint32_t shards = static_cast<std::uint32_t>(shards_.size());
+        io.io(shards);
+        if (io.reading()) {
+            if (shards > io.remaining())
+                io.failCorrupt("page-table shard count exceeds payload");
+            shards_.clear();
+            shards_.resize(shards);
+        }
         std::vector<std::pair<std::uint64_t, std::uint64_t>> flat;
-        if (io.writing()) {
-            flat.assign(pageTable_.begin(), pageTable_.end());
-            std::sort(flat.begin(), flat.end());
-        }
-        std::uint64_t n = flat.size();
-        io.io(n);
-        if (io.reading()) {
-            if (n > io.remaining())
-                io.failCorrupt("page-table entry count exceeds payload");
-            flat.resize(static_cast<std::size_t>(n));
-        }
-        for (auto &e : flat) {
-            io.io(e.first);
-            io.io(e.second);
-        }
-        if (io.reading()) {
-            pageTable_.clear();
-            pageTable_.reserve(flat.size());
-            for (const auto &e : flat)
-                pageTable_.emplace(e.first, e.second);
+        for (Shard &shard : shards_) {
+            io.io(shard.nextIndex);
+            flat.clear();
+            if (io.writing()) {
+                for (const Entry &e : shard.table) {
+                    if (e.key != 0)
+                        flat.emplace_back(e.key - 1, e.pfn);
+                }
+                std::sort(flat.begin(), flat.end());
+            }
+            std::uint64_t n = flat.size();
+            io.io(n);
+            if (io.reading()) {
+                if (n > io.remaining())
+                    io.failCorrupt(
+                        "page-table entry count exceeds payload");
+                flat.resize(static_cast<std::size_t>(n));
+            }
+            for (auto &e : flat) {
+                io.io(e.first);
+                io.io(e.second);
+            }
+            if (io.reading()) {
+                rebuild(shard, flat);
+            }
         }
     }
 
   private:
-    std::uint64_t frameFor(std::uint32_t process, Addr vpn);
+    /** One open-addressed slot; key is vpn+1 so 0 means empty. */
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::uint64_t pfn = 0;
+    };
+
+    /** One process's page table plus its allocation counter. */
+    struct Shard
+    {
+        std::vector<Entry> table;
+        std::uint64_t count = 0;
+        std::uint64_t nextIndex = 0;
+        unsigned shift = 64;  //!< hash >> shift yields the home slot
+    };
+
+    /** Home slot: Fibonacci hash, top log2(capacity) bits. */
+    static std::size_t
+    home(const Shard &shard, std::uint64_t key)
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> shard.shift);
+    }
+
+    static const Entry *
+    find(const Shard &shard, std::uint64_t key)
+    {
+        if (shard.table.empty())
+            return nullptr;
+        const std::size_t mask = shard.table.size() - 1;
+        std::size_t i = home(shard, key);
+        while (true) {
+            const Entry &e = shard.table[i];
+            if (e.key == key)
+                return &e;
+            if (e.key == 0)
+                return nullptr;
+            i = (i + 1) & mask;
+        }
+    }
+
+    Shard &shardFor(std::uint32_t process);
+    std::uint64_t allocate(Shard &shard, std::uint32_t process,
+                           std::uint64_t key);
+    static void place(Shard &shard, std::uint64_t key, std::uint64_t pfn);
+    static void grow(Shard &shard);
+    static void
+    rebuild(Shard &shard,
+            const std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                &flat);
 
     unsigned frameBits_;
     std::uint64_t seed_;
-    std::uint64_t nextIndex_ = 0;
-    /** Key: (process << 52) ^ vpn. 52 bits of VPN is ample here. */
-    std::unordered_map<std::uint64_t, std::uint64_t> pageTable_;
+    unsigned sliceBits_;    //!< ceil(log2(processes))
+    unsigned sliceShift_;   //!< frameBits_ - sliceBits_
+    std::uint64_t sliceMask_;
+    std::vector<Shard> shards_;
 };
 
 } // namespace bouquet

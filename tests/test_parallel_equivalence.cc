@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parallel-tick equivalence tests (DESIGN.md §5f): the per-core
+ * cluster phase of System::tickAll may run on a thread pool
+ * (SystemConfig::tickThreads / IPCP_TICK_THREADS), and every thread
+ * count — including the serial loop — must produce bit-identical
+ * simulated results. The matrix here crosses core count × thread
+ * count × skip mode and compares the strongest observables we have:
+ * the full serialized machine state (the checkpoint payload) and the
+ * complete stats-JSON document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stateio.hh"
+#include "core/system.hh"
+#include "harness/factory.hh"
+#include "harness/statsjson.hh"
+#include "trace/suite.hh"
+
+namespace bouquet
+{
+namespace
+{
+
+std::vector<std::string>
+tracesFor(unsigned cores)
+{
+    const std::vector<std::string> pool = {
+        "605.mcf_s-472B",    "619.lbm_s-2676B", "603.bwaves_s-891B",
+        "602.gcc_s-734B",    "621.wrf_s-575B",  "649.fotonik3d_s-7084B",
+        "654.roms_s-842B",   "657.xz_s-2302B"};
+    return {pool.begin(), pool.begin() + cores};
+}
+
+std::unique_ptr<System>
+buildSystem(unsigned cores, unsigned threads, bool tick_every_cycle)
+{
+    SystemConfig cfg;
+    cfg.tickEveryCycle = tick_every_cycle;
+    cfg.tickThreads = threads;
+    cfg.dram.channels = cores > 1 ? 2 : 1;
+
+    std::vector<GeneratorPtr> workloads;
+    for (const std::string &t : tracesFor(cores))
+        workloads.push_back(makeWorkload(findTrace(t)));
+
+    auto sys = std::make_unique<System>(cfg, std::move(workloads));
+    applyCombo(*sys, "ipcp");
+    return sys;
+}
+
+/** Run a small workload and capture every simulated byte. */
+struct Capture
+{
+    RunResult run;
+    std::vector<std::uint8_t> state;  //!< full checkpoint payload
+    std::string statsJson;            //!< complete stats document
+};
+
+Capture
+simulate(unsigned cores, unsigned threads, bool tick_every_cycle)
+{
+    std::unique_ptr<System> sys =
+        buildSystem(cores, threads, tick_every_cycle);
+
+    Capture cap;
+    cap.run = sys->run(2'000, 10'000);
+
+    StateIO io = StateIO::writer();
+    sys->serialize(io);
+    cap.state = io.takeBuffer();
+
+    const std::string path =
+        ::testing::TempDir() + "/par_eq_stats_" +
+        std::to_string(cores) + "_" + std::to_string(threads) + "_" +
+        (tick_every_cycle ? "ns" : "sk") + ".json";
+    const Status st = writeSystemStatsJson(*sys, path, "par-eq");
+    EXPECT_TRUE(st.ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    cap.statsJson = body.str();
+    std::remove(path.c_str());
+    return cap;
+}
+
+void
+expectSameResults(const Capture &a, const Capture &b, const char *what)
+{
+    ASSERT_EQ(a.run.cores.size(), b.run.cores.size()) << what;
+    for (std::size_t c = 0; c < a.run.cores.size(); ++c) {
+        EXPECT_EQ(a.run.cores[c].instructions,
+                  b.run.cores[c].instructions)
+            << what << " core " << c;
+        EXPECT_EQ(a.run.cores[c].cycles, b.run.cores[c].cycles)
+            << what << " core " << c;
+    }
+    EXPECT_EQ(a.run.measuredCycles, b.run.measuredCycles) << what;
+    EXPECT_TRUE(a.statsJson == b.statsJson)
+        << what << ": stats JSON differs";
+}
+
+void
+expectIdentical(const Capture &a, const Capture &b, const char *what)
+{
+    expectSameResults(a, b, what);
+    // Same skip mode on both sides, so even the host-side loop
+    // bookkeeping inside the payload (perf counters, watchdog state)
+    // must match byte for byte.
+    EXPECT_TRUE(a.state == b.state)
+        << what << ": serialized machine state differs";
+}
+
+/**
+ * The full matrix: for each core count and skip mode, every thread
+ * count must reproduce the serial run byte for byte.
+ */
+TEST(ParallelEquivalence, ThreadCountMatrixBitIdentical)
+{
+    for (const unsigned cores : {1u, 4u, 8u}) {
+        for (const bool noskip : {false, true}) {
+            const Capture serial = simulate(cores, 1, noskip);
+            for (const unsigned threads : {2u, 4u}) {
+                if (threads > cores)
+                    continue;  // pool clamps to the core count
+                const Capture par = simulate(cores, threads, noskip);
+                const std::string what =
+                    std::to_string(cores) + "c/" +
+                    std::to_string(threads) + "t/" +
+                    (noskip ? "noskip" : "skip");
+                expectIdentical(serial, par, what.c_str());
+            }
+        }
+    }
+}
+
+/**
+ * Skip and no-skip agree under the deferred-egress multi-core path.
+ * Only simulated observables are compared: the serialized payload also
+ * carries host-side perf counters and watchdog bookkeeping, which
+ * differ between the two loop modes by design.
+ */
+TEST(ParallelEquivalence, SkipModesAgreeUnderDeferredEgress)
+{
+    expectSameResults(simulate(4, 1, false), simulate(4, 1, true),
+                      "4c skip-vs-noskip");
+    expectSameResults(simulate(4, 4, false), simulate(4, 4, true),
+                      "4c/4t skip-vs-noskip");
+}
+
+/**
+ * StateIO round-trip over the structure-of-arrays cache state: a
+ * checkpoint taken mid-run restores into a fresh System whose
+ * re-serialization is byte-identical, and both finish the run with
+ * identical results.
+ */
+TEST(ParallelEquivalence, SoaStateRoundTripsThroughCheckpoint)
+{
+    std::unique_ptr<System> a = buildSystem(4, 1, false);
+    a->run(2'000, 4'000);
+
+    StateIO w = StateIO::writer();
+    a->serialize(w);
+    const std::vector<std::uint8_t> saved = w.takeBuffer();
+
+    std::unique_ptr<System> b = buildSystem(4, 1, false);
+    StateIO r = StateIO::reader(saved);
+    b->serialize(r);
+    r.expectEnd();
+    b->audit(true);
+
+    StateIO w2 = StateIO::writer();
+    b->serialize(w2);
+    EXPECT_TRUE(w2.takeBuffer() == saved)
+        << "restored machine re-serializes differently";
+}
+
+} // namespace
+} // namespace bouquet

@@ -44,6 +44,7 @@
 #include "common/errors.hh"
 #include "harness/experiment.hh"
 #include "harness/factory.hh"
+#include "harness/outcomestore.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 #include "trace/suite.hh"
@@ -68,69 +69,11 @@ std::vector<Combo> tableIIIComboSet();
 ExperimentConfig defaultConfig();
 
 /**
- * Disk-backed store of Outcome records keyed by the runner's job key.
- *
- * The file is versioned (format version + record size in the header)
- * and every record carries a checksum; a truncated, corrupt or
- * stale-format file is detected at load and its unusable tail (or the
- * whole file) is discarded and regenerated instead of trusted.
- * Writes go through a sidecar lock file and an atomic rename of the
- * complete store, after merging the entries currently on disk, so any
- * number of concurrent bench processes can share one cache file
- * without corrupting it or losing each other's completed entries.
- * If the advisory lock cannot be taken the write proceeds unlocked
- * (the atomic rename still guarantees readers a complete file; only
- * a concurrent writer's fresh entries could be lost) and the event
- * is counted in lockFailures(). A failed persist keeps the entry in
- * memory — the next successful put rewrites everything — and is
- * reported in the returned Status. All member functions are
- * thread-safe. Declares the `store.read`, `store.write` and
- * `store.flock` fault-injection points.
+ * The versioned, flock-safe disk cache of Outcome records. Promoted
+ * to `src/harness/outcomestore.hh` (the campaign work-queue shares
+ * it); aliased here so bench code keeps saying `bench::OutcomeStore`.
  */
-class OutcomeStore
-{
-  public:
-    /** Bump when the record layout or key format changes. */
-    static constexpr std::uint32_t kFormatVersion = 4;
-
-    /** @param path cache file; empty = in-memory only */
-    explicit OutcomeStore(std::string path);
-
-    /**
-     * Look up a key. On a memory miss the disk file is re-read first,
-     * so entries completed by concurrent processes are found and not
-     * recomputed.
-     */
-    bool get(const std::string &key, Outcome &out);
-
-    /**
-     * Insert an entry and persist the merged store atomically. On a
-     * persist failure the entry survives in memory and the error is
-     * returned (transient: a later put retries the whole merge).
-     */
-    Status put(const std::string &key, const Outcome &out);
-
-    /** Entries currently in memory. */
-    std::size_t size() const;
-
-    /** Records rejected as corrupt/short when the file was loaded. */
-    std::size_t corruptRecords() const { return corrupt_; }
-
-    /** Times the sidecar lock could not be taken (write went ahead). */
-    std::size_t lockFailures() const;
-
-    const std::string &path() const { return path_; }
-
-  private:
-    std::map<std::string, Outcome> readDisk(std::size_t *corrupt) const;
-    Status mergeAndPersistLocked();
-
-    std::string path_;
-    mutable std::mutex mutex_;
-    std::size_t corrupt_ = 0;
-    std::size_t lockFailures_ = 0;
-    std::map<std::string, Outcome> cache_;
-};
+using bouquet::OutcomeStore;
 
 /** Process-wide store at $IPCP_CACHE_FILE (default bench_cache.bin). */
 OutcomeStore &globalStore();

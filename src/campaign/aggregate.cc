@@ -1,0 +1,216 @@
+#include "campaign/aggregate.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
+#include <unistd.h>
+
+#include "campaign/queue.hh"
+#include "common/json.hh"
+#include "harness/outcomestore.hh"
+
+namespace bouquet::campaign
+{
+
+namespace
+{
+
+constexpr std::uint64_t kReportSchemaVersion = 1;
+
+/** Write a JSON document atomically (tmp + rename). */
+Status
+publishJson(const std::string &path,
+            const std::function<void(JsonWriter &)> &body)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return makeError(Errc::io, "cannot create " + tmp, true);
+        JsonWriter json(os, JsonWriter::Style::Pretty);
+        body(json);
+        os << "\n";
+        os.flush();
+        if (!os)
+            return makeError(Errc::io, "short write to " + tmp, true);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io, "cannot publish " + path, true);
+    }
+    return Status();
+}
+
+const char *
+stateName(JobState state)
+{
+    switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Leased: return "leased";
+    case JobState::Orphaned: return "orphaned";
+    case JobState::Done: return "done";
+    case JobState::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+Status
+writeReport(const CampaignPaths &paths, const CampaignSpec &spec)
+{
+    const ExperimentConfig cfg = campaignConfig(paths, spec);
+    WorkQueue queue(QueueConfig::fromEnv(paths.queueDir()),
+                    "aggregate");
+    OutcomeStore store(paths.storeFile());
+
+    return publishJson(paths.reportFile(), [&](JsonWriter &json) {
+        json.beginObject();
+        json.key("schema_version");
+        json.value(kReportSchemaVersion);
+        json.key("sim_instrs");
+        json.value(spec.simInstrs);
+        json.key("warmup_instrs");
+        json.value(spec.warmupInstrs);
+        json.key("jobs");
+        json.beginArray();
+        for (const CampaignJob &job : spec.jobs) {
+            const std::string key = keyOf(job, cfg);
+            const std::string hash = keyHash(key);
+            json.beginObject();
+            json.key("trace");
+            json.value(job.trace);
+            json.key("combo");
+            json.value(job.combo);
+            json.key("key_hash");
+            json.value(hash);
+            Outcome out;
+            // Only simulated fields below: resumed/attempt/host
+            // counters would break chaos-vs-serial byte identity.
+            if (store.get(key, out)) {
+                json.key("status");
+                json.value("done");
+                json.key("ipc");
+                json.value(out.ipc);
+                json.key("instructions");
+                json.value(out.instructions);
+                json.key("cycles");
+                json.value(static_cast<std::uint64_t>(out.cycles));
+                json.key("l1d_demand_misses");
+                json.value(out.l1d.demandMisses());
+                json.key("l2_demand_misses");
+                json.value(out.l2.demandMisses());
+                json.key("llc_demand_misses");
+                json.value(out.llc.demandMisses());
+                json.key("dram_bytes");
+                json.value(out.dramBytes);
+            } else {
+                json.key("status");
+                json.value(queue.state(hash) == JobState::Quarantined
+                               ? "quarantined"
+                               : "incomplete");
+            }
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    });
+}
+
+Result<CampaignTotals>
+writeSummary(const CampaignPaths &paths, const CampaignSpec &spec)
+{
+    const ExperimentConfig cfg = campaignConfig(paths, spec);
+    WorkQueue queue(QueueConfig::fromEnv(paths.queueDir()),
+                    "aggregate");
+
+    CampaignTotals totals;
+    totals.jobs = spec.jobs.size();
+
+    Status status = publishJson(
+        paths.summaryFile(), [&](JsonWriter &json) {
+            json.beginObject();
+            json.key("jobs");
+            json.beginArray();
+            for (const CampaignJob &job : spec.jobs) {
+                const std::string hash =
+                    keyHash(keyOf(job, cfg));
+                const JobState state = queue.state(hash);
+                std::uint64_t attempts = 0;
+                std::uint64_t reclaims = 0;
+                std::uint64_t resumes = 0;
+                const std::vector<std::string> lines =
+                    queue.history(hash);
+                for (const std::string &line : lines) {
+                    if (line.rfind("attempt ", 0) == 0)
+                        ++attempts;
+                    else if (line.rfind("orphaned ", 0) == 0)
+                        ++reclaims;
+                    else if (line.rfind("resumed ", 0) == 0)
+                        ++resumes;
+                }
+                switch (state) {
+                case JobState::Done: ++totals.done; break;
+                case JobState::Quarantined:
+                    ++totals.quarantined;
+                    break;
+                default: ++totals.incomplete; break;
+                }
+                totals.attempts += attempts;
+                totals.reclaims += reclaims;
+                totals.resumed += resumes;
+
+                json.beginObject();
+                json.key("trace");
+                json.value(job.trace);
+                json.key("combo");
+                json.value(job.combo);
+                json.key("key_hash");
+                json.value(hash);
+                json.key("status");
+                json.value(stateName(state));
+                json.key("attempts");
+                json.value(attempts);
+                json.key("reclaims");
+                json.value(reclaims);
+                json.key("resumes");
+                json.value(resumes);
+                if (state == JobState::Quarantined) {
+                    json.key("history");
+                    json.beginArray();
+                    for (const std::string &line : lines)
+                        json.value(line);
+                    json.endArray();
+                }
+                json.endObject();
+            }
+            json.endArray();
+            json.key("totals");
+            json.beginObject();
+            json.key("jobs");
+            json.value(static_cast<std::uint64_t>(totals.jobs));
+            json.key("done");
+            json.value(static_cast<std::uint64_t>(totals.done));
+            json.key("quarantined");
+            json.value(
+                static_cast<std::uint64_t>(totals.quarantined));
+            json.key("incomplete");
+            json.value(
+                static_cast<std::uint64_t>(totals.incomplete));
+            json.key("attempts");
+            json.value(totals.attempts);
+            json.key("reclaims");
+            json.value(totals.reclaims);
+            json.key("resumes");
+            json.value(totals.resumed);
+            json.endObject();
+            json.endObject();
+        });
+    if (!status.ok())
+        return status.error();
+    return totals;
+}
+
+} // namespace bouquet::campaign

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Campaign aggregation: folds the shared OutcomeStore and the queue's
+ * terminal markers into two JSON artifacts.
+ *
+ *   report.json   deterministic: manifest order, simulated stats only
+ *                 (IPC, instruction/cycle counts, demand misses, DRAM
+ *                 traffic). Byte-identical no matter how many workers
+ *                 ran, died, or resumed from checkpoints.
+ *   summary.json  provenance: per-job attempts, reclaims, resumes and
+ *                 quarantine histories, plus fleet totals. Owner ids
+ *                 and counts vary run to run by design.
+ */
+
+#ifndef BOUQUET_CAMPAIGN_AGGREGATE_HH
+#define BOUQUET_CAMPAIGN_AGGREGATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "common/errors.hh"
+
+namespace bouquet::campaign
+{
+
+/** Fleet-level provenance totals extracted while summarizing. */
+struct CampaignTotals
+{
+    std::size_t jobs = 0;
+    std::size_t done = 0;
+    std::size_t quarantined = 0;
+    std::size_t incomplete = 0;    //!< neither done nor quarantined
+    std::uint64_t attempts = 0;    //!< started executions
+    std::uint64_t reclaims = 0;    //!< orphaned-lease takeovers
+    std::uint64_t resumed = 0;     //!< runs continued from checkpoint
+};
+
+/** Write report.json (deterministic aggregate). */
+Status writeReport(const CampaignPaths &paths,
+                   const CampaignSpec &spec);
+
+/** Write summary.json; returns the totals for progress/exit logic. */
+Result<CampaignTotals> writeSummary(const CampaignPaths &paths,
+                                    const CampaignSpec &spec);
+
+} // namespace bouquet::campaign
+
+#endif // BOUQUET_CAMPAIGN_AGGREGATE_HH

@@ -1,0 +1,191 @@
+#include "campaign/campaign.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/stateio.hh"
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "trace/suite.hh"
+
+namespace bouquet::campaign
+{
+
+namespace
+{
+
+constexpr const char *kManifestHeader = "ipcp-campaign-manifest v1";
+
+Status
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return Status();
+    return makeError(Errc::io, "cannot create directory " + path, true);
+}
+
+} // namespace
+
+CampaignSpec
+defaultSweep(std::size_t max_traces,
+             const std::vector<std::string> &combos)
+{
+    CampaignSpec spec;
+    const ExperimentConfig env = ExperimentConfig::fromEnv();
+    spec.simInstrs = env.simInstrs;
+    spec.warmupInstrs = env.warmupInstrs;
+
+    std::vector<std::string> combo_names = combos;
+    if (combo_names.empty()) {
+        combo_names.push_back("none");
+        for (const std::string &name : tableIIICombos())
+            combo_names.push_back(name);
+    }
+    const std::vector<TraceSpec> &traces = memIntensiveTraces();
+    const std::size_t count =
+        max_traces == 0 ? traces.size()
+                        : std::min(max_traces, traces.size());
+    for (const std::string &combo : combo_names)
+        for (std::size_t t = 0; t < count; ++t)
+            spec.jobs.push_back(CampaignJob{traces[t].name, combo});
+    return spec;
+}
+
+Status
+initCampaignDirs(const CampaignPaths &paths)
+{
+    for (const std::string &dir :
+         {paths.root, paths.queueDir(), paths.statsDir(),
+          paths.ckptDir()}) {
+        if (Status s = ensureDir(dir); !s.ok())
+            return s;
+    }
+    return Status();
+}
+
+Status
+writeManifest(const CampaignPaths &paths, const CampaignSpec &spec)
+{
+    if (Status s = initCampaignDirs(paths); !s.ok())
+        return s;
+    const std::string tmp = paths.manifestFile() + ".tmp." +
+                            std::to_string(::getpid());
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return makeError(Errc::io, "cannot create " + tmp, true);
+        os << kManifestHeader << "\n"
+           << "sim_instrs=" << spec.simInstrs << "\n"
+           << "warmup_instrs=" << spec.warmupInstrs << "\n";
+        for (const CampaignJob &job : spec.jobs)
+            os << "job " << job.trace << " " << job.combo << "\n";
+        os.flush();
+        if (!os)
+            return makeError(Errc::io, "short write to " + tmp, true);
+    }
+    if (std::rename(tmp.c_str(), paths.manifestFile().c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return makeError(Errc::io,
+                         "cannot publish " + paths.manifestFile(),
+                         true);
+    }
+    return Status();
+}
+
+Result<CampaignSpec>
+readManifest(const CampaignPaths &paths)
+{
+    std::ifstream is(paths.manifestFile());
+    if (!is)
+        return makeError(Errc::io,
+                         "no manifest at " + paths.manifestFile());
+    std::string line;
+    if (!std::getline(is, line) || line != kManifestHeader)
+        return makeError(Errc::corrupt,
+                         paths.manifestFile() +
+                             ": not a campaign manifest");
+    CampaignSpec spec;
+    bool have_sim = false;
+    bool have_warmup = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        if (line.rfind("sim_instrs=", 0) == 0) {
+            spec.simInstrs = std::stoull(line.substr(11));
+            have_sim = true;
+        } else if (line.rfind("warmup_instrs=", 0) == 0) {
+            spec.warmupInstrs = std::stoull(line.substr(14));
+            have_warmup = true;
+        } else if (line.rfind("job ", 0) == 0) {
+            std::string tag;
+            CampaignJob job;
+            fields >> tag >> job.trace >> job.combo;
+            if (job.trace.empty() || job.combo.empty())
+                return makeError(Errc::corrupt,
+                                 "bad manifest job line: " + line);
+            spec.jobs.push_back(std::move(job));
+        } else {
+            return makeError(Errc::corrupt,
+                             "bad manifest line: " + line);
+        }
+    }
+    if (!have_sim || !have_warmup || spec.jobs.empty())
+        return makeError(Errc::corrupt,
+                         paths.manifestFile() +
+                             ": incomplete manifest");
+    return spec;
+}
+
+ExperimentConfig
+campaignConfig(const CampaignPaths &paths, const CampaignSpec &spec)
+{
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.simInstrs = spec.simInstrs;
+    cfg.warmupInstrs = spec.warmupInstrs;
+    cfg.statsDir = paths.statsDir();
+    cfg.ckptDir = paths.ckptDir();
+    cfg.ckptPath.clear();
+    cfg.resumePath.clear();
+    cfg.statsJsonPath.clear();
+    if (cfg.ckptEvery == 0)
+        cfg.ckptEvery = 250'000;
+    return cfg;
+}
+
+std::string
+keyOf(const CampaignJob &job, const ExperimentConfig &cfg)
+{
+    // Mirrors jobKey() in harness/runner.cc; keep the two in sync.
+    return job.trace + "|" + job.combo + "|" +
+           std::to_string(cfg.simInstrs) + "|" +
+           std::to_string(cfg.warmupInstrs) + "|" +
+           systemFingerprint(cfg.system);
+}
+
+std::string
+keyHash(const std::string &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return hex;
+}
+
+Result<Job>
+materialize(const CampaignJob &job, const ExperimentConfig &cfg)
+{
+    const TraceSpec *spec = findTraceOrNull(job.trace);
+    if (spec == nullptr)
+        return makeError(Errc::unknown_name,
+                         "unknown trace '" + job.trace + "'");
+    const std::string combo = job.combo;
+    return Job{*spec, combo,
+               [combo](System &s) { applyCombo(s, combo); }, cfg};
+}
+
+} // namespace bouquet::campaign

@@ -1,0 +1,415 @@
+#include "campaign/queue.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/faultinject.hh"
+
+namespace bouquet::campaign
+{
+
+namespace
+{
+
+/** Seconds since the file's last mtime update; -1 if it is gone. */
+double
+fileAge(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1.0;
+    struct timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    return static_cast<double>(now.tv_sec - st.st_mtim.tv_sec) +
+           static_cast<double>(now.tv_nsec - st.st_mtim.tv_nsec) * 1e-9;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** O_EXCL create-and-fill; false when the path already exists. */
+bool
+createExclusive(const std::string &path, const std::string &content)
+{
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return true;
+}
+
+/** Parse "owner=<o> ... nonce=<n>" k=v lines out of a lease file. */
+bool
+readLease(const std::string &path, std::string &owner,
+          std::string &nonce)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("owner=", 0) == 0)
+            owner = line.substr(6);
+        else if (line.rfind("nonce=", 0) == 0)
+            nonce = line.substr(6);
+    }
+    return !nonce.empty();
+}
+
+/** History lines are single-line records; flatten embedded newlines. */
+std::string
+sanitize(std::string text)
+{
+    for (char &c : text) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return text;
+}
+
+} // namespace
+
+QueueConfig
+QueueConfig::fromEnv(std::string dir)
+{
+    QueueConfig cfg;
+    cfg.dir = std::move(dir);
+    if (const char *env = std::getenv("IPCP_LEASE_TTL");
+        env != nullptr && *env != '\0') {
+        const double ttl = std::strtod(env, nullptr);
+        if (ttl > 0.0)
+            cfg.leaseTtl = ttl;
+    }
+    if (const char *env = std::getenv("IPCP_QUARANTINE_AFTER");
+        env != nullptr && *env != '\0') {
+        const long after = std::strtol(env, nullptr, 10);
+        if (after > 0)
+            cfg.quarantineAfter = static_cast<unsigned>(after);
+    }
+    return cfg;
+}
+
+WorkQueue::WorkQueue(QueueConfig cfg, std::string owner)
+    : cfg_(std::move(cfg)), owner_(std::move(owner))
+{
+}
+
+std::string
+WorkQueue::leasePath(const std::string &hash) const
+{
+    return cfg_.dir + "/lease-" + hash;
+}
+
+std::string
+WorkQueue::attemptsPath(const std::string &hash) const
+{
+    return cfg_.dir + "/attempts-" + hash;
+}
+
+std::string
+WorkQueue::donePath(const std::string &hash) const
+{
+    return cfg_.dir + "/done-" + hash;
+}
+
+std::string
+WorkQueue::quarantinePath(const std::string &hash) const
+{
+    return cfg_.dir + "/quarantine-" + hash;
+}
+
+JobState
+WorkQueue::state(const std::string &hash) const
+{
+    if (fileExists(quarantinePath(hash)))
+        return JobState::Quarantined;
+    if (fileExists(donePath(hash)))
+        return JobState::Done;
+    const double age = fileAge(leasePath(hash));
+    if (age < 0.0)
+        return JobState::Pending;
+    return age <= cfg_.leaseTtl ? JobState::Leased
+                                : JobState::Orphaned;
+}
+
+bool
+WorkQueue::isTerminal(const std::string &hash) const
+{
+    return fileExists(donePath(hash)) ||
+           fileExists(quarantinePath(hash));
+}
+
+std::string
+WorkQueue::freshNonce() const
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const auto ticks = std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count();
+    return owner_ + "." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1)) + "." +
+           std::to_string(static_cast<std::uint64_t>(ticks));
+}
+
+void
+WorkQueue::appendHistory(const std::string &hash,
+                         const std::string &line) const
+{
+    const int fd = ::open(attemptsPath(hash).c_str(),
+                          O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0)
+        return;
+    const std::string record = line + "\n";
+    // One short O_APPEND write: atomic enough that concurrent
+    // appenders never interleave within a record.
+    (void)!::write(fd, record.data(), record.size());
+    ::close(fd);
+}
+
+Result<Claim>
+WorkQueue::tryClaim(const std::string &hash)
+{
+    if (auto fault = faultCheck(faults::kQueueClaim, hash))
+        return *fault;
+    if (isTerminal(hash))
+        return Claim{};
+    if (attemptCount(hash) >= cfg_.quarantineAfter) {
+        quarantine(hash, "attempt budget exhausted (" +
+                             std::to_string(cfg_.quarantineAfter) +
+                             " started attempts)");
+        return Claim{};
+    }
+
+    const std::string lease = leasePath(hash);
+    Claim claim;
+    claim.nonce = freshNonce();
+    const std::string content =
+        "owner=" + owner_ + "\npid=" + std::to_string(::getpid()) +
+        "\nnonce=" + claim.nonce + "\n";
+
+    if (createExclusive(lease, content)) {
+        claim.claimed = true;
+        return claim;
+    }
+
+    // The lease exists. Claimable only once its heartbeat expired.
+    std::string prior_owner;
+    std::string prior_nonce;
+    if (!readLease(lease, prior_owner, prior_nonce))
+        return Claim{};  // vanished or torn mid-create: next pass
+    const double age = fileAge(lease);
+    if (age < 0.0 || age <= cfg_.leaseTtl)
+        return Claim{};
+
+    if (auto fault = faultCheck(faults::kQueueReclaim, hash))
+        return *fault;
+
+    // Reclaim: rename to a reclaimer-unique corpse — exactly one
+    // racer's rename succeeds — then verify we renamed the lease we
+    // examined, not one recreated in the window since.
+    const std::string corpse =
+        cfg_.dir + "/rip-" + hash + "-" + claim.nonce;
+    if (::rename(lease.c_str(), corpse.c_str()) != 0)
+        return Claim{};  // lost the reclaim race
+    std::string corpse_owner;
+    std::string corpse_nonce;
+    if (!readLease(corpse, corpse_owner, corpse_nonce) ||
+        corpse_nonce != prior_nonce) {
+        ::rename(corpse.c_str(), lease.c_str());  // give it back
+        return Claim{};
+    }
+    ::unlink(corpse.c_str());
+    appendHistory(hash, "orphaned prior=" + prior_owner);
+
+    if (!createExclusive(lease, content))
+        return Claim{};  // a fresh claimant slipped in; it wins
+    claim.claimed = true;
+    claim.reclaimed = true;
+    claim.priorOwner = prior_owner;
+    return claim;
+}
+
+Status
+WorkQueue::heartbeat(const std::string &hash,
+                     const std::string &nonce) const
+{
+    if (auto fault = faultCheck(faults::kQueueHeartbeat, hash))
+        return *fault;
+    const std::string lease = leasePath(hash);
+    std::string owner;
+    std::string current;
+    if (!readLease(lease, owner, current) || current != nonce)
+        return makeError(Errc::lock_failed,
+                         "lease " + hash + " lost (reclaimed)");
+    if (::utimensat(AT_FDCWD, lease.c_str(), nullptr, 0) != 0)
+        return makeError(Errc::io,
+                         "cannot renew lease " + hash, true);
+    return Status();
+}
+
+void
+WorkQueue::recordAttempt(const std::string &hash, bool reclaimed,
+                         const std::string &prior_owner) const
+{
+    appendHistory(hash, reclaimed
+                            ? "attempt owner=" + owner_ +
+                                  " kind=reclaim prior=" + prior_owner
+                            : "attempt owner=" + owner_ +
+                                  " kind=claim");
+}
+
+void
+WorkQueue::recordFailure(const std::string &hash,
+                         const std::string &error) const
+{
+    appendHistory(hash,
+                  "fail owner=" + owner_ + " err=" + sanitize(error));
+}
+
+void
+WorkQueue::recordResume(const std::string &hash,
+                        std::uint64_t ckpt_cycle) const
+{
+    appendHistory(hash, "resumed owner=" + owner_ + " cycle=" +
+                            std::to_string(ckpt_cycle));
+}
+
+unsigned
+WorkQueue::attemptCount(const std::string &hash) const
+{
+    std::ifstream is(attemptsPath(hash));
+    if (!is)
+        return 0;
+    unsigned count = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("attempt ", 0) == 0)
+            ++count;
+    }
+    return count;
+}
+
+Status
+WorkQueue::publishDone(const std::string &hash, const std::string &key,
+                       const std::string &nonce) const
+{
+    std::string owner;
+    std::string current;
+    if (!readLease(leasePath(hash), owner, current) ||
+        current != nonce)
+        return makeError(Errc::lock_failed,
+                         "lease " + hash +
+                             " lost before publish (reclaimed)");
+    const std::string tmp = cfg_.dir + "/.tmp-done-" + hash + "." +
+                            std::to_string(::getpid());
+    if (!createExclusive(tmp,
+                         "key=" + key + "\nowner=" + owner_ + "\n")) {
+        ::unlink(tmp.c_str());
+        if (!createExclusive(tmp, "key=" + key + "\nowner=" + owner_ +
+                                      "\n"))
+            return makeError(Errc::io, "cannot stage " + tmp, true);
+    }
+    if (::rename(tmp.c_str(), donePath(hash).c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return makeError(Errc::io,
+                         "cannot publish done marker for " + hash,
+                         true);
+    }
+    ::unlink(leasePath(hash).c_str());
+    return Status();
+}
+
+void
+WorkQueue::quarantine(const std::string &hash,
+                      const std::string &reason) const
+{
+    appendHistory(hash, "quarantine reason=" + sanitize(reason));
+    // Atomic park: the whole history (this reason included) becomes
+    // the quarantine marker in one rename.
+    ::rename(attemptsPath(hash).c_str(),
+             quarantinePath(hash).c_str());
+}
+
+void
+WorkQueue::release(const std::string &hash,
+                   const std::string &nonce) const
+{
+    std::string owner;
+    std::string current;
+    if (readLease(leasePath(hash), owner, current) &&
+        current == nonce)
+        ::unlink(leasePath(hash).c_str());
+}
+
+QueueCounts
+WorkQueue::scan(const std::vector<std::string> &hashes) const
+{
+    QueueCounts counts;
+    for (const std::string &hash : hashes) {
+        switch (state(hash)) {
+        case JobState::Pending: ++counts.pending; break;
+        case JobState::Leased: ++counts.leased; break;
+        case JobState::Orphaned: ++counts.orphaned; break;
+        case JobState::Done:
+            ++counts.done;
+            // A crash between publishing done and dropping the lease
+            // leaves a stale lease beside the marker; reap it.
+            if (fileExists(leasePath(hash)))
+                ::unlink(leasePath(hash).c_str());
+            break;
+        case JobState::Quarantined: ++counts.quarantined; break;
+        }
+    }
+
+    // Reap reclaim corpses abandoned by a reclaimer that crashed
+    // between its rename and unlink; their jobs read as pending, so
+    // the corpse is pure litter once its lease would have expired.
+    if (DIR *dir = ::opendir(cfg_.dir.c_str()); dir != nullptr) {
+        while (const dirent *entry = ::readdir(dir)) {
+            const std::string name = entry->d_name;
+            if (name.rfind("rip-", 0) != 0)
+                continue;
+            const std::string path = cfg_.dir + "/" + name;
+            if (fileAge(path) > 2.0 * cfg_.leaseTtl)
+                ::unlink(path.c_str());
+        }
+        ::closedir(dir);
+    }
+    return counts;
+}
+
+std::vector<std::string>
+WorkQueue::history(const std::string &hash) const
+{
+    std::vector<std::string> lines;
+    std::ifstream is(quarantinePath(hash));
+    if (!is)
+        is.open(attemptsPath(hash));
+    std::string line;
+    while (is && std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+} // namespace bouquet::campaign

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The campaign supervisor: forks a fleet of `ipcp_sim --worker`
+ * processes over one campaign directory, streams live progress
+ * (done/running/orphaned/quarantined counts), respawns dead workers
+ * within a bounded budget, forwards SIGINT/SIGTERM as a graceful
+ * drain, and aggregates the final report when every job is terminal.
+ */
+
+#ifndef BOUQUET_CAMPAIGN_SUPERVISOR_HH
+#define BOUQUET_CAMPAIGN_SUPERVISOR_HH
+
+#include <string>
+
+namespace bouquet::campaign
+{
+
+/** Fleet shape and behaviour knobs. */
+struct SupervisorOptions
+{
+    unsigned workers = 4;     //!< worker processes to keep alive
+    unsigned respawnBudget = 8;  //!< replacement forks allowed in total
+    std::string workerBin;    //!< ipcp_sim path (required)
+    bool progress = true;     //!< stream counts to stderr
+    bool strict = false;      //!< quarantined jobs fail the exit code
+};
+
+/**
+ * Drive the campaign at `root` to completion. Returns the campaign
+ * exit code: 0 when every job is terminal and at least one is done
+ * (strict additionally requires zero quarantined jobs); 1 otherwise.
+ */
+int runSupervisor(const std::string &root,
+                  const SupervisorOptions &opts);
+
+} // namespace bouquet::campaign
+
+#endif // BOUQUET_CAMPAIGN_SUPERVISOR_HH

@@ -1,0 +1,243 @@
+#include "campaign/worker.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/campaign.hh"
+#include "campaign/queue.hh"
+#include "common/stateio.hh"
+#include "harness/outcomestore.hh"
+#include "harness/runner.hh"
+
+namespace bouquet::campaign
+{
+
+namespace
+{
+
+/**
+ * Renews a lease's heartbeat every TTL/3 while a simulation runs.
+ * Stops renewing (and lets the lease expire for reclaim) once the
+ * lease is lost — publishDone re-verifies ownership anyway.
+ */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(const WorkQueue &queue, std::string hash,
+                    std::string nonce)
+        : queue_(queue), hash_(std::move(hash)),
+          nonce_(std::move(nonce)), thread_([this] { loop(); })
+    {
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        const auto period = std::chrono::duration<double>(
+            queue_.config().leaseTtl / 3.0);
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+            lock.unlock();
+            if (Status s = queue_.heartbeat(hash_, nonce_); !s.ok()) {
+                std::cerr << "[worker " << queue_.owner()
+                          << "] heartbeat for " << hash_
+                          << " failed: " << s.error().message << "\n";
+                lock.lock();
+                break;
+            }
+            lock.lock();
+        }
+    }
+
+    const WorkQueue &queue_;
+    std::string hash_;
+    std::string nonce_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+struct WorkItem
+{
+    CampaignJob job;
+    std::string key;
+    std::string hash;
+};
+
+/** Execute (or short-circuit) one claimed job. */
+void
+processItem(WorkQueue &queue, OutcomeStore &store, Runner &runner,
+            const ExperimentConfig &cfg, const WorkItem &item,
+            const Claim &claim)
+{
+    // Result already durable (a prior owner's publish was lost)?
+    // Publish without burning an attempt.
+    Outcome cached;
+    if (store.get(item.key, cached)) {
+        if (Status s =
+                queue.publishDone(item.hash, item.key, claim.nonce);
+            !s.ok())
+            queue.release(item.hash, claim.nonce);
+        return;
+    }
+
+    Result<Job> job = materialize(item.job, cfg);
+    if (!job.ok()) {
+        // A job that cannot even be constructed never gets better:
+        // park it immediately with the reason.
+        queue.recordFailure(item.hash, job.error().message);
+        queue.quarantine(item.hash, job.error().message);
+        queue.release(item.hash, claim.nonce);
+        return;
+    }
+
+    queue.recordAttempt(item.hash, claim.reclaimed, claim.priorOwner);
+
+    std::vector<JobOutcome> outs;
+    {
+        HeartbeatThread heartbeat(queue, item.hash, claim.nonce);
+        const auto fetch = [&store](const Job &j, Outcome &out) {
+            return store.get(jobKey(j), out);
+        };
+        const auto persist = [&store](const Job &j,
+                                      const Outcome &out) {
+            if (Status s = store.put(jobKey(j), out); !s.ok())
+                throw ErrorException(s.error());
+        };
+        outs = runner.run({job.take()}, fetch, persist);
+    }
+
+    const JobOutcome &out = outs.at(0);
+    if (out.ok) {
+        if (out.resumed)
+            queue.recordResume(item.hash, out.ckptCycle);
+        // done implies the outcome is durable: re-check, retrying the
+        // persist directly if the store hook failed.
+        Outcome probe;
+        if (!store.get(item.key, probe)) {
+            if (Status s = store.put(item.key, out.outcome);
+                !s.ok()) {
+                queue.recordFailure(item.hash,
+                                    "outcome persist failed: " +
+                                        s.error().message);
+                queue.release(item.hash, claim.nonce);
+                return;
+            }
+        }
+        if (Status s =
+                queue.publishDone(item.hash, item.key, claim.nonce);
+            !s.ok()) {
+            // Reclaimed from us mid-run; the new owner will publish
+            // from the store. Nothing to release: the lease is theirs.
+            std::cerr << "[worker " << queue.owner() << "] "
+                      << item.hash << ": " << s.error().message
+                      << "\n";
+        }
+        return;
+    }
+
+    if (shutdownRequested()) {
+        // Drain: the runner skipped or truncated this attempt. Give
+        // the lease back without charging the job a failure.
+        queue.release(item.hash, claim.nonce);
+        return;
+    }
+    queue.recordFailure(item.hash, out.error);
+    if (queue.attemptCount(item.hash) >=
+        queue.config().quarantineAfter)
+        queue.quarantine(item.hash,
+                         "attempt budget exhausted (" +
+                             std::to_string(
+                                 queue.config().quarantineAfter) +
+                             " started attempts)");
+    queue.release(item.hash, claim.nonce);
+}
+
+} // namespace
+
+int
+runWorker(const std::string &root)
+{
+    const CampaignPaths paths(root);
+    Result<CampaignSpec> manifest = readManifest(paths);
+    if (!manifest.ok()) {
+        std::cerr << "[worker] " << manifest.error().message << "\n";
+        return 1;
+    }
+    const CampaignSpec spec = manifest.take();
+    // A hand-built campaign dir may carry only the manifest; the
+    // queue protocol needs its directories to exist to make progress.
+    if (Status s = initCampaignDirs(paths); !s.ok()) {
+        std::cerr << "[worker] " << s.error().message << "\n";
+        return 1;
+    }
+    const ExperimentConfig cfg = campaignConfig(paths, spec);
+    const std::string owner = "w" + std::to_string(::getpid());
+    WorkQueue queue(QueueConfig::fromEnv(paths.queueDir()), owner);
+    OutcomeStore store(paths.storeFile());
+    Runner runner(1);
+
+    std::vector<WorkItem> items;
+    std::vector<std::string> hashes;
+    items.reserve(spec.jobs.size());
+    for (const CampaignJob &job : spec.jobs) {
+        const std::string key = keyOf(job, cfg);
+        items.push_back(WorkItem{job, key, keyHash(key)});
+        hashes.push_back(items.back().hash);
+    }
+    const std::size_t n = items.size();
+    // Rotate each worker's claim order so a fleet starting together
+    // fans out across the queue instead of contending on job 0.
+    const std::size_t start = fnv1a(owner) % n;
+
+    while (!shutdownRequested()) {
+        if (queue.scan(hashes).terminal() >= n)
+            break;
+        bool claimed_any = false;
+        for (std::size_t i = 0; i < n && !shutdownRequested(); ++i) {
+            const WorkItem &item = items[(start + i) % n];
+            if (queue.isTerminal(item.hash))
+                continue;
+            Result<Claim> claim = queue.tryClaim(item.hash);
+            if (!claim.ok()) {
+                std::cerr << "[worker " << owner << "] claim "
+                          << item.hash << ": "
+                          << claim.error().message << "\n";
+                continue;
+            }
+            if (!claim.value().claimed)
+                continue;
+            claimed_any = true;
+            processItem(queue, store, runner, cfg, item, claim.value());
+        }
+        if (!claimed_any && !shutdownRequested()) {
+            // Everything left is leased to live owners (or racing):
+            // wait a fraction of the TTL for completions or expiry.
+            const double ttl = queue.config().leaseTtl;
+            const auto nap = std::chrono::duration<double>(
+                std::min(0.2, ttl / 4.0));
+            std::this_thread::sleep_for(nap);
+        }
+    }
+    return 0;
+}
+
+} // namespace bouquet::campaign

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The stateless campaign worker: `ipcp_sim --worker <dir>` calls
+ * runWorker(), which loops claiming jobs from the campaign's work
+ * queue, simulating them through the harness Runner (periodic
+ * checkpoints on, retries and watchdog per the usual IPCP_* knobs),
+ * persisting outcomes to the shared OutcomeStore and publishing done
+ * markers — until every job is terminal or a SIGINT/SIGTERM drain is
+ * requested. A reclaimed job auto-resumes the dead owner's key-derived
+ * checkpoint through the ordinary prepare-system path.
+ */
+
+#ifndef BOUQUET_CAMPAIGN_WORKER_HH
+#define BOUQUET_CAMPAIGN_WORKER_HH
+
+#include <string>
+
+namespace bouquet::campaign
+{
+
+/**
+ * Process jobs from the campaign at `root` until all are done or
+ * quarantined (returns 0), the worker is asked to drain (returns 0
+ * after finishing the in-flight job), or the campaign cannot be
+ * loaded (returns 1).
+ */
+int runWorker(const std::string &root);
+
+} // namespace bouquet::campaign
+
+#endif // BOUQUET_CAMPAIGN_WORKER_HH

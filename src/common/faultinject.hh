@@ -14,7 +14,8 @@
  *   action      := 'fail' | 'fatal' | 'sleep:' millis
  *
  *   point   one of: trace.read store.read store.write store.flock
- *                   job.body cache.fill
+ *                   job.body cache.fill ckpt.write ckpt.read
+ *                   queue.claim queue.heartbeat queue.reclaim
  *   match   substring filter on the point's context string (a job
  *           key, a file path, a cache name); only matching hits are
  *           counted and failed
@@ -66,6 +67,9 @@ inline constexpr const char *kJobBody = "job.body";
 inline constexpr const char *kCacheFill = "cache.fill";
 inline constexpr const char *kCkptWrite = "ckpt.write";
 inline constexpr const char *kCkptRead = "ckpt.read";
+inline constexpr const char *kQueueClaim = "queue.claim";
+inline constexpr const char *kQueueHeartbeat = "queue.heartbeat";
+inline constexpr const char *kQueueReclaim = "queue.reclaim";
 } // namespace faults
 
 /** One parsed IPCP_FAULTS clause plus its firing counters. */

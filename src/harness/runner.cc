@@ -224,6 +224,24 @@ withJobStatsPath(const ExperimentConfig &cfg, const std::string &key)
     return out;
 }
 
+/**
+ * Once a job's result is durably in the external cache, any
+ * key-derived checkpoint for it is stale — left by an interrupted
+ * earlier attempt (this process's or, under the campaign queue,
+ * another worker's). Remove it so a later identical submission
+ * doesn't resume a job that already finished. Only the derived path
+ * is touched: an explicit cfg.ckptPath is user-owned.
+ */
+void
+removeStaleDerivedCheckpoint(const ExperimentConfig &cfg,
+                             const std::string &key)
+{
+    if (cfg.ckptEvery == 0 || cfg.ckptDir.empty() ||
+        !cfg.ckptPath.empty())
+        return;
+    std::remove(checkpointPathFor(cfg, key).c_str());
+}
+
 double
 BatchStats::speedupOverSerial() const
 {
@@ -439,6 +457,7 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
             t.cached = true;
             t.instrs = results[i].outcome.instructions;
             ++last_.cached;
+            removeStaleDerivedCheckpoint(jobs[i].cfg, t.key);
             continue;
         }
         exec.push_back(i);
@@ -471,6 +490,11 @@ Runner::run(const std::vector<Job> &jobs, const FetchFn &fetch,
                 // computed result.
                 try {
                     store(job, results[i].outcome);
+                    // Belt and braces: runSingleCore removed its own
+                    // derived checkpoint, but a parallel attempt of
+                    // the same key (another campaign worker) may have
+                    // left one since.
+                    removeStaleDerivedCheckpoint(job.cfg, t.key);
                 } catch (const std::exception &e) {
                     store_failures.fetch_add(1);
                     std::lock_guard<std::mutex> lock(progressMutex);

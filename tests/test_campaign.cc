@@ -1,0 +1,641 @@
+/**
+ * @file
+ * Tests for the sharded campaign engine (src/campaign): manifest
+ * round-trips and key agreement with the runner, the filesystem
+ * work-queue protocol (exclusive claims, lease expiry and
+ * nonce-verified reclaim, attempt-budget quarantine, atomic publish,
+ * scan-time litter reaping, fault injection), the in-process worker
+ * loop end to end — a reclaimed job resuming a dead owner's periodic
+ * checkpoint and still producing a byte-identical report — and
+ * multi-process store/queue contention with real forked workers
+ * (exactly-once compute under >= 4 processes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/aggregate.hh"
+#include "campaign/campaign.hh"
+#include "campaign/queue.hh"
+#include "campaign/worker.hh"
+#include "common/faultinject.hh"
+#include "harness/experiment.hh"
+#include "harness/factory.hh"
+#include "harness/outcomestore.hh"
+#include "harness/runner.hh"
+#include "trace/suite.hh"
+
+namespace bouquet::campaign
+{
+namespace
+{
+
+/** Every test starts and ends with clean fault/shutdown state. */
+class CampaignTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FaultRegistry::instance().clear();
+        clearShutdownRequest();
+    }
+
+    void
+    TearDown() override
+    {
+        FaultRegistry::instance().clear();
+        clearShutdownRequest();
+    }
+};
+
+/** RAII temp directory for campaign/queue state. */
+struct TempDir
+{
+    TempDir()
+    {
+        char buf[] = "/tmp/bouquet_campaign_XXXXXX";
+        path = ::mkdtemp(buf);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+
+    std::string path;
+};
+
+/** Scoped environment override, restored on destruction. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        old_ = had_ ? old : "";
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+QueueConfig
+queueConfig(const std::string &dir)
+{
+    QueueConfig cfg;
+    cfg.dir = dir;
+    return cfg;
+}
+
+/** Age a file so its lease reads as expired. */
+void
+backdate(const std::string &path, double seconds)
+{
+    struct timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    struct timespec times[2];
+    times[0] = now;
+    times[0].tv_sec -= static_cast<time_t>(seconds);
+    times[1] = times[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+bool
+historyContains(const std::vector<std::string> &lines,
+                const std::string &needle)
+{
+    for (const std::string &line : lines) {
+        if (line.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** The three-cell test sweep: two real jobs plus one poison job. */
+CampaignSpec
+tinySpec(bool with_poison)
+{
+    CampaignSpec spec;
+    spec.simInstrs = 20'000;
+    spec.warmupInstrs = 4'000;
+    spec.jobs.push_back(CampaignJob{"603.bwaves_s-891B", "none"});
+    spec.jobs.push_back(CampaignJob{"603.bwaves_s-891B", "ipcp"});
+    if (with_poison)
+        spec.jobs.push_back(CampaignJob{"no.such_trace-0B", "ipcp"});
+    return spec;
+}
+
+Outcome
+fakeOutcome(double ipc)
+{
+    Outcome o;
+    o.ipc = ipc;
+    o.instructions = 1000;
+    o.cycles = 500;
+    o.dramBytes = 4096;
+    return o;
+}
+
+// ---- manifest + keys ----
+
+TEST_F(CampaignTest, ManifestRoundTrips)
+{
+    TempDir dir;
+    const CampaignPaths paths(dir.file("camp"));
+    ASSERT_TRUE(initCampaignDirs(paths).ok());
+    const CampaignSpec spec = tinySpec(true);
+    ASSERT_TRUE(writeManifest(paths, spec).ok());
+
+    Result<CampaignSpec> loaded = readManifest(paths);
+    ASSERT_TRUE(loaded.ok());
+    const CampaignSpec got = loaded.take();
+    EXPECT_EQ(got.simInstrs, spec.simInstrs);
+    EXPECT_EQ(got.warmupInstrs, spec.warmupInstrs);
+    ASSERT_EQ(got.jobs.size(), spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        EXPECT_EQ(got.jobs[i].trace, spec.jobs[i].trace);
+        EXPECT_EQ(got.jobs[i].combo, spec.jobs[i].combo);
+    }
+}
+
+TEST_F(CampaignTest, ManifestRejectsMissingAndGarbage)
+{
+    TempDir dir;
+    const CampaignPaths missing(dir.file("nowhere"));
+    EXPECT_FALSE(readManifest(missing).ok());
+
+    const CampaignPaths paths(dir.file("camp"));
+    ASSERT_TRUE(initCampaignDirs(paths).ok());
+    {
+        std::ofstream f(paths.manifestFile());
+        f << "not-a-manifest v9\n";
+    }
+    EXPECT_FALSE(readManifest(paths).ok());
+}
+
+TEST_F(CampaignTest, KeyOfMatchesRunnerJobKey)
+{
+    TempDir dir;
+    const CampaignPaths paths(dir.file("camp"));
+    const CampaignSpec spec = tinySpec(false);
+    const ExperimentConfig cfg = campaignConfig(paths, spec);
+
+    for (const CampaignJob &cell : spec.jobs) {
+        Result<Job> job = materialize(cell, cfg);
+        ASSERT_TRUE(job.ok());
+        EXPECT_EQ(keyOf(cell, cfg), jobKey(job.value()));
+    }
+
+    Result<Job> poison =
+        materialize(CampaignJob{"no.such_trace-0B", "ipcp"}, cfg);
+    ASSERT_FALSE(poison.ok());
+    EXPECT_EQ(poison.error().code, Errc::unknown_name);
+    // Poison jobs still get a key (and so queue artifacts).
+    EXPECT_EQ(
+        keyHash(keyOf(CampaignJob{"no.such_trace-0B", "ipcp"}, cfg))
+            .size(),
+        16u);
+}
+
+// ---- queue protocol ----
+
+TEST_F(CampaignTest, ClaimIsExclusiveUntilReleased)
+{
+    TempDir dir;
+    WorkQueue alpha(queueConfig(dir.path), "alpha");
+    WorkQueue beta(queueConfig(dir.path), "beta");
+    const std::string hash = "00000000deadbeef";
+
+    Result<Claim> first = alpha.tryClaim(hash);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first.value().claimed);
+    EXPECT_FALSE(first.value().reclaimed);
+    EXPECT_EQ(alpha.state(hash), JobState::Leased);
+
+    // A live lease is not claimable or reclaimable by anyone else.
+    Result<Claim> second = beta.tryClaim(hash);
+    ASSERT_TRUE(second.ok());
+    EXPECT_FALSE(second.value().claimed);
+
+    // Release with the wrong nonce is a no-op; with the right one the
+    // job returns to pending and is claimable again.
+    alpha.release(hash, "not-the-nonce");
+    EXPECT_EQ(alpha.state(hash), JobState::Leased);
+    alpha.release(hash, first.value().nonce);
+    EXPECT_EQ(alpha.state(hash), JobState::Pending);
+    Result<Claim> third = beta.tryClaim(hash);
+    ASSERT_TRUE(third.ok());
+    EXPECT_TRUE(third.value().claimed);
+    EXPECT_FALSE(third.value().reclaimed);
+}
+
+TEST_F(CampaignTest, ExpiredLeaseIsReclaimedAndOldOwnerFencedOut)
+{
+    TempDir dir;
+    WorkQueue alpha(queueConfig(dir.path), "alpha");
+    WorkQueue beta(queueConfig(dir.path), "beta");
+    const std::string hash = "00000000deadbeef";
+
+    Result<Claim> dead = alpha.tryClaim(hash);
+    ASSERT_TRUE(dead.ok());
+    ASSERT_TRUE(dead.value().claimed);
+    ASSERT_TRUE(alpha.heartbeat(hash, dead.value().nonce).ok());
+
+    backdate(alpha.leasePath(hash), 120.0);
+    EXPECT_EQ(alpha.state(hash), JobState::Orphaned);
+
+    Result<Claim> takeover = beta.tryClaim(hash);
+    ASSERT_TRUE(takeover.ok());
+    ASSERT_TRUE(takeover.value().claimed);
+    EXPECT_TRUE(takeover.value().reclaimed);
+    EXPECT_EQ(takeover.value().priorOwner, "alpha");
+    EXPECT_TRUE(
+        historyContains(beta.history(hash), "orphaned prior=alpha"));
+
+    // The reclaimed-from owner can neither renew nor publish.
+    EXPECT_FALSE(alpha.heartbeat(hash, dead.value().nonce).ok());
+    EXPECT_FALSE(
+        alpha.publishDone(hash, "some|key", dead.value().nonce).ok());
+    EXPECT_EQ(alpha.state(hash), JobState::Leased);
+
+    // The new owner publishes; the job is terminal and unclaimable.
+    ASSERT_TRUE(
+        beta.publishDone(hash, "some|key", takeover.value().nonce)
+            .ok());
+    EXPECT_EQ(beta.state(hash), JobState::Done);
+    EXPECT_TRUE(beta.isTerminal(hash));
+    EXPECT_FALSE(std::filesystem::exists(beta.leasePath(hash)));
+    Result<Claim> late = alpha.tryClaim(hash);
+    ASSERT_TRUE(late.ok());
+    EXPECT_FALSE(late.value().claimed);
+}
+
+TEST_F(CampaignTest, AttemptBudgetQuarantinesWithFullHistory)
+{
+    TempDir dir;
+    QueueConfig cfg = queueConfig(dir.path);
+    cfg.quarantineAfter = 2;
+    WorkQueue queue(cfg, "alpha");
+    const std::string hash = "00000000deadbeef";
+
+    for (unsigned round = 0; round < 2; ++round) {
+        Result<Claim> claim = queue.tryClaim(hash);
+        ASSERT_TRUE(claim.ok());
+        ASSERT_TRUE(claim.value().claimed);
+        queue.recordAttempt(hash, false, "");
+        queue.recordFailure(hash, "simulated crash #" +
+                                      std::to_string(round));
+        queue.release(hash, claim.value().nonce);
+    }
+    EXPECT_EQ(queue.attemptCount(hash), 2u);
+
+    // The third claim trips the budget: parked, not leased.
+    Result<Claim> third = queue.tryClaim(hash);
+    ASSERT_TRUE(third.ok());
+    EXPECT_FALSE(third.value().claimed);
+    EXPECT_EQ(queue.state(hash), JobState::Quarantined);
+    EXPECT_FALSE(std::filesystem::exists(queue.attemptsPath(hash)));
+
+    const std::vector<std::string> lines = queue.history(hash);
+    EXPECT_TRUE(historyContains(lines, "attempt owner=alpha"));
+    EXPECT_TRUE(historyContains(lines, "simulated crash #0"));
+    EXPECT_TRUE(historyContains(lines, "simulated crash #1"));
+    EXPECT_TRUE(historyContains(lines, "quarantine reason="));
+}
+
+TEST_F(CampaignTest, ScanCountsAndReapsLitter)
+{
+    TempDir dir;
+    WorkQueue queue(queueConfig(dir.path), "alpha");
+    const std::vector<std::string> hashes = {"aaaa", "bbbb", "cccc"};
+
+    Result<Claim> claim = queue.tryClaim("aaaa");
+    ASSERT_TRUE(claim.ok() && claim.value().claimed);
+    ASSERT_TRUE(
+        queue.publishDone("aaaa", "k", claim.value().nonce).ok());
+    Result<Claim> live = queue.tryClaim("bbbb");
+    ASSERT_TRUE(live.ok() && live.value().claimed);
+
+    // A crash between publish and lease-drop leaves a stale lease
+    // beside the done marker; scan reaps it.
+    {
+        std::ofstream f(queue.leasePath("aaaa"));
+        f << "owner=ghost\nnonce=g\n";
+    }
+    const QueueCounts counts = queue.scan(hashes);
+    EXPECT_EQ(counts.done, 1u);
+    EXPECT_EQ(counts.leased, 1u);
+    EXPECT_EQ(counts.pending, 1u);
+    EXPECT_EQ(counts.terminal(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(queue.leasePath("aaaa")));
+}
+
+TEST_F(CampaignTest, QueueFaultPointsSurfaceAsErrors)
+{
+    TempDir dir;
+    WorkQueue queue(queueConfig(dir.path), "alpha");
+    const std::string hash = "00000000deadbeef";
+
+    ASSERT_TRUE(
+        FaultRegistry::instance().configure("queue.claim@1").ok());
+    Result<Claim> claim = queue.tryClaim(hash);
+    EXPECT_FALSE(claim.ok());
+    FaultRegistry::instance().clear();
+
+    // Reclaim fault: a claim of an expired lease errors instead of
+    // stealing it, leaving the lease untouched for the next pass.
+    Result<Claim> held = queue.tryClaim(hash);
+    ASSERT_TRUE(held.ok() && held.value().claimed);
+    backdate(queue.leasePath(hash), 120.0);
+    ASSERT_TRUE(
+        FaultRegistry::instance().configure("queue.reclaim@1").ok());
+    Result<Claim> reclaim = queue.tryClaim(hash);
+    EXPECT_FALSE(reclaim.ok());
+    EXPECT_TRUE(std::filesystem::exists(queue.leasePath(hash)));
+    FaultRegistry::instance().clear();
+
+    ASSERT_TRUE(FaultRegistry::instance()
+                    .configure("queue.heartbeat@1")
+                    .ok());
+    EXPECT_FALSE(queue.heartbeat(hash, held.value().nonce).ok());
+}
+
+// ---- worker end to end ----
+
+TEST_F(CampaignTest, WorkerDrivesCampaignAndQuarantinesPoisonJob)
+{
+    EnvGuard ttl("IPCP_LEASE_TTL", nullptr);
+    EnvGuard budget("IPCP_QUARANTINE_AFTER", nullptr);
+    TempDir dir;
+    const CampaignPaths paths(dir.file("camp"));
+    ASSERT_TRUE(initCampaignDirs(paths).ok());
+    const CampaignSpec spec = tinySpec(true);
+    ASSERT_TRUE(writeManifest(paths, spec).ok());
+
+    EXPECT_EQ(runWorker(paths.root), 0);
+
+    const ExperimentConfig cfg = campaignConfig(paths, spec);
+    WorkQueue queue(queueConfig(paths.queueDir()), "test");
+    std::vector<std::string> hashes;
+    for (const CampaignJob &job : spec.jobs)
+        hashes.push_back(keyHash(keyOf(job, cfg)));
+    const QueueCounts counts = queue.scan(hashes);
+    EXPECT_EQ(counts.done, 2u);
+    EXPECT_EQ(counts.quarantined, 1u);
+    EXPECT_TRUE(historyContains(queue.history(hashes.back()),
+                                "unknown trace 'no.such_trace-0B'"));
+
+    // Every done job's outcome is durable in the shared store, and
+    // its stats artifact exists under the campaign's stats dir.
+    OutcomeStore store(paths.storeFile());
+    for (std::size_t i = 0; i + 1 < spec.jobs.size(); ++i) {
+        Outcome out;
+        EXPECT_TRUE(store.get(keyOf(spec.jobs[i], cfg), out));
+        EXPECT_TRUE(std::filesystem::exists(
+            paths.statsDir() + "/stats-" + hashes[i] + ".json"));
+    }
+
+    ASSERT_TRUE(writeReport(paths, spec).ok());
+    Result<CampaignTotals> totals = writeSummary(paths, spec);
+    ASSERT_TRUE(totals.ok());
+    EXPECT_EQ(totals.value().jobs, 3u);
+    EXPECT_EQ(totals.value().done, 2u);
+    EXPECT_EQ(totals.value().quarantined, 1u);
+    EXPECT_EQ(totals.value().incomplete, 0u);
+    EXPECT_GE(totals.value().attempts, 2u);
+
+    const std::string report = readAll(paths.reportFile());
+    EXPECT_NE(report.find("\"quarantined\""), std::string::npos);
+    EXPECT_NE(report.find("no.such_trace-0B"), std::string::npos);
+}
+
+TEST_F(CampaignTest, ReclaimResumesDeadOwnersCheckpointDeterministically)
+{
+    EnvGuard ttl("IPCP_LEASE_TTL", nullptr);
+    EnvGuard budget("IPCP_QUARANTINE_AFTER", nullptr);
+    // Force frequent periodic checkpoints so the planted "crashed
+    // owner" run leaves a mid-run checkpoint behind.
+    EnvGuard every("IPCP_CKPT_EVERY", "2000");
+    TempDir dir;
+
+    CampaignSpec spec;
+    spec.simInstrs = 20'000;
+    spec.warmupInstrs = 4'000;
+    spec.jobs.push_back(CampaignJob{"603.bwaves_s-891B", "ipcp"});
+
+    // Campaign A: a dead owner left an expired lease, a started
+    // attempt, and a periodic checkpoint for the only job.
+    const CampaignPaths pathsA(dir.file("campA"));
+    ASSERT_TRUE(initCampaignDirs(pathsA).ok());
+    ASSERT_TRUE(writeManifest(pathsA, spec).ok());
+    const ExperimentConfig cfgA = campaignConfig(pathsA, spec);
+    const std::string key = keyOf(spec.jobs[0], cfgA);
+    const std::string hash = keyHash(key);
+    {
+        ExperimentConfig save = cfgA;
+        save.ckptPath = checkpointPathFor(cfgA, key);
+        runSingleCore(findTrace(spec.jobs[0].trace),
+                      [](System &s) { applyCombo(s, "ipcp"); }, save);
+        ASSERT_TRUE(
+            std::filesystem::exists(checkpointPathFor(cfgA, key)));
+    }
+    WorkQueue dead(queueConfig(pathsA.queueDir()), "deadworker");
+    Result<Claim> stale = dead.tryClaim(hash);
+    ASSERT_TRUE(stale.ok() && stale.value().claimed);
+    dead.recordAttempt(hash, false, "");
+    backdate(dead.leasePath(hash), 120.0);
+
+    EXPECT_EQ(runWorker(pathsA.root), 0);
+    EXPECT_EQ(dead.state(hash), JobState::Done);
+    const std::vector<std::string> lines = dead.history(hash);
+    EXPECT_TRUE(historyContains(lines, "orphaned prior=deadworker"));
+    EXPECT_TRUE(
+        historyContains(lines, "kind=reclaim prior=deadworker"));
+    EXPECT_TRUE(historyContains(lines, "resumed owner="));
+    // The resumed job's success removed the stale checkpoint.
+    EXPECT_FALSE(
+        std::filesystem::exists(checkpointPathFor(cfgA, key)));
+    ASSERT_TRUE(writeReport(pathsA, spec).ok());
+    Result<CampaignTotals> totalsA = writeSummary(pathsA, spec);
+    ASSERT_TRUE(totalsA.ok());
+    EXPECT_GE(totalsA.value().reclaims, 1u);
+    EXPECT_GE(totalsA.value().resumed, 1u);
+
+    // Campaign B: the same manifest run cleanly. The deterministic
+    // report must not betray how A's result was produced.
+    const CampaignPaths pathsB(dir.file("campB"));
+    ASSERT_TRUE(initCampaignDirs(pathsB).ok());
+    ASSERT_TRUE(writeManifest(pathsB, spec).ok());
+    EXPECT_EQ(runWorker(pathsB.root), 0);
+    ASSERT_TRUE(writeReport(pathsB, spec).ok());
+
+    EXPECT_EQ(readAll(pathsA.reportFile()),
+              readAll(pathsB.reportFile()));
+}
+
+// ---- multi-process contention (real forked workers) ----
+
+/**
+ * One forked worker: claim jobs through the queue, compute-and-put
+ * into the shared store exactly when the key is absent, log each
+ * compute through an O_APPEND write, publish done. Exits 0 once every
+ * job is terminal; nonzero on any protocol violation.
+ */
+int
+contentionChild(const std::string &queue_dir,
+                const std::string &store_path,
+                const std::string &log_path,
+                const std::vector<std::string> &keys,
+                const std::vector<std::string> &hashes)
+{
+    WorkQueue queue(queueConfig(queue_dir),
+                    "c" + std::to_string(::getpid()));
+    OutcomeStore store(store_path);
+    for (unsigned pass = 0; pass < 200'000; ++pass) {
+        std::size_t terminal = 0;
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (queue.isTerminal(hashes[i])) {
+                ++terminal;
+                continue;
+            }
+            Result<Claim> claim = queue.tryClaim(hashes[i]);
+            if (!claim.ok())
+                return 3;
+            if (!claim.value().claimed)
+                continue;
+            Outcome out;
+            if (!store.get(keys[i], out)) {
+                const std::string line = "compute " + keys[i] + "\n";
+                const int fd =
+                    ::open(log_path.c_str(),
+                           O_CREAT | O_WRONLY | O_APPEND, 0644);
+                if (fd < 0)
+                    return 4;
+                (void)!::write(fd, line.data(), line.size());
+                ::close(fd);
+                if (!store
+                         .put(keys[i],
+                              fakeOutcome(static_cast<double>(i + 1)))
+                         .ok()) {
+                    queue.release(hashes[i], claim.value().nonce);
+                    return 5;
+                }
+            }
+            if (!queue
+                     .publishDone(hashes[i], keys[i],
+                                  claim.value().nonce)
+                     .ok())
+                queue.release(hashes[i], claim.value().nonce);
+        }
+        if (terminal == keys.size())
+            return 0;
+    }
+    return 2;  // livelock
+}
+
+TEST_F(CampaignTest, FourProcessesComputeEachKeyExactlyOnce)
+{
+    TempDir dir;
+    const std::string queue_dir = dir.file("queue");
+    ASSERT_EQ(::mkdir(queue_dir.c_str(), 0777), 0);
+    const std::string store_path = dir.file("outcomes.bin");
+    const std::string log_path = dir.file("computes.log");
+
+    std::vector<std::string> keys;
+    std::vector<std::string> hashes;
+    for (int i = 0; i < 8; ++i) {
+        keys.push_back("trace-" + std::to_string(i) + "|ipcp|contend");
+        hashes.push_back(keyHash(keys.back()));
+    }
+
+    constexpr int kWorkers = 4;
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWorkers; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: plain worker process, no gtest machinery.
+            ::_exit(contentionChild(queue_dir, store_path, log_path,
+                                    keys, hashes));
+        }
+        children.push_back(pid);
+    }
+    for (const pid_t pid : children) {
+        int wstatus = 0;
+        ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+        ASSERT_TRUE(WIFEXITED(wstatus));
+        EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+    }
+
+    // Exactly one compute line per key, in any order.
+    std::vector<unsigned> computes(keys.size(), 0);
+    {
+        std::ifstream log(log_path);
+        std::string line;
+        while (std::getline(log, line)) {
+            bool matched = false;
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                if (line == "compute " + keys[i]) {
+                    ++computes[i];
+                    matched = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(matched) << "torn log line: " << line;
+        }
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(computes[i], 1u) << keys[i];
+
+    // The merged store holds every key, uncorrupted, with the
+    // deterministic per-key value.
+    OutcomeStore store(store_path);
+    EXPECT_EQ(store.corruptRecords(), 0u);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        Outcome out;
+        ASSERT_TRUE(store.get(keys[i], out)) << keys[i];
+        EXPECT_DOUBLE_EQ(out.ipc, static_cast<double>(i + 1));
+    }
+    WorkQueue queue(queueConfig(queue_dir), "parent");
+    EXPECT_EQ(queue.scan(hashes).done, keys.size());
+}
+
+} // namespace
+} // namespace bouquet::campaign

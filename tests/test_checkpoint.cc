@@ -515,6 +515,39 @@ TEST_F(CheckpointTest, DerivedCheckpointResumesAndCleansUp)
     EXPECT_FALSE(std::filesystem::exists(derived));
 }
 
+TEST_F(CheckpointTest, CacheHitRemovesStaleDerivedCheckpoint)
+{
+    // A crashed attempt leaves a derived checkpoint behind; when the
+    // job's result then arrives from the external cache (another
+    // worker finished it), the runner must clean up the leftover —
+    // the job will never run here again, so nothing else would.
+    TempDir dir;
+    ExperimentConfig cfg = tinyConfig();
+    cfg.ckptDir = dir.path;
+    cfg.ckptEvery = 2'000;
+    const Job job{testTrace(), "ipcp", comboAttach("ipcp"), cfg};
+    const std::string derived =
+        checkpointPathFor(cfg, jobKey(job));
+    {
+        std::ofstream f(derived, std::ios::binary);
+        f << "stale checkpoint from a crashed attempt";
+    }
+    ASSERT_TRUE(std::filesystem::exists(derived));
+
+    Runner runner(1);
+    const Runner::FetchFn fetch = [](const Job &, Outcome &out) {
+        out = Outcome{};
+        out.ipc = 1.0;
+        return true;
+    };
+    const std::vector<JobOutcome> outs = runner.run({job}, fetch);
+
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].ok);
+    EXPECT_EQ(runner.lastBatch().cached, 1u);
+    EXPECT_FALSE(std::filesystem::exists(derived));
+}
+
 TEST_F(CheckpointTest, UnreadableDerivedCheckpointFallsBackToFresh)
 {
     TempDir dir;

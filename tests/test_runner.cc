@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <thread>
@@ -227,6 +228,30 @@ TEST_F(OutcomeStoreTest, RoundTripsThroughDisk)
     EXPECT_DOUBLE_EQ(out.ipc, 1.5);
     ASSERT_TRUE(reloaded.get("b|ipcp|1", out));
     EXPECT_DOUBLE_EQ(out.ipc, 2.5);
+}
+
+TEST_F(OutcomeStoreTest, ZeroByteFileHealsToMiss)
+{
+    // A writer that crashed between creating the cache file and its
+    // first atomic publish leaves zero bytes: a miss, not corruption.
+    {
+        std::ofstream f(path_, std::ios::binary);
+    }
+    ASSERT_TRUE(std::filesystem::exists(path_));
+
+    OutcomeStore store(path_);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.corruptRecords(), 0u);
+    // The empty husk is evicted so the entry is recomputed cleanly.
+    EXPECT_FALSE(std::filesystem::exists(path_));
+
+    Outcome out;
+    EXPECT_FALSE(store.get("a|none|1", out));
+    EXPECT_TRUE(store.put("a|none|1", fakeOutcome(1.25)).ok());
+    OutcomeStore reloaded(path_);
+    ASSERT_TRUE(reloaded.get("a|none|1", out));
+    EXPECT_DOUBLE_EQ(out.ipc, 1.25);
+    EXPECT_EQ(reloaded.corruptRecords(), 0u);
 }
 
 TEST_F(OutcomeStoreTest, GarbageFileIsDetectedAndRegenerated)

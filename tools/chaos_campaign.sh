@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos test for the sharded campaign engine (DESIGN.md §5g).
+#
+# Runs the same >=64-job sweep (plus one poison job) twice:
+#
+#   serial   1 worker, undisturbed — the reference report
+#   chaos    4 workers, two of them SIGKILLed mid-run with a short
+#            lease TTL and frequent checkpoints, so survivors must
+#            reclaim the orphaned leases and resume the dead owners'
+#            periodic checkpoints
+#
+# and then asserts the crash-tolerance contract:
+#
+#   * the chaos supervisor exits 0 (every job done or quarantined)
+#   * report.json is byte-identical to the serial reference
+#   * summary.json records at least one checkpoint resume
+#   * exactly one job (the poison one) is quarantined, with history
+#   * the queue holds no leases, staging files or reclaim corpses
+#   * one stats artifact per done job — no duplicates, no strays
+#
+# Whether a SIGKILL lands mid-job is timing-dependent, so the chaos
+# run is retried (fresh directory) up to 3 times until a resume is
+# observed; every attempt must still match the reference byte for
+# byte.
+#
+# Env: BUILD_DIR (default build), TRACES, COMBOS, IPCP_SIM_INSTRS,
+# IPCP_WARMUP_INSTRS override the sweep shape.
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+CAMPAIGN_BIN=${CAMPAIGN_BIN:-$BUILD_DIR/tools/ipcp_campaign}
+WORK_DIR=$(mktemp -d /tmp/ipcp_chaos_XXXXXX)
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+# Short jobs: the sweep's point is fleet behaviour, not fidelity.
+export IPCP_SIM_INSTRS=${IPCP_SIM_INSTRS:-50000}
+export IPCP_WARMUP_INSTRS=${IPCP_WARMUP_INSTRS:-10000}
+TRACES=${TRACES:-32}
+COMBOS=${COMBOS:-none,ipcp}
+
+# Log to stderr: chaos_attempt's stdout is captured for the resume
+# count.
+say() { echo "[chaos] $*" >&2; }
+die() { say "FAIL: $*"; exit 1; }
+
+[ -x "$CAMPAIGN_BIN" ] || die "missing $CAMPAIGN_BIN (build ipcp_campaign first)"
+
+# ---- serial reference ----
+SERIAL=$WORK_DIR/serial
+"$CAMPAIGN_BIN" submit "$SERIAL" --traces "$TRACES" --combos "$COMBOS"
+echo "job no.such_trace-0B ipcp" >> "$SERIAL/manifest.txt"
+JOBS=$(grep -c '^job ' "$SERIAL/manifest.txt")
+[ "$JOBS" -ge 64 ] || die "need >=64 jobs, manifest has $JOBS"
+
+say "serial reference: $JOBS jobs, 1 worker, undisturbed"
+"$CAMPAIGN_BIN" run "$SERIAL" --workers 1 --no-progress \
+    || die "serial reference run failed"
+[ -s "$SERIAL/report.json" ] || die "serial run wrote no report"
+
+# ---- one chaos attempt: 4 workers, SIGKILL two mid-run ----
+chaos_attempt() {
+    local dir=$1
+    mkdir -p "$dir"
+    cp "$SERIAL/manifest.txt" "$dir/manifest.txt"
+    env IPCP_LEASE_TTL=2 IPCP_CKPT_EVERY=5000 \
+        "$CAMPAIGN_BIN" run "$dir" --workers 4 --respawn 16 \
+        --no-progress &
+    local supervisor=$!
+    local killed=0
+    for delay in 1 2; do
+        sleep "$delay"
+        local victim
+        victim=$(pgrep -f "ipcp_sim --worker $dir" | head -n 1 || true)
+        if [ -n "$victim" ]; then
+            say "SIGKILL worker pid $victim"
+            kill -9 "$victim" 2>/dev/null && killed=$((killed + 1))
+        fi
+    done
+    say "killed $killed worker(s) mid-run"
+    wait "$supervisor" || die "chaos supervisor exited nonzero"
+
+    cmp "$SERIAL/report.json" "$dir/report.json" \
+        || die "chaos report.json differs from the serial reference"
+
+    python3 - "$dir/summary.json" "$JOBS" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+jobs = int(sys.argv[2])
+t = doc["totals"]
+assert t["jobs"] == jobs, (t["jobs"], jobs)
+assert t["incomplete"] == 0, t
+assert t["done"] == jobs - 1, t
+assert t["quarantined"] == 1, t
+quarantined = [j for j in doc["jobs"] if j["status"] == "quarantined"]
+assert len(quarantined) == 1 and quarantined[0]["trace"] == "no.such_trace-0B"
+assert any("unknown trace" in line for line in quarantined[0]["history"])
+EOF
+
+    # Queue hygiene: terminal markers for every job, zero litter.
+    local terminal
+    terminal=$(find "$dir/queue" \( -name 'done-*' -o -name 'quarantine-*' \) | wc -l)
+    [ "$terminal" -eq "$JOBS" ] || die "expected $JOBS terminal markers, found $terminal"
+    # (attempts-* files are kept on purpose: summary provenance.)
+    local litter
+    litter=$(find "$dir/queue" \( -name 'lease-*' -o -name '.tmp-*' -o -name 'rip-*' \) | wc -l)
+    [ "$litter" -eq 0 ] || die "queue litter left behind: $(ls "$dir/queue")"
+
+    # One stats artifact per done job; names are key hashes, so any
+    # duplicate or stray shows up as a count mismatch.
+    local stats done_count
+    stats=$(find "$dir/stats" -name 'stats-*.json' | wc -l)
+    done_count=$((JOBS - 1))
+    [ "$stats" -eq "$done_count" ] \
+        || die "expected $done_count stats artifacts, found $stats"
+
+    python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["totals"]["resumes"])' "$dir/summary.json"
+}
+
+# ---- retry until a SIGKILL provably interrupted a checkpointed job ----
+for attempt in 1 2 3; do
+    say "chaos attempt $attempt: 4 workers, TTL=2s, ckpt every 5k cycles"
+    RESUMES=$(chaos_attempt "$WORK_DIR/chaos$attempt" | tail -n 1)
+    say "attempt $attempt: resumes=$RESUMES (report byte-identical)"
+    if [ "$RESUMES" -ge 1 ]; then
+        say "PASS: kill-and-recover verified (resumes=$RESUMES)"
+        exit 0
+    fi
+done
+die "no checkpoint resume observed in 3 chaos attempts"

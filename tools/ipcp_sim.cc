@@ -24,6 +24,7 @@
 #include <iostream>
 #include <string>
 
+#include "campaign/worker.hh"
 #include "common/perfcount.hh"
 #include "common/stats.hh"
 #include "harness/experiment.hh"
@@ -76,6 +77,11 @@ usage()
         "                       bounded ring (IPCP_TRACE_CAP, default\n"
         "                       65536) and write Chrome trace_event\n"
         "                       JSON to F (viewable in Perfetto)\n"
+        "  --worker DIR         run as a stateless campaign worker:\n"
+        "                       claim jobs from DIR's work queue until\n"
+        "                       all are done or quarantined (see\n"
+        "                       ipcp_campaign; IPCP_LEASE_TTL,\n"
+        "                       IPCP_QUARANTINE_AFTER)\n"
         "  --strict             exit nonzero if any job fails (default:\n"
         "                       only when all fail; also IPCP_STRICT)\n"
         "  --perf               print per-job wall time, KIPS, and the\n"
@@ -205,6 +211,11 @@ main(int argc, char **argv)
             trace_events = value();
         } else if (arg.rfind("--trace-events=", 0) == 0) {
             trace_events = arg.substr(std::strlen("--trace-events="));
+        } else if (arg == "--worker") {
+            return campaign::runWorker(value());
+        } else if (arg.rfind("--worker=", 0) == 0) {
+            return campaign::runWorker(
+                arg.substr(std::strlen("--worker=")));
         } else if (arg == "--audit") {
             cfg.system.auditEveryTick = true;
         } else if (arg == "--strict") {
